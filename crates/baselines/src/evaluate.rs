@@ -1,0 +1,169 @@
+//! Head-to-head policy evaluation.
+
+use crate::policies::BacklightPolicy;
+use annolight_core::LuminanceProfile;
+use annolight_display::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// The measured behaviour of one policy on one clip/device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyEvaluation {
+    /// Policy name.
+    pub policy: String,
+    /// Mean backlight power saving vs. full backlight, `[0, 1)`.
+    pub power_savings: f64,
+    /// Mean realised clipped-pixel fraction across frames.
+    pub mean_clipped: f64,
+    /// Worst single-frame clipped fraction.
+    pub worst_clipped: f64,
+    /// Frames whose clipping exceeded the budget (quality violations).
+    pub violations: u32,
+    /// Total frames evaluated.
+    pub frames: u32,
+    /// Mean absolute backlight level change between consecutive frames
+    /// (flicker proxy).
+    pub mean_level_travel: f64,
+}
+
+/// Evaluates `policy` on a profiled clip for `device`, scoring clipping
+/// against `budget` (a clip fraction in `[0, 1]`).
+///
+/// A frame *violates* quality when the pixels above the policy's effective
+/// max exceed the budget by more than 1 % absolute — slack for the
+/// discrete histogram boundary.
+///
+/// # Panics
+///
+/// Panics if the policy returns the wrong number of decisions.
+pub fn evaluate(
+    policy: &dyn BacklightPolicy,
+    profile: &LuminanceProfile,
+    device: &DeviceProfile,
+    budget: f64,
+) -> PolicyEvaluation {
+    let decisions = policy.decide(profile, device);
+    assert_eq!(decisions.len(), profile.len(), "policy must decide every frame");
+    let mut savings = 0.0;
+    let mut clipped_sum = 0.0;
+    let mut worst: f64 = 0.0;
+    let mut violations = 0u32;
+    let mut travel = 0.0;
+    for (i, (stats, &(level, effective))) in profile.frames().iter().zip(&decisions).enumerate() {
+        savings += device.backlight_power().savings_vs_full(level);
+        let clipped = stats.histogram.fraction_above(effective);
+        clipped_sum += clipped;
+        worst = worst.max(clipped);
+        if clipped > budget + 0.01 {
+            violations += 1;
+        }
+        if i > 0 {
+            travel += f64::from((i32::from(level.0) - i32::from(decisions[i - 1].0 .0)).unsigned_abs());
+        }
+    }
+    let n = profile.len() as f64;
+    PolicyEvaluation {
+        policy: policy.name().to_owned(),
+        power_savings: savings / n,
+        mean_clipped: clipped_sum / n,
+        worst_clipped: worst,
+        violations,
+        frames: profile.len() as u32,
+        mean_level_travel: if profile.len() > 1 { travel / (n - 1.0) } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::*;
+    use annolight_core::QualityLevel;
+    use annolight_video::ClipLibrary;
+
+    fn profile() -> LuminanceProfile {
+        let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(6.0);
+        LuminanceProfile::of_clip(&clip).unwrap()
+    }
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::ipaq_5555()
+    }
+
+    #[test]
+    fn full_backlight_saves_nothing_and_never_violates() {
+        let e = evaluate(&FullBacklight, &profile(), &device(), 0.10);
+        assert!(e.power_savings.abs() < 1e-12);
+        assert_eq!(e.violations, 0);
+        assert_eq!(e.mean_clipped, 0.0);
+    }
+
+    #[test]
+    fn annotation_saves_without_violations() {
+        let p = profile();
+        let e = evaluate(&AnnotationPolicy { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        assert!(e.power_savings > 0.2, "savings {}", e.power_savings);
+        // Scene-level budgets can concentrate clipping in single frames;
+        // violations must still be rare.
+        assert!(
+            f64::from(e.violations) <= 0.1 * f64::from(e.frames),
+            "{} violations of {}",
+            e.violations,
+            e.frames
+        );
+    }
+
+    #[test]
+    fn oracle_never_violates_and_saves_most() {
+        let p = profile();
+        let oracle = evaluate(&OracleDls { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        assert_eq!(oracle.violations, 0, "oracle has perfect knowledge");
+        let anno = evaluate(&AnnotationPolicy { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        assert!(oracle.power_savings + 1e-9 >= anno.power_savings);
+    }
+
+    /// A deterministic profile with a hard dark→bright cut at frame 20.
+    fn cut_profile() -> LuminanceProfile {
+        use annolight_imgproc::{Frame, Rgb8};
+        let mut frames: Vec<Frame> = (0..20).map(|_| Frame::filled(8, 8, Rgb8::gray(50))).collect();
+        frames.extend((0..10).map(|_| Frame::filled(8, 8, Rgb8::gray(230))));
+        LuminanceProfile::of_frames(10.0, frames).unwrap()
+    }
+
+    #[test]
+    fn history_violates_on_scene_cuts() {
+        let hist = evaluate(&HistoryPrediction::default(), &cut_profile(), &device(), 0.10);
+        assert!(hist.violations > 0, "history prediction should mispredict the cut");
+        let oracle =
+            evaluate(&OracleDls { quality: QualityLevel::Q10 }, &cut_profile(), &device(), 0.10);
+        assert_eq!(oracle.violations, 0);
+    }
+
+    #[test]
+    fn static_dim_clips_bright_content() {
+        // On a bright cartoon the fixed level clips most of every frame.
+        let clip = ClipLibrary::paper_clip("ice_age").unwrap().preview(4.0);
+        let p = LuminanceProfile::of_clip(&clip).unwrap();
+        let e = evaluate(&StaticDim { effective_max: 120 }, &p, &device(), 0.10);
+        assert!(e.worst_clipped > 0.3, "worst clipped {}", e.worst_clipped);
+        assert!(e.violations > 0);
+    }
+
+    #[test]
+    fn smoothing_trades_savings_for_stability() {
+        let p = profile();
+        let oracle = evaluate(&OracleDls { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        let qabs = evaluate(&QabsSmoothed { quality: QualityLevel::Q10, alpha: 0.2 }, &p, &device(), 0.10);
+        assert!(qabs.mean_level_travel <= oracle.mean_level_travel + 1e-9);
+        assert!(qabs.power_savings <= oracle.power_savings + 1e-9);
+    }
+
+    #[test]
+    fn annotation_flickers_less_than_oracle() {
+        let p = profile();
+        let anno = evaluate(&AnnotationPolicy { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        let oracle = evaluate(&OracleDls { quality: QualityLevel::Q10 }, &p, &device(), 0.10);
+        assert!(
+            anno.mean_level_travel <= oracle.mean_level_travel,
+            "per-scene annotation should switch less than per-frame oracle"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline backlight policies the annotation technique is compared with.
+//!
+//! §2 of the paper contrasts annotation-driven scaling with prior work:
+//! hardware per-frame scaling (DLS/DCE), history-based prediction ("the
+//! limited knowledge can have serious consequences on quality degradation
+//! if prediction proves wrong. It would also place a heavier load on the
+//! mobile device"), and smoothed scaling (QABS). This crate implements
+//! comparable software policies over the same profiles, devices and
+//! quality budgets, so the trade-offs can be measured head-to-head:
+//!
+//! * [`FullBacklight`] — no optimisation (the measurement baseline);
+//! * [`StaticDim`] — a fixed dimming level, content-blind;
+//! * [`HistoryPrediction`] — online per-frame prediction from recent
+//!   frames, with quality *violations* when the prediction is wrong;
+//! * [`OracleDls`] — per-frame scaling with perfect knowledge (the
+//!   hardware-DLS upper bound);
+//! * [`QabsSmoothed`] — the oracle filtered by an exponential smoother to
+//!   suppress backlight flicker, QABS-style;
+//! * [`DynamicToneMapping`] — DTM-style fixed-percentile scaling
+//!   (unbounded distortion, simpler control);
+//! * [`AnnotationPolicy`] — the paper's technique, wrapped in the same
+//!   interface.
+//!
+//! [`evaluate()`](evaluate::evaluate) runs any policy and reports power savings, realised
+//! clipping, quality violations and flicker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod policies;
+
+pub use evaluate::{evaluate, PolicyEvaluation};
+pub use policies::{
+    AnnotationPolicy, BacklightPolicy, DynamicToneMapping, FullBacklight, HistoryPrediction,
+    OracleDls, QabsSmoothed, StaticDim,
+};

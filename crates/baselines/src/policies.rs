@@ -1,0 +1,359 @@
+//! The policy implementations.
+
+use annolight_core::plan::plan_levels;
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight_display::{BacklightLevel, DeviceProfile};
+
+/// A backlight policy: given a profiled clip and a device, choose a
+/// backlight level for every frame.
+///
+/// Policies also report, per frame, the *effective maximum luminance* they
+/// compensated for — pixels above it clip, which is how quality violations
+/// are scored against the budget.
+pub trait BacklightPolicy {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Per-frame `(backlight level, effective max luminance)` decisions.
+    ///
+    /// `profile` carries per-frame histograms; implementations may only
+    /// use *past* frames if they claim to be online.
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)>;
+
+    /// Whether the policy can run without the whole clip in advance.
+    fn online(&self) -> bool {
+        false
+    }
+}
+
+/// No optimisation: full backlight, nothing clips.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullBacklight;
+
+impl BacklightPolicy for FullBacklight {
+    fn name(&self) -> &'static str {
+        "full-backlight"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, _: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        vec![(BacklightLevel::MAX, 255); profile.len()]
+    }
+}
+
+/// A fixed dimming level with matching compensation, content-blind.
+/// Bright frames clip heavily — the static approach the paper's intro
+/// dismisses ("there is a limited gain that can be achieved from a static
+/// perspective").
+#[derive(Debug, Clone, Copy)]
+pub struct StaticDim {
+    /// The fixed effective maximum luminance (e.g. 200 ≈ 78 % headroom).
+    pub effective_max: u8,
+}
+
+impl BacklightPolicy for StaticDim {
+    fn name(&self) -> &'static str {
+        "static-dim"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        let (_, level) = plan_levels(device, self.effective_max);
+        vec![(level, self.effective_max); profile.len()]
+    }
+}
+
+/// Online history-based prediction: the effective max for frame *i* is
+/// predicted from the clip levels of the last `window` frames plus a
+/// safety `margin`. Mispredictions cause visible over-clipping — exactly
+/// the failure mode the paper attributes to history-based schemes.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryPrediction {
+    /// How many past frames inform the prediction.
+    pub window: usize,
+    /// Safety margin added to the predicted level, luminance counts.
+    pub margin: u8,
+    /// The quality budget used to read per-frame clip levels.
+    pub quality: QualityLevel,
+}
+
+impl Default for HistoryPrediction {
+    fn default() -> Self {
+        Self { window: 8, margin: 8, quality: QualityLevel::Q10 }
+    }
+}
+
+impl BacklightPolicy for HistoryPrediction {
+    fn name(&self) -> &'static str {
+        "history-prediction"
+    }
+
+    fn online(&self) -> bool {
+        true
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        let q = self.quality.clip_fraction();
+        let mut out = Vec::with_capacity(profile.len());
+        let mut history: Vec<u8> = Vec::new();
+        for stats in profile.frames() {
+            let effective = if history.is_empty() {
+                // No history yet: play safe at full range.
+                255
+            } else {
+                let recent = &history[history.len().saturating_sub(self.window)..];
+                let max = recent.iter().copied().max().unwrap_or(255);
+                max.saturating_add(self.margin)
+            };
+            let (_, level) = plan_levels(device, effective);
+            out.push((level, effective));
+            // Only now does the client learn this frame's true statistics.
+            history.push(stats.histogram.clip_level(q));
+        }
+        out
+    }
+}
+
+/// Per-frame scaling with perfect knowledge of each frame — the upper
+/// bound a hardware DLS implementation could reach.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleDls {
+    /// The quality budget.
+    pub quality: QualityLevel,
+}
+
+impl BacklightPolicy for OracleDls {
+    fn name(&self) -> &'static str {
+        "oracle-dls"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        let q = self.quality.clip_fraction();
+        profile
+            .frames()
+            .iter()
+            .map(|f| {
+                let eff = f.histogram.clip_level(q);
+                let (_, level) = plan_levels(device, eff);
+                (level, eff)
+            })
+            .collect()
+    }
+}
+
+/// The oracle's levels passed through an exponential smoother, preventing
+/// frequent backlight switching (the post-processing smoothing of QABS).
+#[derive(Debug, Clone, Copy)]
+pub struct QabsSmoothed {
+    /// The quality budget.
+    pub quality: QualityLevel,
+    /// Smoothing factor in `(0, 1]`; 1 = no smoothing.
+    pub alpha: f64,
+}
+
+impl BacklightPolicy for QabsSmoothed {
+    fn name(&self) -> &'static str {
+        "qabs-smoothed"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        let raw = OracleDls { quality: self.quality }.decide(profile, device);
+        let mut out = Vec::with_capacity(raw.len());
+        let mut smoothed = f64::from(raw.first().map_or(255, |(l, _)| l.0));
+        for (level, _) in raw {
+            smoothed += self.alpha * (f64::from(level.0) - smoothed);
+            // Never smooth *below* the frame's requirement: that would
+            // under-light unclipped content. Raise to the requirement.
+            let applied = smoothed.max(f64::from(level.0)).round() as u8;
+            // The effective max actually honoured is at least the frame's.
+            let eff = effective_for_level(device, BacklightLevel(applied));
+            out.push((BacklightLevel(applied), eff));
+        }
+        out
+    }
+}
+
+/// A DTM-flavoured policy (Iranli & Pedram's dynamic tone mapping, cited
+/// in §2): instead of a hard clipping budget, every frame is driven at the
+/// backlight that reproduces a fixed high percentile of its luminance,
+/// tone-mapping whatever sits above. Simpler than budgeted clipping, but
+/// the distortion is content-dependent rather than bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicToneMapping {
+    /// The luminance percentile preserved exactly (e.g. 0.95).
+    pub percentile: f64,
+}
+
+impl BacklightPolicy for DynamicToneMapping {
+    fn name(&self) -> &'static str {
+        "dtm-percentile"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        profile
+            .frames()
+            .iter()
+            .map(|f| {
+                let eff = f.histogram.percentile(self.percentile);
+                let (_, level) = plan_levels(device, eff);
+                (level, eff)
+            })
+            .collect()
+    }
+}
+
+/// The paper's technique wrapped as a policy (per-scene annotations).
+#[derive(Debug, Clone, Copy)]
+pub struct AnnotationPolicy {
+    /// The quality budget.
+    pub quality: QualityLevel,
+}
+
+impl BacklightPolicy for AnnotationPolicy {
+    fn name(&self) -> &'static str {
+        "annotation"
+    }
+
+    fn decide(&self, profile: &LuminanceProfile, device: &DeviceProfile) -> Vec<(BacklightLevel, u8)> {
+        let annotated = Annotator::new(device.clone(), self.quality)
+            .annotate_profile(profile)
+            .expect("non-empty profile");
+        let track = annotated.track();
+        (0..profile.len() as u32)
+            .map(|i| {
+                let e = track.entry_at(i).expect("frame in range");
+                (e.backlight, e.effective_max_luma)
+            })
+            .collect()
+    }
+}
+
+/// The largest display luminance a backlight level can reproduce without
+/// compensation clipping, expressed as an 8-bit effective max.
+fn effective_for_level(device: &DeviceProfile, level: BacklightLevel) -> u8 {
+    let gamma = device.panel().white_gamma();
+    let l = device.transfer().luminance(level);
+    ((l.powf(1.0 / gamma)) * 255.0).round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::{Frame, Rgb8};
+
+    fn profile(maxes: &[u8]) -> LuminanceProfile {
+        let frames: Vec<Frame> = maxes
+            .iter()
+            .map(|&m| {
+                let mut f = Frame::filled(8, 8, Rgb8::gray(m / 2));
+                f.set_pixel(0, 0, Rgb8::gray(m));
+                f
+            })
+            .collect();
+        LuminanceProfile::of_frames(10.0, frames).unwrap()
+    }
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::ipaq_5555()
+    }
+
+    #[test]
+    fn full_backlight_never_dims() {
+        let p = profile(&[100, 200, 50]);
+        let d = FullBacklight.decide(&p, &device());
+        assert!(d.iter().all(|&(l, e)| l == BacklightLevel::MAX && e == 255));
+    }
+
+    #[test]
+    fn static_dim_is_constant() {
+        let p = profile(&[100, 200, 50]);
+        let d = StaticDim { effective_max: 200 }.decide(&p, &device());
+        assert!(d.windows(2).all(|w| w[0] == w[1]));
+        assert!(d[0].0 < BacklightLevel::MAX);
+    }
+
+    #[test]
+    fn oracle_tracks_frame_content() {
+        let p = profile(&[60, 240, 60]);
+        let d = OracleDls { quality: QualityLevel::Q0 }.decide(&p, &device());
+        assert!(d[0].0 < d[1].0, "dark frame should get dimmer backlight");
+        assert_eq!(d[0].0, d[2].0);
+    }
+
+    #[test]
+    fn history_first_frame_is_safe() {
+        let p = profile(&[60, 60, 60]);
+        let d = HistoryPrediction::default().decide(&p, &device());
+        assert_eq!(d[0].0, BacklightLevel::MAX);
+        assert!(d[2].0 < BacklightLevel::MAX, "later frames learn the content");
+    }
+
+    #[test]
+    fn history_mispredicts_on_cut() {
+        // Dark stretch then a hard bright cut: the prediction at the cut
+        // is based on dark history, so the effective max is far below the
+        // frame's needs.
+        let mut maxes = vec![60u8; 20];
+        maxes.push(250);
+        let p = profile(&maxes);
+        let d = HistoryPrediction::default().decide(&p, &device());
+        let (_, eff_at_cut) = d[20];
+        assert!(eff_at_cut < 200, "prediction should miss the cut, got {eff_at_cut}");
+    }
+
+    #[test]
+    fn qabs_levels_never_below_oracle() {
+        let p = profile(&[60, 240, 60, 240, 60]);
+        let oracle = OracleDls { quality: QualityLevel::Q10 }.decide(&p, &device());
+        let smoothed = QabsSmoothed { quality: QualityLevel::Q10, alpha: 0.3 }.decide(&p, &device());
+        for (o, s) in oracle.iter().zip(&smoothed) {
+            assert!(s.0 >= o.0, "smoothed {s:?} below oracle {o:?}");
+        }
+    }
+
+    #[test]
+    fn qabs_reduces_level_travel() {
+        let p = profile(&[60, 240, 60, 240, 60, 240, 60, 240]);
+        let travel = |d: &[(BacklightLevel, u8)]| {
+            d.windows(2).map(|w| (i32::from(w[0].0 .0) - i32::from(w[1].0 .0)).abs()).sum::<i32>()
+        };
+        let oracle = OracleDls { quality: QualityLevel::Q10 }.decide(&p, &device());
+        let smoothed = QabsSmoothed { quality: QualityLevel::Q10, alpha: 0.25 }.decide(&p, &device());
+        assert!(travel(&smoothed) < travel(&oracle));
+    }
+
+    #[test]
+    fn annotation_policy_matches_profile_length() {
+        let p = profile(&[60, 60, 240, 240]);
+        let d = AnnotationPolicy { quality: QualityLevel::Q10 }.decide(&p, &device());
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn dtm_tracks_percentile() {
+        let p = profile(&[60, 240, 60]);
+        let d = DynamicToneMapping { percentile: 0.95 }.decide(&p, &device());
+        assert_eq!(d.len(), 3);
+        assert!(d[1].0 > d[0].0, "bright frame needs more backlight");
+    }
+
+    #[test]
+    fn dtm_distortion_is_unbounded_by_design() {
+        // A frame where 30% of pixels sit above the 95th-percentile...
+        // cannot exist by definition; instead check DTM clips more than a
+        // 5% budget on a frame with a heavy bright mass.
+        use annolight_imgproc::Frame as F;
+        let f = F::from_fn(10, 10, |x, _| if x < 3 { [250, 250, 250] } else { [50, 50, 50] });
+        let p = LuminanceProfile::of_frames(10.0, vec![f]).unwrap();
+        let d = DynamicToneMapping { percentile: 0.5 }.decide(&p, &device());
+        let (_, eff) = d[0];
+        let clipped = p.frames()[0].histogram.fraction_above(eff);
+        assert!(clipped > 0.2, "aggressive percentile clips a lot: {clipped}");
+    }
+
+    #[test]
+    fn only_history_is_online() {
+        assert!(HistoryPrediction::default().online());
+        assert!(!OracleDls { quality: QualityLevel::Q0 }.online());
+        assert!(!AnnotationPolicy { quality: QualityLevel::Q0 }.online());
+        assert!(!FullBacklight.online());
+    }
+}

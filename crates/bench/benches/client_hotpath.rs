@@ -1,0 +1,82 @@
+//! Criterion benches for the client hot path — checking the paper's claim
+//! that runtime work is "a simple multiplication, followed by a table
+//! look-up" and therefore negligible next to decoding.
+
+use annolight_core::{apply::apply_annotation, Annotator, LuminanceProfile, QualityLevel};
+use annolight_core::AnnotationTrack;
+use annolight_display::{BacklightController, ControllerConfig, DeviceProfile};
+use annolight_video::ClipLibrary;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn track() -> AnnotationTrack {
+    let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(30.0);
+    let profile = LuminanceProfile::of_clip(&clip).unwrap();
+    Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10)
+        .annotate_profile(&profile)
+        .unwrap()
+        .track()
+        .clone()
+}
+
+fn bench_client(c: &mut Criterion) {
+    let t = track();
+    let frames = t.frame_count();
+    let device = DeviceProfile::ipaq_5555();
+
+    let mut g = c.benchmark_group("client");
+    g.throughput(Throughput::Elements(u64::from(frames)));
+    g.bench_function("entry_lookup_per_frame", |b| {
+        b.iter(|| {
+            for f in 0..frames {
+                black_box(t.entry_at(f).unwrap());
+            }
+        });
+    });
+    g.bench_function("controller_playback", |b| {
+        b.iter(|| black_box(apply_annotation(&t, ControllerConfig::default()).unwrap()));
+    });
+    g.bench_function("controller_request", |b| {
+        let mut ctl = BacklightController::default();
+        let mut now = 0.0f64;
+        b.iter(|| {
+            now += 1.0 / 12.0;
+            black_box(ctl.request(now, annolight_display::BacklightLevel(128)));
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("track_wire");
+    let bytes = t.to_rle_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("parse_from_stream", |b| {
+        b.iter(|| black_box(AnnotationTrack::from_rle_bytes(black_box(&bytes)).unwrap()));
+    });
+    g.finish();
+
+    // The cost annotation *avoids*: a history-based client must histogram
+    // and analyse every decoded frame on-device (§2's "heavier load on
+    // the mobile device"). Compare this against entry_lookup_per_frame.
+    let mut g = c.benchmark_group("online_alternative");
+    let frame = ClipLibrary::paper_clip("themovie").unwrap().preview(1.0).frame(0);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("per_frame_histogram_analysis", |b| {
+        b.iter(|| {
+            let h = black_box(&frame).luma_histogram();
+            black_box(h.clip_level(0.10))
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("device_lut");
+    g.bench_function("inverse_lut_build", |b| {
+        b.iter(|| black_box(device.transfer().inverse_lut()));
+    });
+    g.bench_function("level_for_luminance", |b| {
+        b.iter(|| black_box(device.transfer().level_for_luminance(black_box(0.42))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_client);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the codec substrate.
+
+use annolight_codec::picture::{decode_intra, encode_inter, encode_intra};
+use annolight_codec::quant::QScale;
+use annolight_codec::{Decoder, Encoder, EncoderConfig};
+use annolight_video::ClipLibrary;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pictures(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("spiderman2").unwrap().preview(2.0);
+    let a = clip.frame(0).to_yuv420().unwrap();
+    let b = clip.frame(1).to_yuv420().unwrap();
+    let q = QScale::new(8);
+    let pixels = u64::from(a.width()) * u64::from(a.height());
+
+    let mut g = c.benchmark_group("picture");
+    g.throughput(Throughput::Elements(pixels));
+    g.bench_function("encode_intra", |bch| {
+        bch.iter(|| black_box(encode_intra(black_box(&a), q)));
+    });
+    let ia = encode_intra(&a, q);
+    g.bench_function("decode_intra", |bch| {
+        bch.iter(|| black_box(decode_intra(black_box(&ia.bytes), a.width(), a.height()).unwrap()));
+    });
+    g.bench_function("encode_inter", |bch| {
+        bch.iter(|| black_box(encode_inter(black_box(&b), &ia.reconstruction, q)));
+    });
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("spiderman2").unwrap().preview(1.0);
+    let frames: Vec<_> = clip.frames().collect();
+    let (w, h) = clip.dimensions();
+    let cfg = EncoderConfig { width: w, height: h, fps: clip.fps(), ..EncoderConfig::default() };
+
+    let mut g = c.benchmark_group("stream");
+    g.throughput(Throughput::Elements(frames.len() as u64));
+    g.bench_function("encode_1s_clip", |bch| {
+        bch.iter(|| {
+            let mut enc = Encoder::new(cfg).unwrap();
+            for f in &frames {
+                enc.push_frame(f).unwrap();
+            }
+            black_box(enc.finish())
+        });
+    });
+    let mut enc = Encoder::new(cfg).unwrap();
+    for f in &frames {
+        enc.push_frame(f).unwrap();
+    }
+    let stream = enc.finish();
+    g.bench_function("decode_1s_clip", |bch| {
+        bch.iter(|| {
+            let mut dec = Decoder::new(&stream).unwrap();
+            black_box(dec.decode_all().unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pictures, bench_stream);
+criterion_main!(benches);

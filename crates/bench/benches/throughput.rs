@@ -1,0 +1,77 @@
+//! Criterion benches for the analysis/annotation pipeline (server side).
+
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel, SceneDetector};
+use annolight_display::DeviceProfile;
+use annolight_imgproc::contrast_enhance;
+use annolight_video::ClipLibrary;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(2.0);
+    let frame = clip.frame(0);
+    let mut g = c.benchmark_group("profile");
+    g.throughput(Throughput::Elements(u64::from(frame.width()) * u64::from(frame.height())));
+    g.bench_function("frame_histogram", |b| {
+        b.iter(|| black_box(frame.luma_histogram()));
+    });
+    g.finish();
+}
+
+fn bench_scene_detection(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(20.0);
+    let profile = LuminanceProfile::of_clip(&clip).unwrap();
+    let detector = SceneDetector::default();
+    let mut g = c.benchmark_group("scenes");
+    g.throughput(Throughput::Elements(profile.len() as u64));
+    g.bench_function("detect_20s", |b| {
+        b.iter(|| black_box(detector.detect(&profile)));
+    });
+    g.finish();
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(20.0);
+    let profile = LuminanceProfile::of_clip(&clip).unwrap();
+    let annotator = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10);
+    let mut g = c.benchmark_group("annotate");
+    g.throughput(Throughput::Elements(profile.len() as u64));
+    g.bench_function("plan_and_track_20s", |b| {
+        b.iter(|| black_box(annotator.annotate_profile(&profile).unwrap()));
+    });
+    let annotated = annotator.annotate_profile(&profile).unwrap();
+    let bytes = annotated.track().to_rle_bytes();
+    g.bench_function("track_rle_encode", |b| {
+        b.iter(|| black_box(annotated.track().to_rle_bytes()));
+    });
+    g.bench_function("track_rle_decode", |b| {
+        b.iter(|| {
+            black_box(annolight_core::AnnotationTrack::from_rle_bytes(black_box(&bytes)).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn bench_compensation(c: &mut Criterion) {
+    let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(2.0);
+    let frame = clip.frame(0);
+    let mut g = c.benchmark_group("compensate");
+    g.throughput(Throughput::Elements(frame.pixel_count() as u64));
+    g.bench_function("contrast_enhance", |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |mut f| black_box(contrast_enhance(&mut f, 1.4)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_profiling,
+    bench_scene_detection,
+    bench_annotation,
+    bench_compensation
+);
+criterion_main!(benches);

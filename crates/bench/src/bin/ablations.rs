@@ -1,0 +1,5 @@
+//! Regenerates the ablation studies (scene threshold, guard interval,
+//! annotation mode, compensation operator, codec rate-distortion).
+fn main() {
+    print!("{}", annolight_bench::figures::ablations::render_all(30.0));
+}

@@ -1,0 +1,44 @@
+//! Regenerates every paper figure and table in one run (the source of
+//! EXPERIMENTS.md). Pass `--quick` for truncated clips, `--json` for a
+//! single machine-readable document instead of text tables.
+use annolight_bench::figures::*;
+use annolight_core::QualityLevel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let (f9, f10_s, tab_s) = if quick { (Some(10.0), 6.0, 6.0) } else { (None, 20.0, 20.0) };
+    let fig6_s = if quick { 10.0 } else { 40.0 };
+    let overhead_s = if quick { Some(6.0) } else { None };
+
+    let r03 = fig03::run();
+    let r04 = fig04::run(QualityLevel::Q10);
+    let r05 = fig05::run();
+    let r06 = fig06::run("themovie", fig6_s);
+    let r07 = fig07::run();
+    let r08 = fig08::run();
+    let r09 = fig09::run(f9);
+    let r10 = fig10::run(f10_s);
+    let ro = tab_overhead::run(overhead_s);
+    let rb = tab_baselines::run(tab_s);
+
+    if json {
+        let doc = serde_json::json!({
+            "fig03": r03, "fig04": r04, "fig05": r05, "fig06": r06,
+            "fig07": r07, "fig08": r08, "fig09": r09, "fig10": r10,
+            "tab_overhead": ro, "tab_baselines": rb,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("results serialise"));
+    } else {
+        println!("{}", fig03::render(&r03));
+        println!("{}", fig04::render(&r04));
+        println!("{}", fig05::render(&r05));
+        println!("{}", fig06::render(&r06));
+        println!("{}", fig07::render(&r07));
+        println!("{}", fig08::render(&r08));
+        println!("{}", fig09::render(&r09));
+        println!("{}", fig10::render(&r10));
+        println!("{}", tab_overhead::render(&ro));
+        println!("{}", tab_baselines::render(&rb));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the ambient-aware planning extension experiment.
+fn main() {
+    let e = annolight_bench::figures::ext_ambient::run(160);
+    print!("{}", annolight_bench::figures::ext_ambient::render(&e));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the stacked-optimisations extension experiment.
+fn main() {
+    let e = annolight_bench::figures::ext_burst::run(20.0);
+    print!("{}", annolight_bench::figures::ext_burst::render(&e));
+}

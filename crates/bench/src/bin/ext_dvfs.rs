@@ -1,0 +1,5 @@
+//! Regenerates the DVFS-extension experiment.
+fn main() {
+    let e = annolight_bench::figures::ext_dvfs::run(20.0);
+    print!("{}", annolight_bench::figures::ext_dvfs::render(&e));
+}

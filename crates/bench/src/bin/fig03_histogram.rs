@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (image histogram properties).
+fn main() {
+    let f = annolight_bench::figures::fig03::run();
+    print!("{}", annolight_bench::figures::fig03::render(&f));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (original vs compensated camera snapshots).
+use annolight_core::QualityLevel;
+fn main() {
+    let f = annolight_bench::figures::fig04::run(QualityLevel::Q10);
+    print!("{}", annolight_bench::figures::fig04::render(&f));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5 (quality trade-off in the histogram).
+fn main() {
+    let f = annolight_bench::figures::fig05::run();
+    print!("{}", annolight_bench::figures::fig05::render(&f));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6 (scene grouping during playback).
+fn main() {
+    let f = annolight_bench::figures::fig06::run("themovie", 40.0);
+    print!("{}", annolight_bench::figures::fig06::render(&f));
+}

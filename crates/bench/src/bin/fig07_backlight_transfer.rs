@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7 (brightness vs backlight value per device).
+fn main() {
+    let f = annolight_bench::figures::fig07::run();
+    print!("{}", annolight_bench::figures::fig07::render(&f));
+}

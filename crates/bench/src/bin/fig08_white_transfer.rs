@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (brightness vs white level).
+fn main() {
+    let f = annolight_bench::figures::fig08::run();
+    print!("{}", annolight_bench::figures::fig08::render(&f));
+}

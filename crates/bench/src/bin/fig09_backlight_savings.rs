@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (simulated LCD backlight power savings).
+fn main() {
+    let f = annolight_bench::figures::fig09::run(None);
+    print!("{}", annolight_bench::figures::fig09::render(&f));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 10 (measured total device power savings).
+//!
+//! Each clip is truncated to 20 s: full codec+network+power sessions are
+//! expensive and the per-scene statistics converge within tens of seconds.
+fn main() {
+    let f = annolight_bench::figures::fig10::run(20.0);
+    print!("{}", annolight_bench::figures::fig10::render(&f));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the baseline-comparison table (§2 claims).
+fn main() {
+    let t = annolight_bench::figures::tab_baselines::run(20.0);
+    print!("{}", annolight_bench::figures::tab_baselines::render(&t));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the device-tailoring comparison table.
+fn main() {
+    let t = annolight_bench::figures::tab_devices::run(None);
+    print!("{}", annolight_bench::figures::tab_devices::render(&t));
+}

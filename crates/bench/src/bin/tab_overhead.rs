@@ -1,0 +1,5 @@
+//! Regenerates the annotation-overhead table (§4.3 claim).
+fn main() {
+    let t = annolight_bench::figures::tab_overhead::run(None);
+    print!("{}", annolight_bench::figures::tab_overhead::render(&t));
+}

@@ -1,0 +1,326 @@
+//! Ablation studies over the design choices the paper fixes by hand:
+//! the scene-change threshold ("a change of 10% or more"), the
+//! anti-flicker guard interval ("experimentally set"), per-scene vs
+//! per-frame annotation, the compensation operator, and the codec's
+//! quantiser operating point.
+
+use crate::table::Table;
+use annolight_codec::picture::{decode_intra, encode_intra};
+use annolight_codec::psnr_luma;
+use annolight_codec::quant::QScale;
+use annolight_core::apply::apply_annotation;
+use annolight_core::plan::operator_distortion;
+use annolight_core::track::AnnotationMode;
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel, SceneDetector, SceneDetectorConfig};
+use annolight_display::{ControllerConfig, DeviceProfile};
+use annolight_imgproc::CompensationKind;
+use annolight_video::ClipLibrary;
+use serde::{Deserialize, Serialize};
+
+/// One row of the scene-threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Relative max-luminance change treated as a scene cut.
+    pub threshold: f64,
+    /// Scenes detected.
+    pub scenes: usize,
+    /// Mean backlight savings at 10 % quality.
+    pub savings: f64,
+    /// Backlight switches during playback.
+    pub switches: u64,
+}
+
+/// Sweeps the scene-change threshold on `clip_name`.
+///
+/// # Panics
+///
+/// Panics for a clip name not in the library.
+pub fn scene_threshold(clip_name: &str, seconds: f64) -> Vec<ThresholdPoint> {
+    let clip = ClipLibrary::paper_clip(clip_name).expect("library clip").preview(seconds);
+    let device = DeviceProfile::ipaq_5555();
+    let profile = LuminanceProfile::of_clip(&clip).expect("non-empty");
+    [0.02, 0.05, 0.10, 0.20, 0.30]
+        .into_iter()
+        .map(|threshold| {
+            let detector = SceneDetector::new(SceneDetectorConfig {
+                change_threshold: threshold,
+                min_interval_s: 0.5,
+            });
+            let annotated = Annotator::new(device.clone(), QualityLevel::Q10)
+                .with_detector(detector)
+                .annotate_profile(&profile)
+                .expect("non-empty");
+            let (_, stats) = apply_annotation(annotated.track(), ControllerConfig::default())
+                .expect("track covers frames");
+            ThresholdPoint {
+                threshold,
+                scenes: annotated.plan().scenes().len(),
+                savings: annotated.predicted_backlight_savings(&device),
+                switches: stats.switches,
+            }
+        })
+        .collect()
+}
+
+/// One row of the guard-interval sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardPoint {
+    /// Minimum seconds between applied backlight changes.
+    pub guard_s: f64,
+    /// Backlight switches applied.
+    pub switches: u64,
+    /// Requests suppressed by the guard.
+    pub suppressed: u64,
+    /// Flicker score (mean level travel per switch).
+    pub flicker: f64,
+}
+
+/// Sweeps the client controller's guard interval (per-frame annotations,
+/// the flicker-prone mode).
+///
+/// # Panics
+///
+/// Panics for a clip name not in the library.
+pub fn guard_interval(clip_name: &str, seconds: f64) -> Vec<GuardPoint> {
+    let clip = ClipLibrary::paper_clip(clip_name).expect("library clip").preview(seconds);
+    let device = DeviceProfile::ipaq_5555();
+    let profile = LuminanceProfile::of_clip(&clip).expect("non-empty");
+    let annotated = Annotator::new(device, QualityLevel::Q10)
+        .with_mode(AnnotationMode::PerFrame)
+        .annotate_profile(&profile)
+        .expect("non-empty");
+    [0.0, 0.25, 0.5, 1.0, 2.0]
+        .into_iter()
+        .map(|guard_s| {
+            let cfg = ControllerConfig { min_switch_interval_s: guard_s, min_step: 4 };
+            let (_, stats) = apply_annotation(annotated.track(), cfg).expect("track covers frames");
+            GuardPoint {
+                guard_s,
+                switches: stats.switches,
+                suppressed: stats.suppressed,
+                flicker: stats.flicker_score(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the per-scene vs per-frame comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModePoint {
+    /// Clip name.
+    pub clip: String,
+    /// Per-scene savings.
+    pub scene_savings: f64,
+    /// Per-frame savings.
+    pub frame_savings: f64,
+    /// Per-scene track bytes.
+    pub scene_bytes: usize,
+    /// Per-frame track bytes (after RLE).
+    pub frame_bytes: usize,
+}
+
+/// Compares annotation modes across a clip subset.
+pub fn mode_comparison(seconds: f64) -> Vec<ModePoint> {
+    let device = DeviceProfile::ipaq_5555();
+    ["themovie", "ice_age", "shrek2"]
+        .into_iter()
+        .map(|name| {
+            let clip = ClipLibrary::paper_clip(name).expect("library clip").preview(seconds);
+            let profile = LuminanceProfile::of_clip(&clip).expect("non-empty");
+            let scene = Annotator::new(device.clone(), QualityLevel::Q10)
+                .annotate_profile(&profile)
+                .expect("non-empty");
+            let frame = Annotator::new(device.clone(), QualityLevel::Q10)
+                .with_mode(AnnotationMode::PerFrame)
+                .annotate_profile(&profile)
+                .expect("non-empty");
+            ModePoint {
+                clip: name.to_owned(),
+                scene_savings: scene.predicted_backlight_savings(&device),
+                frame_savings: frame.predicted_backlight_savings(&device),
+                scene_bytes: scene.track().overhead_bytes(),
+                frame_bytes: frame.track().overhead_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the operator comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorPoint {
+    /// Effective maximum luminance the scene was planned at.
+    pub effective_max: u8,
+    /// Mean relative perceived-intensity error of contrast enhancement.
+    pub contrast_error: f64,
+    /// Mean relative perceived-intensity error of brightness compensation.
+    pub brightness_error: f64,
+}
+
+/// Contrast enhancement vs brightness compensation (§4.1's two operators).
+pub fn operator_comparison() -> Vec<OperatorPoint> {
+    let device = DeviceProfile::ipaq_5555();
+    [64u8, 96, 128, 160, 192, 224]
+        .into_iter()
+        .map(|effective_max| OperatorPoint {
+            effective_max,
+            contrast_error: operator_distortion(
+                &device,
+                effective_max,
+                CompensationKind::ContrastEnhancement,
+            ),
+            brightness_error: operator_distortion(
+                &device,
+                effective_max,
+                CompensationKind::BrightnessCompensation,
+            ),
+        })
+        .collect()
+}
+
+/// One row of the codec rate-distortion sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RdPoint {
+    /// Quantiser scale.
+    pub qscale: u8,
+    /// Intra-coded bytes per frame.
+    pub bytes_per_frame: usize,
+    /// Luma PSNR, dB.
+    pub psnr_db: f64,
+}
+
+/// Rate-distortion sweep of the codec substrate on a library frame.
+pub fn codec_rd() -> Vec<RdPoint> {
+    let clip = ClipLibrary::paper_clip("spiderman2").expect("library clip").preview(1.0);
+    let yuv = clip.frame(0).to_yuv420().expect("even dimensions");
+    [2u8, 4, 8, 16, 31]
+        .into_iter()
+        .map(|q| {
+            let coded = encode_intra(&yuv, QScale::new(q));
+            let decoded =
+                decode_intra(&coded.bytes, yuv.width(), yuv.height()).expect("valid payload");
+            RdPoint {
+                qscale: q,
+                bytes_per_frame: coded.bytes.len(),
+                psnr_db: psnr_luma(&yuv, &decoded),
+            }
+        })
+        .collect()
+}
+
+/// Renders all ablations as one text report.
+pub fn render_all(seconds: f64) -> String {
+    let mut out = String::new();
+
+    out.push_str("Ablation A — scene-change threshold (themovie, 10% quality)\n\n");
+    let mut t = Table::new(["threshold", "scenes", "savings", "switches"]);
+    for p in scene_threshold("themovie", seconds) {
+        t.row([
+            format!("{:.0}%", p.threshold * 100.0),
+            p.scenes.to_string(),
+            format!("{:.1}%", p.savings * 100.0),
+            p.switches.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation B — anti-flicker guard interval (per-frame mode)\n\n");
+    let mut t = Table::new(["guard (s)", "switches", "suppressed", "flicker"]);
+    for p in guard_interval("themovie", seconds) {
+        t.row([
+            format!("{:.2}", p.guard_s),
+            p.switches.to_string(),
+            p.suppressed.to_string(),
+            format!("{:.1}", p.flicker),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation C — per-scene vs per-frame annotation\n\n");
+    let mut t = Table::new(["clip", "scene savings", "frame savings", "scene B", "frame B"]);
+    for p in mode_comparison(seconds) {
+        t.row([
+            p.clip.clone(),
+            format!("{:.1}%", p.scene_savings * 100.0),
+            format!("{:.1}%", p.frame_savings * 100.0),
+            p.scene_bytes.to_string(),
+            p.frame_bytes.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation D — compensation operator fidelity\n\n");
+    let mut t = Table::new(["effective max", "contrast err", "brightness err"]);
+    for p in operator_comparison() {
+        t.row([
+            p.effective_max.to_string(),
+            format!("{:.4}", p.contrast_error),
+            format!("{:.4}", p.brightness_error),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation E — codec rate-distortion (intra, 128x96)\n\n");
+    let mut t = Table::new(["qscale", "bytes/frame", "PSNR (dB)"]);
+    for p in codec_rd() {
+        t.row([p.qscale.to_string(), p.bytes_per_frame.to_string(), format!("{:.1}", p.psnr_db)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_threshold_means_more_scenes() {
+        let sweep = scene_threshold("themovie", 8.0);
+        assert_eq!(sweep.len(), 5);
+        for w in sweep.windows(2) {
+            assert!(w[0].scenes >= w[1].scenes, "{w:?}");
+        }
+        // And more scenes means savings at least as good.
+        assert!(sweep[0].savings + 1e-9 >= sweep[4].savings);
+    }
+
+    #[test]
+    fn longer_guard_means_fewer_switches() {
+        let sweep = guard_interval("themovie", 8.0);
+        for w in sweep.windows(2) {
+            assert!(w[1].switches <= w[0].switches, "{w:?}");
+            assert!(w[1].suppressed >= w[0].suppressed, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn per_frame_tracks_are_bigger() {
+        for p in mode_comparison(6.0) {
+            assert!(p.frame_bytes >= p.scene_bytes, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn contrast_always_more_faithful() {
+        for p in operator_comparison() {
+            assert!(p.contrast_error < p.brightness_error, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn rd_curve_is_monotone() {
+        let rd = codec_rd();
+        for w in rd.windows(2) {
+            assert!(w[1].bytes_per_frame <= w[0].bytes_per_frame, "{w:?}");
+            assert!(w[1].psnr_db <= w[0].psnr_db + 0.3, "{w:?}");
+        }
+        assert!(rd[0].psnr_db > 35.0, "qscale 2 should be near-transparent: {rd:?}");
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let s = render_all(4.0);
+        for section in ["Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E"] {
+            assert!(s.contains(section));
+        }
+    }
+}

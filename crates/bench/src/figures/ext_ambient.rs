@@ -1,0 +1,109 @@
+//! Extension experiment — ambient-aware backlight planning.
+//!
+//! §4.1: "Most recent handhelds use transflective displays, which perform
+//! best both indoors (low light) and outdoors (in sunlight)." The
+//! transflective panel reflects ambient light, and that reflected
+//! component does not dim with the backlight — so the preserved-intensity
+//! equation admits a lower backlight level outdoors. This experiment
+//! quantifies the extra savings per device across ambient conditions.
+
+use crate::table::Table;
+use annolight_core::plan::plan_levels_ambient;
+use annolight_display::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Savings for one device across ambient levels, at a fixed scene
+/// effective max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmbientRow {
+    /// Device name.
+    pub device: String,
+    /// Backlight power savings per ambient level, same order as
+    /// [`AMBIENT_LEVELS`].
+    pub savings: Vec<f64>,
+}
+
+/// The ambient illumination sweep (relative, 0 = dark room, 1 = direct
+/// sunlight on the panel).
+pub const AMBIENT_LEVELS: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+/// The experiment data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtAmbient {
+    /// Scene effective maximum luminance used.
+    pub effective_max: u8,
+    /// One row per paper device.
+    pub rows: Vec<AmbientRow>,
+}
+
+/// Sweeps ambient light for a mid-bright scene on all paper devices.
+pub fn run(effective_max: u8) -> ExtAmbient {
+    let rows = DeviceProfile::paper_devices()
+        .into_iter()
+        .map(|dev| {
+            let savings = AMBIENT_LEVELS
+                .iter()
+                .map(|&a| {
+                    let (_, level) = plan_levels_ambient(&dev, effective_max, a);
+                    dev.backlight_power().savings_vs_full(level)
+                })
+                .collect();
+            AmbientRow { device: dev.name().to_owned(), savings }
+        })
+        .collect();
+    ExtAmbient { effective_max, rows }
+}
+
+/// Renders the experiment as text.
+pub fn render(e: &ExtAmbient) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Extension — ambient-aware planning (scene effective max = {})\n\n",
+        e.effective_max
+    ));
+    let mut header = vec!["device".to_owned()];
+    header.extend(AMBIENT_LEVELS.iter().map(|a| format!("ambient {a}")));
+    let mut t = Table::new(header);
+    for r in &e.rows {
+        let mut row = vec![r.device.clone()];
+        row.extend(r.savings.iter().map(|s| format!("{:.1}%", s * 100.0)));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(reflected ambient light carries part of the perceived intensity,\n so the same scene needs less backlight outdoors)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_ambient_on_every_device() {
+        let e = run(160);
+        assert_eq!(e.rows.len(), 3);
+        for r in &e.rows {
+            for w in r.savings.windows(2) {
+                assert!(w[1] + 1e-12 >= w[0], "{}: {:?}", r.device, r.savings);
+            }
+            assert!(
+                r.savings[3] > r.savings[0] + 0.01,
+                "{}: sunlight should add real savings: {:?}",
+                r.device,
+                r.savings
+            );
+        }
+    }
+
+    #[test]
+    fn reflective_panels_benefit_most() {
+        // The reflective CCFL panels have higher ambient reflectance than
+        // the transflective LED panel, so their ambient gain is larger.
+        let e = run(160);
+        let gain = |name: &str| {
+            let r = e.rows.iter().find(|r| r.device == name).unwrap();
+            r.savings[3] - r.savings[0]
+        };
+        assert!(gain("ipaq-3650") > gain("ipaq-5555"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 3 — image histogram properties: the average point and dynamic
+//! range the paper reads off a histogram.
+
+use crate::table::Table;
+use annolight_imgproc::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 3 quantities for one image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig03 {
+    /// Mean pixel luminance ("average point").
+    pub mean: f64,
+    /// Smallest occupied luminance level.
+    pub min: u8,
+    /// Largest occupied luminance level.
+    pub max: u8,
+    /// Dynamic range (`max − min`).
+    pub dynamic_range: u8,
+    /// The histogram folded into 16 buckets for display.
+    pub buckets: [u64; 16],
+}
+
+/// Computes the figure for the news frame.
+pub fn run() -> Fig03 {
+    let hist = super::news_frame().luma_histogram();
+    of_histogram(&hist)
+}
+
+/// Computes the Fig. 3 quantities of any histogram.
+pub fn of_histogram(hist: &Histogram) -> Fig03 {
+    let mut buckets = [0u64; 16];
+    for (v, &c) in hist.bins().iter().enumerate() {
+        buckets[v / 16] += c;
+    }
+    Fig03 {
+        mean: hist.mean(),
+        min: hist.min_nonzero().unwrap_or(0),
+        max: hist.max_nonzero().unwrap_or(0),
+        dynamic_range: hist.dynamic_range(),
+        buckets,
+    }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig03) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 3 — image histogram properties\n\n");
+    out.push_str(&format!(
+        "average point = {:.1}   dynamic range = {} (levels {}..{})\n\n",
+        f.mean, f.dynamic_range, f.min, f.max
+    ));
+    let peak = f.buckets.iter().copied().max().unwrap_or(1).max(1);
+    let mut t = Table::new(["pixel value", "count", "histogram"]);
+    for (i, &c) in f.buckets.iter().enumerate() {
+        let bar = "#".repeat(((c * 40) / peak) as usize);
+        t.row([format!("{:>3}-{:>3}", i * 16, i * 16 + 15), c.to_string(), bar]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn news_frame_is_dark_with_wide_range() {
+        let f = run();
+        assert!(f.mean < 100.0, "mean {}", f.mean);
+        assert!(f.dynamic_range > 150, "range {}", f.dynamic_range);
+        assert_eq!(f.buckets.iter().sum::<u64>(), 128 * 96);
+    }
+
+    #[test]
+    fn render_contains_key_quantities() {
+        let s = render(&run());
+        assert!(s.contains("average point"));
+        assert!(s.contains("dynamic range"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 4 — original (full backlight) vs compensated (dimmed backlight)
+//! frame, validated through camera snapshots and their histograms.
+
+use crate::table::Table;
+use annolight_camera::{validate_compensation, DigitalCamera, ValidationReport};
+use annolight_core::plan::plan_levels;
+use annolight_core::QualityLevel;
+use annolight_display::{BacklightLevel, DeviceProfile};
+use annolight_imgproc::contrast_enhance;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 4 experiment outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig04 {
+    /// Quality level used.
+    pub quality_percent: f64,
+    /// Backlight level chosen for the compensated frame (0–255).
+    pub backlight: u8,
+    /// Fractional backlight power saved at that level.
+    pub backlight_savings: f64,
+    /// The camera-based comparison of the two snapshots.
+    pub report: ValidationReport,
+}
+
+/// Runs the experiment on the news frame at the given quality.
+pub fn run(quality: QualityLevel) -> Fig04 {
+    let device = DeviceProfile::ipaq_5555();
+    let camera = DigitalCamera::consumer_compact(42);
+    let original = super::news_frame();
+
+    let effective = original.luma_histogram().clip_level(quality.clip_fraction());
+    let (k, level) = plan_levels(&device, effective);
+    let mut compensated = original.clone();
+    contrast_enhance(&mut compensated, k);
+
+    let report =
+        validate_compensation(&original, &compensated, &device, BacklightLevel::MAX, level, &camera);
+    Fig04 {
+        quality_percent: quality.clip_fraction() * 100.0,
+        backlight: level.0,
+        backlight_savings: device.backlight_power().savings_vs_full(level),
+        report,
+    }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig04) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 4 — original vs compensated frame (camera snapshots)\n\n");
+    out.push_str(&format!(
+        "quality {}%  →  backlight {}/255 ({:.0}% backlight power saved)\n\n",
+        f.quality_percent,
+        f.backlight,
+        f.backlight_savings * 100.0
+    ));
+    let mut t = Table::new(["snapshot", "avg brightness", "dynamic range"]);
+    t.row([
+        "original (full backlight)".to_owned(),
+        format!("{:.1}", f.report.reference_mean),
+        f.report.reference_dynamic_range.to_string(),
+    ]);
+    t.row([
+        "compensated (dimmed)".to_owned(),
+        format!("{:.1}", f.report.compensated_mean),
+        f.report.compensated_dynamic_range.to_string(),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nhistogram intersection = {:.3}   EMD = {:.2} levels   acceptable = {}\n",
+        f.report.histogram_intersection,
+        f.report.histogram_emd,
+        f.report.acceptable()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensated_snapshot_close_to_reference() {
+        let f = run(QualityLevel::Q10);
+        assert!(f.backlight < 255);
+        assert!(f.backlight_savings > 0.1);
+        // "The differences … are hardly noticeable for a human, however
+        // the camera detects the slight changes."
+        assert!(f.report.acceptable(), "EMD {}", f.report.histogram_emd);
+        assert!(f.report.histogram_emd > 0.0, "the camera sees *some* change");
+    }
+
+    #[test]
+    fn lossless_mode_saves_less_than_q10() {
+        let q0 = run(QualityLevel::Q0);
+        let q10 = run(QualityLevel::Q10);
+        assert!(q10.backlight_savings >= q0.backlight_savings);
+    }
+
+    #[test]
+    fn render_mentions_both_snapshots() {
+        let s = render(&run(QualityLevel::Q10));
+        assert!(s.contains("original"));
+        assert!(s.contains("compensated"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 5 — the quality trade-off in the histogram: how much of the bright
+//! tail each quality level clips and what that buys in backlight level.
+
+use crate::table::Table;
+use annolight_core::plan::plan_levels;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// One row of the trade-off sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipPoint {
+    /// Quality level, percent.
+    pub quality_percent: f64,
+    /// Effective maximum luminance after clipping.
+    pub effective_max: u8,
+    /// Pixels actually clipped (strictly above the effective max).
+    pub clipped_pixels: u64,
+    /// Fraction of pixels clipped.
+    pub clipped_fraction: f64,
+    /// Backlight level the scene can drop to.
+    pub backlight: u8,
+    /// Backlight power saved at that level.
+    pub savings: f64,
+}
+
+/// The full Fig. 5 sweep on one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig05 {
+    /// One point per paper quality level.
+    pub points: Vec<ClipPoint>,
+}
+
+/// Runs the sweep on the news frame for the iPAQ 5555.
+pub fn run() -> Fig05 {
+    let device = DeviceProfile::ipaq_5555();
+    let hist = super::news_frame().luma_histogram();
+    let points = QualityLevel::PAPER_LEVELS
+        .iter()
+        .map(|q| {
+            let effective = hist.clip_level(q.clip_fraction());
+            let (_, level) = plan_levels(&device, effective);
+            ClipPoint {
+                quality_percent: q.clip_fraction() * 100.0,
+                effective_max: effective,
+                clipped_pixels: hist.count_above(effective),
+                clipped_fraction: hist.fraction_above(effective),
+                backlight: level.0,
+                savings: device.backlight_power().savings_vs_full(level),
+            }
+        })
+        .collect();
+    Fig05 { points }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig05) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — quality trade-off: clipped high-luminance tail\n\n");
+    let mut t = Table::new([
+        "quality",
+        "effective max",
+        "clipped px",
+        "clipped %",
+        "backlight",
+        "power saved",
+    ]);
+    for p in &f.points {
+        t.row([
+            format!("{}%", p.quality_percent),
+            p.effective_max.to_string(),
+            p.clipped_pixels.to_string(),
+            format!("{:.2}%", p.clipped_fraction * 100.0),
+            format!("{}/255", p.backlight),
+            format!("{:.1}%", p.savings * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone() {
+        let f = run();
+        assert_eq!(f.points.len(), 5);
+        for w in f.points.windows(2) {
+            assert!(w[1].effective_max <= w[0].effective_max);
+            assert!(w[1].backlight <= w[0].backlight);
+            assert!(w[1].savings + 1e-12 >= w[0].savings);
+        }
+    }
+
+    #[test]
+    fn clipping_stays_within_budget() {
+        for p in run().points {
+            assert!(
+                p.clipped_fraction * 100.0 <= p.quality_percent + 1e-9,
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_5_percent_is_a_big_jump() {
+        // "Even at the 5% quality loss we already start seeing a huge
+        // improvement."
+        let f = run();
+        assert!(f.points[1].savings > f.points[0].savings + 0.10);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig. 6 — scene grouping during playback: per-frame max luminance, the
+//! scene max-luminance staircase, and the instantaneous backlight power
+//! saved.
+
+use crate::table::Table;
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight_display::DeviceProfile;
+use annolight_video::ClipLibrary;
+use serde::{Deserialize, Serialize};
+
+/// One sampled playback instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Playback time, seconds.
+    pub time_s: f64,
+    /// This frame's maximum luminance (normalised 0–1).
+    pub frame_max: f64,
+    /// The scene's raw maximum luminance (the staircase the paper plots).
+    pub scene_raw_max: f64,
+    /// The annotated scene's effective max luminance after clipping
+    /// (normalised).
+    pub scene_max: f64,
+    /// Instantaneous backlight power saved, `[0, 1)`.
+    pub power_saved: f64,
+}
+
+/// The Fig. 6 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig06 {
+    /// Clip the series was computed on.
+    pub clip: String,
+    /// Number of scenes the detector found.
+    pub scenes: usize,
+    /// The sampled series.
+    pub series: Vec<TimePoint>,
+}
+
+/// Runs the experiment on the first `seconds` of `clip_name` at 10 %
+/// quality (the paper's example setting).
+///
+/// # Panics
+///
+/// Panics if `clip_name` is not in the library.
+pub fn run(clip_name: &str, seconds: f64) -> Fig06 {
+    let clip = ClipLibrary::paper_clip(clip_name)
+        .expect("clip name must be in the library")
+        .preview(seconds);
+    let device = DeviceProfile::ipaq_5555();
+    let profile = LuminanceProfile::of_clip(&clip).expect("non-empty clip");
+    let annotated = Annotator::new(device.clone(), QualityLevel::Q10)
+        .annotate_profile(&profile)
+        .expect("non-empty profile");
+
+    let track = annotated.track();
+    let plan = annotated.plan();
+    let series = profile
+        .frames()
+        .iter()
+        .map(|fs| {
+            let entry = track.entry_at(fs.index).expect("frame in range");
+            let scene = plan
+                .scenes()
+                .iter()
+                .find(|s| s.span.start <= fs.index && fs.index < s.span.end)
+                .expect("plan covers every frame");
+            TimePoint {
+                time_s: f64::from(fs.index) / clip.fps(),
+                frame_max: f64::from(fs.max_luma) / 255.0,
+                scene_raw_max: f64::from(scene.raw_max_luma) / 255.0,
+                scene_max: f64::from(entry.effective_max_luma) / 255.0,
+                power_saved: device.backlight_power().savings_vs_full(entry.backlight),
+            }
+        })
+        .collect();
+    Fig06 { clip: clip.name().to_owned(), scenes: annotated.plan().scenes().len(), series }
+}
+
+/// Renders the figure as text (sampled every ~0.5 s to keep it readable).
+pub fn render(f: &Fig06) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 6 — scene grouping during playback ({}, 10% quality, {} scenes)\n\n",
+        f.clip, f.scenes
+    ));
+    let mut t = Table::new([
+        "time (s)",
+        "frame max lum",
+        "scene max lum",
+        "effective (clipped)",
+        "power saved",
+    ]);
+    let step = (f.series.len() / 40).max(1);
+    for p in f.series.iter().step_by(step) {
+        t.row([
+            format!("{:.2}", p.time_s),
+            format!("{:.3}", p.frame_max),
+            format!("{:.3}", p.scene_raw_max),
+            format!("{:.3}", p.scene_max),
+            format!("{:.1}%", p.power_saved * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_whole_preview() {
+        let f = run("themovie", 8.0);
+        assert!(!f.series.is_empty());
+        assert!(f.scenes >= 2, "8 s of a trailer should span scenes, got {}", f.scenes);
+        let last = f.series.last().unwrap();
+        assert!(last.time_s > 7.0);
+    }
+
+    #[test]
+    fn raw_scene_max_envelopes_frame_max() {
+        let f = run("themovie", 8.0);
+        for p in &f.series {
+            assert!(p.scene_raw_max + 1e-12 >= p.frame_max, "{p:?}");
+            assert!(p.scene_raw_max + 1e-12 >= p.scene_max, "clipping lowers the level");
+        }
+    }
+
+    #[test]
+    fn scene_max_is_a_staircase() {
+        // Within a scene the annotated level is constant; changes are
+        // scene boundaries. Count distinct runs — must equal scene count.
+        let f = run("themovie", 8.0);
+        let mut runs = 1;
+        for w in f.series.windows(2) {
+            if (w[0].scene_max - w[1].scene_max).abs() > 1e-12 {
+                runs += 1;
+            }
+        }
+        assert!(runs <= f.scenes + 1, "{runs} runs vs {} scenes", f.scenes);
+    }
+
+    #[test]
+    fn darker_scenes_save_more_power() {
+        let f = run("themovie", 10.0);
+        // Correlation check: the minimum-scene-max sample must save at
+        // least as much as the maximum-scene-max sample.
+        let darkest = f
+            .series
+            .iter()
+            .min_by(|a, b| a.scene_max.total_cmp(&b.scene_max))
+            .unwrap();
+        let brightest = f
+            .series
+            .iter()
+            .max_by(|a, b| a.scene_max.total_cmp(&b.scene_max))
+            .unwrap();
+        assert!(darkest.power_saved >= brightest.power_saved);
+    }
+}

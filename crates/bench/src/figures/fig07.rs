@@ -1,0 +1,127 @@
+//! Fig. 7 — measured brightness vs backlight value (white screen), per
+//! device: the display-characterisation step, performed exactly as in the
+//! paper by photographing solid screens with the digital camera.
+
+use crate::table::Table;
+use annolight_camera::{recover_response, DigitalCamera};
+use annolight_display::{BacklightLevel, DeviceProfile};
+use annolight_imgproc::{Frame, Rgb8};
+use serde::{Deserialize, Serialize};
+
+/// One sweep row: camera-measured brightness per device at one backlight
+/// value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The software backlight value.
+    pub backlight: u8,
+    /// Camera-measured mean brightness per device, same order as
+    /// [`Fig07::devices`].
+    pub brightness: Vec<f64>,
+}
+
+/// The Fig. 7 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig07 {
+    /// Device names, column order.
+    pub devices: Vec<String>,
+    /// The sweep, ascending backlight.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweeps the backlight at a full-white screen on all three paper devices.
+///
+/// The snapshots come from the consumer camera model and are linearised
+/// through its *recovered* response curve — the full Debevec–Malik
+/// workflow the paper cites: recover `g`, then compare brightness on a
+/// linear scale.
+pub fn run() -> Fig07 {
+    let devices = DeviceProfile::paper_devices();
+    let camera = DigitalCamera::consumer_compact(7);
+    let response = recover_response(&camera, 8);
+    let white = Frame::filled(32, 32, Rgb8::gray(255));
+    let points = (0..=16u16)
+        .map(|i| {
+            let b = (i * 16).min(255) as u8;
+            let brightness = devices
+                .iter()
+                .map(|d| {
+                    response.linear_mean(&camera.photograph(&white, d, BacklightLevel(b))) * 255.0
+                })
+                .collect();
+            SweepPoint { backlight: b, brightness }
+        })
+        .collect();
+    Fig07 { devices: devices.iter().map(|d| d.name().to_owned()).collect(), points }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig07) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 7 — measured brightness vs backlight value (white = 255)\n\n");
+    let mut header = vec!["backlight".to_owned()];
+    header.extend(f.devices.iter().cloned());
+    let mut t = Table::new(header);
+    for p in &f.points {
+        let mut row = vec![p.backlight.to_string()];
+        row.extend(p.brightness.iter().map(|b| format!("{b:.1}")));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(non-linear in backlight; curvature differs per display technology)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brightness_monotone_in_backlight() {
+        let f = run();
+        for d in 0..f.devices.len() {
+            for w in f.points.windows(2) {
+                assert!(
+                    w[1].brightness[d] + 3.0 >= w[0].brightness[d],
+                    "device {} not monotone",
+                    f.devices[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn response_is_nonlinear() {
+        // The paper: "measured luminance response to backlight level … is
+        // not always linear". Check the mid-point deviates from the line
+        // between the endpoints for each device.
+        let f = run();
+        let mid = f.points.len() / 2;
+        for d in 0..f.devices.len() {
+            let lo = f.points.first().unwrap().brightness[d];
+            let hi = f.points.last().unwrap().brightness[d];
+            let linear_mid = (lo + hi) / 2.0;
+            let actual_mid = f.points[mid].brightness[d];
+            assert!(
+                (actual_mid - linear_mid).abs() > 5.0,
+                "device {} looks linear: {actual_mid} vs {linear_mid}",
+                f.devices[d]
+            );
+        }
+    }
+
+    #[test]
+    fn technologies_have_distinct_curvature() {
+        // LED (concave) must sit above the straight line, CCFL (convex)
+        // below it — "each display technology showed a different transfer
+        // characteristic".
+        let f = run();
+        let mid = f.points.len() / 2;
+        let led = 0; // ipaq-5555 first
+        let ccfl = 1; // ipaq-3650
+        let line = |d: usize| {
+            (f.points.first().unwrap().brightness[d] + f.points.last().unwrap().brightness[d]) / 2.0
+        };
+        assert!(f.points[mid].brightness[led] > line(led));
+        assert!(f.points[mid].brightness[ccfl] < line(ccfl));
+    }
+}

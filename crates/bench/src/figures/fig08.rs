@@ -1,0 +1,109 @@
+//! Fig. 8 — measured brightness vs displayed white level, at full and
+//! half backlight: the near-linear panel response.
+
+use crate::table::Table;
+use annolight_camera::{recover_response, DigitalCamera};
+use annolight_display::{BacklightLevel, DeviceProfile};
+use annolight_imgproc::{Frame, Rgb8};
+use serde::{Deserialize, Serialize};
+
+/// One sweep row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhitePoint {
+    /// Displayed gray level.
+    pub white: u8,
+    /// Camera-measured brightness at backlight 255.
+    pub at_full: f64,
+    /// Camera-measured brightness at backlight 128.
+    pub at_half: f64,
+}
+
+/// The Fig. 8 series (iPAQ 5555, the paper's measurement device).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig08 {
+    /// The sweep, ascending white level.
+    pub points: Vec<WhitePoint>,
+}
+
+/// Sweeps the displayed gray level at two backlight settings, photographed
+/// with the consumer camera and linearised through its recovered response
+/// (as in Fig. 7).
+pub fn run() -> Fig08 {
+    let device = DeviceProfile::ipaq_5555();
+    let camera = DigitalCamera::consumer_compact(8);
+    let response = recover_response(&camera, 8);
+    let points = (0..=16u16)
+        .map(|i| {
+            let w = (i * 16).min(255) as u8;
+            let screen = Frame::filled(32, 32, Rgb8::gray(w));
+            WhitePoint {
+                white: w,
+                at_full: response
+                    .linear_mean(&camera.photograph(&screen, &device, BacklightLevel::MAX))
+                    * 255.0,
+                at_half: response
+                    .linear_mean(&camera.photograph(&screen, &device, BacklightLevel(128)))
+                    * 255.0,
+            }
+        })
+        .collect();
+    Fig08 { points }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig08) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 8 — measured brightness vs white level (iPAQ 5555)\n\n");
+    let mut t = Table::new(["white", "backlight=255", "backlight=128"]);
+    for p in &f.points {
+        t.row([p.white.to_string(), format!("{:.1}", p.at_full), format!("{:.1}", p.at_half)]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n(near-linear in white level; scaling the backlight scales the whole curve)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_white_level() {
+        let f = run();
+        for w in f.points.windows(2) {
+            assert!(w[1].at_full >= w[0].at_full);
+            assert!(w[1].at_half >= w[0].at_half);
+        }
+    }
+
+    #[test]
+    fn nearly_linear_in_white() {
+        // Deviation from the endpoint line stays small (mild gamma only).
+        let f = run();
+        let lo = f.points.first().unwrap().at_full;
+        let hi = f.points.last().unwrap().at_full;
+        for (i, p) in f.points.iter().enumerate() {
+            let expected = lo + (hi - lo) * i as f64 / (f.points.len() - 1) as f64;
+            assert!(
+                (p.at_full - expected).abs() < 0.08 * 255.0,
+                "white {}: {} vs linear {}",
+                p.white,
+                p.at_full,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn half_backlight_scales_curve_down() {
+        let f = run();
+        for p in &f.points[1..] {
+            assert!(p.at_half < p.at_full, "white {}", p.white);
+        }
+        // The ratio is roughly constant across white levels (pure L·Y
+        // product): compare at two distant points.
+        let r_mid = f.points[8].at_half / f.points[8].at_full.max(1e-9);
+        let r_hi = f.points[16].at_half / f.points[16].at_full.max(1e-9);
+        assert!((r_mid - r_hi).abs() < 0.05, "ratios {r_mid} vs {r_hi}");
+    }
+}

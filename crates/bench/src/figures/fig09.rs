@@ -1,0 +1,132 @@
+//! Fig. 9 — the headline result: simulated LCD backlight power savings,
+//! ten clips × five quality levels. "Up to 65 % of the backlight power
+//! consumption can be saved using our approach (depending on the video
+//! clip)"; `hunter_subres` and `ice_age` are the limited bright clips.
+
+use crate::figures::QUALITY_LABELS;
+use crate::table::Table;
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight_display::DeviceProfile;
+use annolight_video::ClipLibrary;
+use serde::{Deserialize, Serialize};
+
+/// One clip's savings across the quality sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipSavings {
+    /// Clip name.
+    pub clip: String,
+    /// Fractional backlight power savings at 0/5/10/15/20 % quality.
+    pub savings: [f64; 5],
+}
+
+/// The Fig. 9 data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig09 {
+    /// Device the sweep was computed for.
+    pub device: String,
+    /// Per-clip rows in figure order.
+    pub rows: Vec<ClipSavings>,
+}
+
+/// Runs the sweep. `preview_s` truncates each clip (use `None` for the
+/// full library, as the binary does; tests pass a few seconds).
+pub fn run(preview_s: Option<f64>) -> Fig09 {
+    let device = DeviceProfile::ipaq_5555();
+    let rows = ClipLibrary::paper_clips()
+        .into_iter()
+        .map(|clip| {
+            let clip = match preview_s {
+                Some(s) => clip.preview(s),
+                None => clip,
+            };
+            let profile = LuminanceProfile::of_clip(&clip).expect("non-empty clip");
+            let mut savings = [0.0f64; 5];
+            for (i, q) in QualityLevel::PAPER_LEVELS.iter().enumerate() {
+                let annotated = Annotator::new(device.clone(), *q)
+                    .annotate_profile(&profile)
+                    .expect("non-empty profile");
+                savings[i] = annotated.predicted_backlight_savings(&device);
+            }
+            ClipSavings { clip: clip.name().to_owned(), savings }
+        })
+        .collect();
+    Fig09 { device: device.name().to_owned(), rows }
+}
+
+/// Renders the figure as text.
+pub fn render(f: &Fig09) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 9 — LCD backlight power savings, simulated ({})\n\n",
+        f.device
+    ));
+    let mut header = vec!["clip".to_owned()];
+    header.extend(QUALITY_LABELS.iter().map(|s| (*s).to_owned()));
+    let mut t = Table::new(header);
+    for r in &f.rows {
+        let mut row = vec![r.clip.clone()];
+        row.extend(r.savings.iter().map(|s| format!("{:.1}%", s * 100.0)));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig09 {
+        run(Some(10.0))
+    }
+
+    #[test]
+    fn all_ten_clips_present() {
+        let f = quick();
+        assert_eq!(f.rows.len(), 10);
+        assert_eq!(f.rows[0].clip, "themovie");
+    }
+
+    #[test]
+    fn savings_monotone_in_quality() {
+        for r in quick().rows {
+            for w in r.savings.windows(2) {
+                assert!(w[1] + 1e-9 >= w[0], "{}: {:?}", r.clip, r.savings);
+            }
+        }
+    }
+
+    #[test]
+    fn bright_clips_are_the_negative_results() {
+        let f = quick();
+        let get = |name: &str| {
+            f.rows.iter().find(|r| r.clip == name).map(|r| r.savings[4]).unwrap()
+        };
+        let bright = get("ice_age").max(get("hunter_subres"));
+        for dark in ["themovie", "returnoftheking", "i_robot"] {
+            assert!(
+                get(dark) > bright + 0.15,
+                "{dark} ({}) should beat bright clips ({bright})",
+                get(dark)
+            );
+        }
+    }
+
+    #[test]
+    fn peak_savings_near_paper_ceiling() {
+        // "Up to 65%": the best clip should land in the 55–75% band at
+        // the 20% quality level.
+        let f = quick();
+        let best = f.rows.iter().map(|r| r.savings[4]).fold(0.0f64, f64::max);
+        assert!((0.50..=0.78).contains(&best), "best {best}");
+    }
+
+    #[test]
+    fn lossless_savings_are_modest() {
+        // "A loss-less scheme allows for minimal power savings."
+        let f = quick();
+        for r in &f.rows {
+            assert!(r.savings[0] < 0.35, "{}: lossless {}", r.clip, r.savings[0]);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Regeneration of every figure and table in the paper's evaluation.
+//!
+//! Each submodule exposes `run(...)` returning the raw series (so tests
+//! can assert the paper's qualitative claims) and `render(...)` producing
+//! the printable table that the corresponding binary emits.
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod ext_ambient;
+pub mod ext_burst;
+pub mod ext_dvfs;
+pub mod fig10;
+pub mod tab_baselines;
+pub mod tab_devices;
+pub mod tab_overhead;
+
+/// The five quality levels of the paper's sweeps, as display labels.
+pub const QUALITY_LABELS: [&str; 5] = ["0%", "5%", "10%", "15%", "20%"];
+
+/// A dark news-anchor-style frame: dim studio background, a brighter
+/// subject region, sparse highlights. Used by Figs. 3–5 (the paper uses a
+/// news clip frame in Fig. 4).
+pub(crate) fn news_frame() -> annolight_imgproc::Frame {
+    annolight_imgproc::Frame::from_fn(128, 96, |x, y| {
+        // Subject: a centered bright-ish oval.
+        let dx = f64::from(x) - 64.0;
+        let dy = f64::from(y) - 52.0;
+        let inside = (dx * dx) / (28.0 * 28.0) + (dy * dy) / (36.0 * 36.0) < 1.0;
+        if (x * 31 + y * 17) % 211 == 0 {
+            [235, 232, 224] // studio lights
+        } else if inside {
+            let v = 120 + ((x + y) % 31) as u8;
+            [v, v.saturating_sub(6), v.saturating_sub(14)]
+        } else {
+            let v = 36 + ((x * 3 + y * 5) % 23) as u8;
+            [v, v, v.saturating_add(6)]
+        }
+    })
+}

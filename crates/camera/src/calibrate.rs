@@ -1,0 +1,367 @@
+//! Camera response-curve recovery (the paper's Debevec–Malik citation).
+//!
+//! The paper's validation rests on the camera having "a monotonic
+//! nonlinear transfer function" that can be recovered from photographs.
+//! This module implements a practical recovery: photograph the same test
+//! screen under a bracket of known exposure gains, then alternate between
+//! estimating per-pixel irradiance and re-fitting the inverse response by
+//! isotonic regression (a Mitsunaga–Nayar-flavoured simplification of
+//! Debevec–Malik's least-squares solve that needs no matrix algebra).
+//!
+//! The recovered curve linearises snapshots, which is what Figs. 7–8 need
+//! to read *display* characteristics through a non-linear camera.
+
+use crate::sensor::DigitalCamera;
+use annolight_imgproc::{Frame, LumaFrame};
+use serde::{Deserialize, Serialize};
+
+/// A recovered inverse response: pixel value (0–255) → relative exposure
+/// in `[0, 1]`, monotone non-decreasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveredResponse {
+    inverse: Vec<f64>, // length 256
+}
+
+impl RecoveredResponse {
+    /// The inverse-response table.
+    pub fn inverse(&self) -> &[f64] {
+        &self.inverse
+    }
+
+    /// Maps one pixel value to its relative exposure.
+    pub fn linearize_value(&self, v: u8) -> f64 {
+        self.inverse[v as usize]
+    }
+
+    /// Linearises a snapshot into relative exposures.
+    pub fn linearize(&self, snapshot: &LumaFrame) -> Vec<f64> {
+        snapshot.samples().iter().map(|&v| self.inverse[v as usize]).collect()
+    }
+
+    /// Mean relative exposure of a snapshot after linearisation — the
+    /// quantity Figs. 7–8 plot as "measured brightness" on a linear
+    /// scale.
+    pub fn linear_mean(&self, snapshot: &LumaFrame) -> f64 {
+        let vals = self.linearize(snapshot);
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// The default exposure bracket (relative gains).
+pub const DEFAULT_BRACKET: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Recovers the inverse response of `camera` from an exposure bracket over
+/// a gray-staircase test screen.
+///
+/// `iterations` controls the alternating refinement (6–10 is plenty).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn recover_response(camera: &DigitalCamera, iterations: u32) -> RecoveredResponse {
+    assert!(iterations > 0, "need at least one refinement iteration");
+    // A horizontal gray staircase: 64 columns spanning the full range.
+    let screen = Frame::from_fn(64, 16, |x, _| {
+        let v = (x * 4 + 2).min(255) as u8;
+        [v, v, v]
+    });
+    // Photograph the staircase at each bracket gain. We bypass the display
+    // (calibration is about the camera alone): feed the screen's luma
+    // directly as the perceived plane, scaled by the gain inside the
+    // camera model.
+    let base = screen.to_luma();
+    let shots: Vec<(f64, LumaFrame)> = DEFAULT_BRACKET
+        .iter()
+        .map(|&g| (g, camera_with_gain(camera, g).snapshot(&base)))
+        .collect();
+
+    let n_pixels = base.samples().len();
+    // Work in log-exposure space: there the gauge freedom of the
+    // alternating solve is a single additive constant (fixed by the final
+    // anchoring) instead of an unrecoverable power-law drift.
+    // g[v] = ln f⁻¹(v), initialised to the identity response.
+    let mut g: Vec<f64> = (0..256).map(|v| ((v as f64 + 1.0) / 256.0).ln()).collect();
+    let mut counts = vec![0.0f64; 256];
+    for _ in 0..iterations {
+        // E-step: per-pixel log-irradiance from the current curve.
+        let mut log_e = vec![f64::NAN; n_pixels];
+        for (i, e) in log_e.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            let mut weight = 0.0;
+            for (gain, shot) in &shots {
+                let v = shot.samples()[i];
+                let w = sample_weight(v);
+                acc += w * (g[v as usize] - gain.ln());
+                weight += w;
+            }
+            if weight > 0.0 {
+                *e = acc / weight;
+            }
+        }
+        // M-step: refit g from all (value → lnE + ln gain) samples.
+        let mut sums = vec![0.0f64; 256];
+        counts = vec![0.0f64; 256];
+        for (gain, shot) in &shots {
+            for (i, &v) in shot.samples().iter().enumerate() {
+                let w = sample_weight(v);
+                if w > 0.0 && log_e[i].is_finite() {
+                    sums[v as usize] += w * (log_e[i] + gain.ln());
+                    counts[v as usize] += w;
+                }
+            }
+        }
+        for v in 0..256 {
+            if counts[v] > 0.0 {
+                g[v] = sums[v] / counts[v];
+            }
+        }
+        fill_unobserved(&mut g, &counts);
+        isotonic_in_place(&mut g);
+    }
+    // Anchor the gauge constant: extrapolate g to full scale from a
+    // wide-baseline pair of bright *observed* bins and shift so
+    // f⁻¹(255) = 1. (A wide baseline keeps per-bin noise out of the
+    // extrapolated slope.)
+    let observed: Vec<usize> = (0..256).filter(|&v| counts[v] > 0.0).collect();
+    let top = match observed.as_slice() {
+        [] => 0.0,
+        [only] => g[*only],
+        obs => {
+            let b = *obs.last().expect("non-empty");
+            let a = obs
+                .iter()
+                .rev()
+                .find(|&&v| v + 12 <= b)
+                .copied()
+                .unwrap_or(obs[obs.len() - 2]);
+            g[b] + (g[b] - g[a]) / (b - a) as f64 * (255 - b) as f64
+        }
+    };
+    let inverse: Vec<f64> = g.iter().map(|&lg| (lg - top).exp().clamp(0.0, 1.0)).collect();
+    let mut inverse = inverse;
+    isotonic_in_place(&mut inverse);
+    RecoveredResponse { inverse }
+}
+
+/// Measures a device's backlight→luminance transfer with the camera, as
+/// the paper does in §5: display a solid white screen, sweep the backlight
+/// in `steps` increments, photograph each setting, and linearise the
+/// readings through the camera's recovered response. The result feeds
+/// [`annolight_display::fit_transfer`] to rebuild the device model from
+/// measurements alone.
+///
+/// # Panics
+///
+/// Panics if `steps < 3`.
+pub fn measure_display_transfer(
+    camera: &DigitalCamera,
+    response: &RecoveredResponse,
+    device: &annolight_display::DeviceProfile,
+    steps: u16,
+) -> Vec<annolight_display::TransferSample> {
+    assert!(steps >= 3, "need at least 3 sweep steps");
+    use annolight_display::BacklightLevel;
+    let white = Frame::filled(32, 32, annolight_imgproc::Rgb8::gray(255));
+    let mut samples: Vec<annolight_display::TransferSample> = (0..steps)
+        .map(|i| {
+            let level = BacklightLevel(((u32::from(i) * 255) / u32::from(steps - 1)) as u8);
+            let snap = camera.photograph(&white, device, level);
+            (level, response.linear_mean(&snap))
+        })
+        .collect();
+    // Normalise so full backlight reads 1.0 (the transfer families are
+    // anchored there; absolute luminance is not recoverable anyway).
+    let top = samples.last().map(|&(_, l)| l).unwrap_or(1.0).max(f64::EPSILON);
+    for (_, l) in &mut samples {
+        *l /= top;
+    }
+    samples
+}
+
+/// How close to the clipping ends a sample may sit before it is censored:
+/// a saturated reading pulled below 255 by sensor noise would otherwise
+/// poison its bin with an exposure up to the full bracket ratio too high.
+const CLIP_GUARD: u8 = 6;
+
+/// Hat weighting with a guard band at both clipping ends: samples there
+/// carry no trustworthy exposure information.
+fn sample_weight(v: u8) -> f64 {
+    if !(CLIP_GUARD..=255 - CLIP_GUARD).contains(&v) {
+        0.0
+    } else {
+        hat_weight(v)
+    }
+}
+
+/// Linearly interpolates log-response bins that received no samples.
+fn fill_unobserved(g: &mut [f64], counts: &[f64]) {
+    let observed: Vec<usize> = (0..g.len()).filter(|&v| counts[v] > 0.0).collect();
+    if observed.len() < 2 {
+        return;
+    }
+    for w in observed.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        for v in (a + 1)..b {
+            let t = (v - a) as f64 / (b - a) as f64;
+            g[v] = g[a] + (g[b] - g[a]) * t;
+        }
+    }
+    // Extrapolate flat beyond the observed range.
+    let (first, last) = (observed[0], *observed.last().expect("non-empty"));
+    for v in 0..first {
+        g[v] = g[first] - (first - v) as f64 * 0.02;
+    }
+    for v in (last + 1)..g.len() {
+        g[v] = g[last] + (v - last) as f64 * 0.002;
+    }
+}
+
+fn camera_with_gain(camera: &DigitalCamera, gain: f64) -> DigitalCamera {
+    DigitalCamera::new(camera.response(), gain, 0.8, 17)
+}
+
+/// Classic Debevec–Malik hat weighting: trust mid-range samples, distrust
+/// values near the clipping ends.
+fn hat_weight(v: u8) -> f64 {
+    let v = f64::from(v);
+    if v <= 127.0 {
+        (v + 1.0) / 128.0
+    } else {
+        (256.0 - v) / 128.0
+    }
+}
+
+/// Pool-adjacent-violators: least-squares isotonic regression in place.
+fn isotonic_in_place(values: &mut [f64]) {
+    // Each block: (mean, count).
+    let mut blocks: Vec<(f64, usize)> = Vec::with_capacity(values.len());
+    for &v in values.iter() {
+        blocks.push((v, 1));
+        while blocks.len() >= 2 {
+            let (m2, c2) = blocks[blocks.len() - 1];
+            let (m1, c1) = blocks[blocks.len() - 2];
+            if m1 <= m2 {
+                break;
+            }
+            let merged = ((m1 * c1 as f64 + m2 * c2 as f64) / (c1 + c2) as f64, c1 + c2);
+            blocks.pop();
+            blocks.pop();
+            blocks.push(merged);
+        }
+    }
+    let mut i = 0;
+    for (mean, count) in blocks {
+        for _ in 0..count {
+            values[i] = mean;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::CameraResponse;
+
+    #[test]
+    fn isotonic_fixes_violations() {
+        let mut v = vec![1.0, 3.0, 2.0, 4.0];
+        isotonic_in_place(&mut v);
+        assert_eq!(v, vec![1.0, 2.5, 2.5, 4.0]);
+        for w in v.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn isotonic_preserves_sorted_input() {
+        let mut v = vec![0.0, 0.1, 0.5, 0.9];
+        let orig = v.clone();
+        isotonic_in_place(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn recovered_curve_is_monotone_and_anchored() {
+        let camera = DigitalCamera::new(CameraResponse::Gamma { gamma: 2.2 }, 1.0, 0.0, 3);
+        let r = recover_response(&camera, 8);
+        let inv = r.inverse();
+        assert_eq!(inv.len(), 256);
+        for w in inv.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        assert!(inv[255] > 0.93 && inv[255] <= 1.0, "top anchor {}", inv[255]);
+        assert!(inv[0] < 0.05);
+    }
+
+    #[test]
+    fn recovers_gamma_curve_shape() {
+        // For a gamma-2.2 camera the true inverse is E = v^2.2; check the
+        // recovered curve tracks it in the well-sampled mid-range.
+        let camera = DigitalCamera::new(CameraResponse::Gamma { gamma: 2.2 }, 1.0, 0.0, 3);
+        let r = recover_response(&camera, 10);
+        for v in (64..224u16).step_by(16) {
+            let truth = (f64::from(v) / 255.0).powf(2.2);
+            let got = r.linearize_value(v as u8);
+            assert!(
+                (got - truth).abs() < 0.12,
+                "v={v}: recovered {got:.3} vs truth {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearized_snapshot_undoes_the_camera() {
+        // Photograph a linear ramp with a non-linear camera, linearise
+        // with the recovered curve: the result is ~linear again.
+        let camera = DigitalCamera::new(CameraResponse::Sigmoid { a: 1.6, k: 0.18 }, 1.0, 0.0, 5);
+        let r = recover_response(&camera, 10);
+        let ramp = LumaFrame::from_buffer(16, 1, (0..16).map(|i| (i * 17) as u8).collect()).unwrap();
+        let snap = camera.snapshot(&ramp);
+        let lin = r.linearize(&snap);
+        // Compare mid-range points against the true relative exposures.
+        for (i, (&raw, &linearised)) in ramp.samples().iter().zip(&lin).enumerate().take(13).skip(4) {
+            let truth = f64::from(raw) / 255.0;
+            assert!(
+                (linearised - truth).abs() < 0.12,
+                "i={i}: linearised {linearised:.3} vs truth {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn camera_in_the_loop_recovers_device_transfer() {
+        // The full §5 characterisation loop: recover the camera response,
+        // sweep the device's backlight, linearise, fit — the fitted curve
+        // must match the device's true transfer family and parameter.
+        use annolight_display::{fit_transfer, DeviceProfile, TransferFunction};
+        let camera = DigitalCamera::consumer_compact(29);
+        let response = recover_response(&camera, 8);
+        let device = DeviceProfile::ipaq_3650(); // Gamma { 1.55 }
+        let samples = measure_display_transfer(&camera, &response, &device, 17);
+        let (fit, rmse) = fit_transfer(&samples);
+        assert!(rmse < 0.06, "rmse {rmse}");
+        match fit {
+            TransferFunction::Gamma { gamma } => {
+                assert!((gamma - 1.55).abs() < 0.35, "gamma {gamma}");
+            }
+            other => panic!("fit wrong family for a CCFL device: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hat_weight_peaks_mid_range() {
+        assert!(hat_weight(128) > hat_weight(10));
+        assert!(hat_weight(128) > hat_weight(250));
+        assert!(hat_weight(0) > 0.0);
+    }
+
+    #[test]
+    fn linear_mean_of_linear_camera_matches_plain_mean() {
+        let camera = DigitalCamera::ideal();
+        let r = recover_response(&camera, 4);
+        let plane = LumaFrame::from_buffer(4, 1, vec![51, 102, 153, 204]).unwrap();
+        let m = r.linear_mean(&plane) * 255.0;
+        assert!((m - plane.mean()).abs() < 20.0, "{m} vs {}", plane.mean());
+    }
+}

@@ -1,0 +1,58 @@
+//! Digital-camera model for objective display-quality validation.
+//!
+//! §4.2 of the paper introduces "an alternative, novel way of validating
+//! the results with a digital camera": photograph the PDA screen showing
+//! the original frame at full backlight (reference snapshot) and the
+//! compensated frame at the dimmed backlight (compensated snapshot), then
+//! compare the two snapshots' luminance histograms. "A digital camera has
+//! a monotonic nonlinear transfer function [Debevec & Malik] and allows us
+//! to objectively estimate the similarity between two images."
+//!
+//! This crate models that workflow end to end:
+//!
+//! * [`CameraResponse`] — monotone non-linear sensor response curves;
+//! * [`DigitalCamera`] — exposure, response and shot-noise model that
+//!   turns a perceived screen luminance plane into a snapshot;
+//! * [`validate_compensation`] — the two-phase Fig. 2 procedure, returning
+//!   a histogram-based [`ValidationReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use annolight_camera::{DigitalCamera, validate_compensation};
+//! use annolight_display::{BacklightLevel, DeviceProfile};
+//! use annolight_imgproc::{contrast_enhance, Frame, Rgb8};
+//!
+//! let device = DeviceProfile::ipaq_5555();
+//! let camera = DigitalCamera::consumer_compact(7);
+//!
+//! let original = Frame::filled(32, 32, Rgb8::gray(120));
+//!
+//! // Dim the backlight and compensate by k = (L/L')^(1/gamma) so the
+//! // perceived intensity is preserved.
+//! let dimmed = device.transfer().level_for_luminance(0.55);
+//! let achieved = device.transfer().luminance(dimmed);
+//! let k = (1.0 / achieved).powf(1.0 / device.panel().white_gamma()) as f32;
+//! let mut compensated = original.clone();
+//! contrast_enhance(&mut compensated, k);
+//!
+//! let report = validate_compensation(
+//!     &original, &compensated, &device, BacklightLevel::MAX, dimmed, &camera,
+//! );
+//! // The compensated snapshot is close to the reference.
+//! assert!((report.reference_mean - report.compensated_mean).abs() < 8.0);
+//! assert!(report.acceptable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod response;
+pub mod sensor;
+pub mod validate;
+
+pub use calibrate::{measure_display_transfer, recover_response, RecoveredResponse};
+pub use response::CameraResponse;
+pub use sensor::DigitalCamera;
+pub use validate::{validate_compensation, ValidationReport};

@@ -1,0 +1,103 @@
+//! Camera response curves.
+//!
+//! Film and CCD/CMOS pipelines apply a monotone non-linear mapping from
+//! scene exposure to pixel value (the `g` function recovered by
+//! Debevec–Malik, which the paper cites). We provide the usual parametric
+//! families; all are strictly monotone on `[0, 1]` with fixed endpoints.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone exposure→value response curve on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CameraResponse {
+    /// Idealised linear sensor (RAW output).
+    Linear,
+    /// Gamma encoding `v = E^(1/gamma)` — the classic sRGB-style curve.
+    Gamma {
+        /// Encoding gamma, `> 0` (2.2 for consumer cameras).
+        gamma: f64,
+    },
+    /// Filmic S-curve `v = (1 + k) · E^a / (E^a + k)`: compresses shadows
+    /// and highlights like a consumer JPEG pipeline.
+    Sigmoid {
+        /// Shoulder sharpness `a ≥ 1`.
+        a: f64,
+        /// Mid-tone pivot constant `k > 0`.
+        k: f64,
+    },
+}
+
+impl CameraResponse {
+    /// Maps a relative exposure in `[0, 1]` to a relative pixel value in
+    /// `[0, 1]`. Input outside the range is clamped.
+    pub fn apply(self, exposure: f64) -> f64 {
+        let e = exposure.clamp(0.0, 1.0);
+        match self {
+            CameraResponse::Linear => e,
+            CameraResponse::Gamma { gamma } => {
+                debug_assert!(gamma > 0.0);
+                e.powf(1.0 / gamma)
+            }
+            CameraResponse::Sigmoid { a, k } => {
+                debug_assert!(a >= 1.0 && k > 0.0);
+                let ea = e.powf(a);
+                (1.0 + k) * ea / (ea + k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURVES: [CameraResponse; 4] = [
+        CameraResponse::Linear,
+        CameraResponse::Gamma { gamma: 2.2 },
+        CameraResponse::Sigmoid { a: 1.6, k: 0.18 },
+        CameraResponse::Sigmoid { a: 2.0, k: 0.5 },
+    ];
+
+    #[test]
+    fn endpoints_fixed() {
+        for c in CURVES {
+            assert!(c.apply(0.0).abs() < 1e-12, "{c:?}");
+            assert!((c.apply(1.0) - 1.0).abs() < 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn strictly_monotone() {
+        for c in CURVES {
+            let mut last = -1.0;
+            for i in 0..=1000 {
+                let v = c.apply(f64::from(i) / 1000.0);
+                assert!(v > last || (i == 0), "{c:?} at {i}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_brightens_midtones() {
+        let g = CameraResponse::Gamma { gamma: 2.2 };
+        assert!(g.apply(0.2) > 0.2);
+    }
+
+    #[test]
+    fn nonlinear_curves_differ_from_linear() {
+        for c in &CURVES[1..] {
+            let mid = c.apply(0.35);
+            assert!((mid - 0.35).abs() > 0.02, "{c:?} too close to linear");
+        }
+    }
+
+    #[test]
+    fn input_clamped() {
+        for c in CURVES {
+            assert_eq!(c.apply(-0.5), c.apply(0.0));
+            assert_eq!(c.apply(1.5), c.apply(1.0));
+        }
+    }
+}

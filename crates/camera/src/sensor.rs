@@ -1,0 +1,151 @@
+//! The camera body: exposure, response and sensor noise.
+
+use crate::response::CameraResponse;
+use annolight_display::{render_perceived, BacklightLevel, DeviceProfile};
+use annolight_imgproc::{Frame, LumaFrame};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A simple digital camera model.
+///
+/// The pipeline per pixel is
+/// `value = response(exposure_gain · perceived) + noise`, quantised to
+/// 8 bits. Noise is seeded, so snapshots are reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigitalCamera {
+    response: CameraResponse,
+    /// Linear gain applied before the response curve (shutter/ISO).
+    exposure_gain: f64,
+    /// Standard deviation of additive sensor noise, in 8-bit counts.
+    noise_sigma: f64,
+    /// Seed for the reproducible noise stream.
+    seed: u64,
+}
+
+impl DigitalCamera {
+    /// Creates a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `exposure_gain > 0` and `noise_sigma ≥ 0`.
+    pub fn new(response: CameraResponse, exposure_gain: f64, noise_sigma: f64, seed: u64) -> Self {
+        assert!(exposure_gain > 0.0, "exposure gain {exposure_gain} must be positive");
+        assert!(noise_sigma >= 0.0, "noise sigma {noise_sigma} must be non-negative");
+        Self { response, exposure_gain, noise_sigma, seed }
+    }
+
+    /// A consumer compact camera: gamma-2.2 JPEG pipeline, slight noise.
+    pub fn consumer_compact(seed: u64) -> Self {
+        Self::new(CameraResponse::Gamma { gamma: 2.2 }, 1.0, 1.2, seed)
+    }
+
+    /// An idealised noiseless linear camera (useful in tests).
+    pub fn ideal() -> Self {
+        Self::new(CameraResponse::Linear, 1.0, 0.0, 0)
+    }
+
+    /// The response curve.
+    pub fn response(&self) -> CameraResponse {
+        self.response
+    }
+
+    /// Photographs a perceived-luminance plane (what [`render_perceived`]
+    /// produces), returning the snapshot as another luminance plane.
+    pub fn snapshot(&self, perceived: &LumaFrame) -> LumaFrame {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut lut = [0.0f64; 256];
+        for (v, slot) in lut.iter_mut().enumerate() {
+            let e = (v as f64 / 255.0) * self.exposure_gain;
+            *slot = self.response.apply(e) * 255.0;
+        }
+        let data = perceived
+            .samples()
+            .iter()
+            .map(|&v| {
+                let noise = if self.noise_sigma > 0.0 {
+                    // Box–Muller transform for Gaussian noise.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * self.noise_sigma
+                } else {
+                    0.0
+                };
+                (lut[v as usize] + noise).round().clamp(0.0, 255.0) as u8
+            })
+            .collect();
+        LumaFrame::from_buffer(perceived.width(), perceived.height(), data)
+            .expect("snapshot buffer matches source dimensions")
+    }
+
+    /// Photographs `frame` displayed on `device` at `backlight` in a dark
+    /// room — one arrow of Fig. 2.
+    pub fn photograph(
+        &self,
+        frame: &Frame,
+        device: &DeviceProfile,
+        backlight: BacklightLevel,
+    ) -> LumaFrame {
+        let perceived = render_perceived(frame, device, backlight, 0.0);
+        self.snapshot(&perceived)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::Rgb8;
+
+    #[test]
+    fn ideal_camera_is_identity() {
+        let plane = LumaFrame::from_buffer(4, 1, vec![0, 100, 200, 255]).unwrap();
+        let snap = DigitalCamera::ideal().snapshot(&plane);
+        assert_eq!(snap.samples(), plane.samples());
+    }
+
+    #[test]
+    fn snapshots_are_reproducible() {
+        let plane = LumaFrame::from_buffer(8, 8, (0..64).map(|i| (i * 4) as u8).collect()).unwrap();
+        let cam = DigitalCamera::consumer_compact(99);
+        assert_eq!(cam.snapshot(&plane), cam.snapshot(&plane));
+    }
+
+    #[test]
+    fn different_seeds_differ_in_noise() {
+        let plane = LumaFrame::from_buffer(16, 16, vec![128; 256]).unwrap();
+        let a = DigitalCamera::consumer_compact(1).snapshot(&plane);
+        let b = DigitalCamera::consumer_compact(2).snapshot(&plane);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn response_preserves_ordering_on_average() {
+        let plane = LumaFrame::from_buffer(2, 1, vec![40, 200]).unwrap();
+        let snap = DigitalCamera::consumer_compact(3).snapshot(&plane);
+        assert!(snap.sample(0, 0) < snap.sample(1, 0));
+    }
+
+    #[test]
+    fn gamma_pipeline_brightens_midtones() {
+        let plane = LumaFrame::from_buffer(1, 1, vec![64]).unwrap();
+        let snap = DigitalCamera::new(CameraResponse::Gamma { gamma: 2.2 }, 1.0, 0.0, 0)
+            .snapshot(&plane);
+        assert!(snap.sample(0, 0) > 64);
+    }
+
+    #[test]
+    fn photograph_darker_at_dim_backlight() {
+        let dev = DeviceProfile::ipaq_5555();
+        let cam = DigitalCamera::consumer_compact(5);
+        let frame = Frame::filled(16, 16, Rgb8::gray(180));
+        let full = cam.photograph(&frame, &dev, BacklightLevel::MAX);
+        let dim = cam.photograph(&frame, &dev, BacklightLevel(60));
+        assert!(dim.mean() < full.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "exposure gain")]
+    fn rejects_zero_gain() {
+        DigitalCamera::new(CameraResponse::Linear, 0.0, 0.0, 0);
+    }
+}

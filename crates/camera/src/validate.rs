@@ -1,0 +1,188 @@
+//! The Fig. 2 validation procedure.
+//!
+//! Phase 1: photograph the PDA showing the *original* frame at full
+//! backlight (reference snapshot). Phase 2: photograph the *compensated*
+//! frame at the annotated (dimmed) backlight. Compare the snapshots'
+//! histograms: "the histogram was chosen as a metric because it represents
+//! both the average luminance and dynamic range for an image" (Fig. 3).
+
+use crate::sensor::DigitalCamera;
+use annolight_display::{BacklightLevel, DeviceProfile};
+use annolight_imgproc::{Frame, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of comparing reference and compensated snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Mean luminance of the reference snapshot (Fig. 4's "Avg
+    /// Brightness" of the original).
+    pub reference_mean: f64,
+    /// Mean luminance of the compensated snapshot.
+    pub compensated_mean: f64,
+    /// Dynamic range of the reference snapshot.
+    pub reference_dynamic_range: u8,
+    /// Dynamic range of the compensated snapshot.
+    pub compensated_dynamic_range: u8,
+    /// Histogram intersection similarity, `[0, 1]`, 1 = identical.
+    pub histogram_intersection: f64,
+    /// Earth mover's distance between the snapshot histograms, in
+    /// luminance levels.
+    pub histogram_emd: f64,
+    /// Full reference histogram (for plotting, as in Fig. 4).
+    pub reference_histogram: Histogram,
+    /// Full compensated histogram.
+    pub compensated_histogram: Histogram,
+    /// Structural similarity of the two snapshots (1 = identical).
+    pub ssim: f64,
+}
+
+impl ValidationReport {
+    /// A single-number similarity verdict: `true` when the snapshots are
+    /// close enough that a viewer would not notice ("hardly noticeable for
+    /// a human, however the camera detects the slight changes").
+    ///
+    /// The thresholds mirror the paper's qualitative bar: small mean shift
+    /// and high histogram overlap.
+    pub fn acceptable(&self) -> bool {
+        let mean_shift = (self.reference_mean - self.compensated_mean).abs();
+        mean_shift <= 12.0 && self.histogram_emd <= 16.0
+    }
+}
+
+/// Runs the full two-phase validation of Fig. 2.
+///
+/// `original` is displayed at `full` backlight for the reference snapshot;
+/// `compensated` is displayed at `dimmed` backlight for the compensated
+/// snapshot. Both are photographed with `camera` in a dark room and the
+/// snapshots compared via their histograms.
+///
+/// # Panics
+///
+/// Panics if the two frames have different dimensions.
+pub fn validate_compensation(
+    original: &Frame,
+    compensated: &Frame,
+    device: &DeviceProfile,
+    full: BacklightLevel,
+    dimmed: BacklightLevel,
+    camera: &DigitalCamera,
+) -> ValidationReport {
+    assert_eq!(
+        (original.width(), original.height()),
+        (compensated.width(), compensated.height()),
+        "frames must share dimensions"
+    );
+    let reference = camera.photograph(original, device, full);
+    let snapshot = camera.photograph(compensated, device, dimmed);
+    let rh = reference.histogram();
+    let ch = snapshot.histogram();
+    let ssim = annolight_imgproc::ssim_luma(&reference, &snapshot);
+    ValidationReport {
+        reference_mean: rh.mean(),
+        compensated_mean: ch.mean(),
+        reference_dynamic_range: rh.dynamic_range(),
+        compensated_dynamic_range: ch.dynamic_range(),
+        histogram_intersection: rh.intersection(&ch),
+        histogram_emd: rh.emd(&ch),
+        reference_histogram: rh,
+        compensated_histogram: ch,
+        ssim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_core::plan::plan_levels;
+    use annolight_imgproc::{contrast_enhance, Rgb8};
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::ipaq_5555()
+    }
+
+    fn dark_frame() -> Frame {
+        Frame::from_fn(48, 48, |x, y| {
+            if (x * 7 + y * 13) % 97 == 0 {
+                [210, 210, 200]
+            } else {
+                let v = 40 + ((x + y) % 24) as u8;
+                [v, v, v]
+            }
+        })
+    }
+
+    #[test]
+    fn proper_compensation_validates() {
+        let dev = device();
+        let cam = DigitalCamera::consumer_compact(11);
+        let original = dark_frame();
+        // Plan exactly as the annotator would at the frame's effective max.
+        let eff = original.luma_histogram().clip_level(0.05);
+        let (k, level) = plan_levels(&dev, eff);
+        let mut compensated = original.clone();
+        contrast_enhance(&mut compensated, k);
+        let report = validate_compensation(&original, &compensated, &dev, BacklightLevel::MAX, level, &cam);
+        assert!(
+            report.acceptable(),
+            "mean {} vs {}, emd {}",
+            report.reference_mean,
+            report.compensated_mean,
+            report.histogram_emd
+        );
+    }
+
+    #[test]
+    fn dimming_without_compensation_fails_validation() {
+        let dev = device();
+        let cam = DigitalCamera::consumer_compact(11);
+        let original = Frame::filled(32, 32, Rgb8::gray(150));
+        let report = validate_compensation(
+            &original,
+            &original,
+            &dev,
+            BacklightLevel::MAX,
+            BacklightLevel(60),
+            &cam,
+        );
+        assert!(!report.acceptable());
+        assert!(report.compensated_mean < report.reference_mean - 15.0);
+    }
+
+    #[test]
+    fn identical_conditions_are_near_perfect() {
+        let dev = device();
+        let cam = DigitalCamera::consumer_compact(4);
+        let f = dark_frame();
+        let report =
+            validate_compensation(&f, &f, &dev, BacklightLevel::MAX, BacklightLevel::MAX, &cam);
+        assert!(report.histogram_intersection > 0.9);
+        assert!(report.histogram_emd < 2.0);
+        assert!(report.acceptable());
+    }
+
+    #[test]
+    fn report_captures_dynamic_range_change() {
+        let dev = device();
+        let cam = DigitalCamera::ideal();
+        let original = Frame::from_fn(32, 32, |x, _| [(x * 8) as u8, (x * 8) as u8, (x * 8) as u8]);
+        let mut crushed = original.clone();
+        contrast_enhance(&mut crushed, 3.0); // heavy clipping
+        let report = validate_compensation(
+            &original, &crushed, &dev, BacklightLevel::MAX, BacklightLevel::MAX, &cam,
+        );
+        // Brightness compensation shifts the average up and clipping shows
+        // in the histogram distance.
+        assert!(report.compensated_mean > report.reference_mean);
+        assert!(report.histogram_emd > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_frames_panic() {
+        let dev = device();
+        let cam = DigitalCamera::ideal();
+        let a = Frame::new(16, 16);
+        let b = Frame::new(32, 16);
+        let _ = validate_compensation(&a, &b, &dev, BacklightLevel::MAX, BacklightLevel::MAX, &cam);
+    }
+}

@@ -1,0 +1,269 @@
+//! Bit-exact bitstream I/O with Exp-Golomb codes.
+//!
+//! The entropy layer of the codec: a big-endian bit writer/reader plus
+//! unsigned (`ue`) and signed (`se`) Exp-Golomb codes, the universal VLC
+//! family used for all runs, levels and motion vectors.
+
+use crate::error::CodecError;
+
+/// Writes bits MSB-first into a growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the trailing partial byte (0..8).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the lowest `count` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "cannot write {count} bits at once");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.put_bits(u32::from(bit), 1);
+    }
+
+    /// Appends an unsigned Exp-Golomb code.
+    pub fn put_ue(&mut self, value: u32) {
+        let v = value + 1;
+        let bits = 32 - v.leading_zeros() as u8; // position of MSB, >= 1
+        self.put_bits(0, bits - 1); // leading zeros
+        self.put_bits(v, bits);
+    }
+
+    /// Appends a signed Exp-Golomb code (0, 1, −1, 2, −2, … mapping).
+    pub fn put_se(&mut self, value: i32) {
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-(value as i64) as u32) * 2
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Pads to a byte boundary with zero bits and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads `count` bits as an unsigned value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn get_bits(&mut self, count: u8) -> Result<u32, CodecError> {
+        assert!(count <= 32, "cannot read {count} bits at once");
+        let mut v = 0u32;
+        for _ in 0..count {
+            let byte = self
+                .bytes
+                .get(self.pos / 8)
+                .ok_or_else(|| CodecError::Malformed { reason: "bitstream underrun".into() })?;
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] at end of input.
+    pub fn get_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_bits(1)? == 1)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] at end of input or for a code
+    /// longer than 32 bits.
+    pub fn get_ue(&mut self) -> Result<u32, CodecError> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 31 {
+                return Err(CodecError::Malformed { reason: "exp-golomb code too long".into() });
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok(((1u32 << zeros) | rest) - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] at end of input.
+    pub fn get_se(&mut self) -> Result<i32, CodecError> {
+        let v = self.get_ue()?;
+        if v % 2 == 1 {
+            Ok(v.div_ceil(2) as i32)
+        } else {
+            Ok(-((v / 2) as i32))
+        }
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xFFFF, 16);
+        w.put_bit(false);
+        w.put_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert_eq!(r.get_bits(16).unwrap(), 0xFFFF);
+        assert!(!r.get_bit().unwrap());
+        assert_eq!(r.get_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn ue_small_values() {
+        // Classic table: 0→1, 1→010, 2→011, 3→00100 …
+        for v in 0..200u32 {
+            let mut w = BitWriter::new();
+            w.put_ue(v);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ue_zero_is_single_bit() {
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        assert_eq!(w.bit_len(), 1);
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        for v in -300..=300i32 {
+            let mut w = BitWriter::new();
+            w.put_se(v);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.get_se().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn se_ordering_is_compact() {
+        // Smaller magnitudes get shorter codes.
+        let len = |v: i32| {
+            let mut w = BitWriter::new();
+            w.put_se(v);
+            w.bit_len()
+        };
+        assert!(len(0) < len(1));
+        assert!(len(1) <= len(-1));
+        assert!(len(-1) < len(5));
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip() {
+        let mut w = BitWriter::new();
+        let seq: Vec<i32> = vec![0, -1, 7, 100, -42, 3, 0, 0, 255, -128];
+        for &v in &seq {
+            w.put_se(v);
+            w.put_ue(v.unsigned_abs());
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &seq {
+            assert_eq!(r.get_se().unwrap(), v);
+            assert_eq!(r.get_ue().unwrap(), v.unsigned_abs());
+        }
+    }
+
+    #[test]
+    fn underrun_is_error() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.get_bits(8).is_ok());
+        assert!(r.get_bit().is_err());
+    }
+
+    #[test]
+    fn large_ue_values() {
+        for v in [1_000u32, 65_535, 1 << 20, u32::MAX / 4] {
+            let mut w = BitWriter::new();
+            w.put_ue(v);
+            let bytes = w.into_bytes();
+            assert_eq!(BitReader::new(&bytes).get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.put_bits(0, 3);
+        assert_eq!(w.bit_len(), 8);
+        w.put_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+}

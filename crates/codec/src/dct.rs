@@ -1,0 +1,201 @@
+//! 8×8 forward and inverse discrete cosine transform.
+//!
+//! The classic type-II DCT used by MPEG-1/JPEG, implemented as two 1-D
+//! passes with a precomputed cosine basis. Precision is `f32`, which keeps
+//! the transform within ±0.5 of a reference double implementation —
+//! comfortably inside the quantiser's dead zone.
+
+/// An 8×8 block of spatial samples or transform coefficients, row-major.
+pub type Block = [f32; 64];
+
+const N: usize = 8;
+
+/// Cosine basis `c[u][x] = α(u) · cos((2x+1)uπ/16)`, row = frequency.
+fn basis() -> [[f32; N]; N] {
+    let mut b = [[0.0f32; N]; N];
+    for (u, row) in b.iter_mut().enumerate() {
+        let alpha = if u == 0 { (1.0 / N as f64).sqrt() } else { (2.0 / N as f64).sqrt() };
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = (alpha
+                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / (2.0 * N as f64))
+                    .cos()) as f32;
+        }
+    }
+    b
+}
+
+/// Forward 8×8 DCT of `block` (spatial → frequency).
+pub fn forward(block: &Block) -> Block {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Rows.
+    for y in 0..N {
+        for u in 0..N {
+            let mut acc = 0.0f32;
+            for x in 0..N {
+                acc += block[y * N + x] * b[u][x];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0f32; 64];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0f32;
+            for y in 0..N {
+                acc += tmp[y * N + u] * b[v][y];
+            }
+            out[v * N + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT of `coeffs` (frequency → spatial).
+pub fn inverse(coeffs: &Block) -> Block {
+    let b = basis();
+    let mut tmp = [0.0f32; 64];
+    // Columns.
+    for u in 0..N {
+        for y in 0..N {
+            let mut acc = 0.0f32;
+            for v in 0..N {
+                acc += coeffs[v * N + u] * b[v][y];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    // Rows.
+    let mut out = [0.0f32; 64];
+    for y in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0f32;
+            for u in 0..N {
+                acc += tmp[y * N + u] * b[u][x];
+            }
+            out[y * N + x] = acc;
+        }
+    }
+    out
+}
+
+/// Loads an 8×8 block of `u8` samples (level-shifted by −128, as MPEG
+/// intra coding does) from a plane.
+///
+/// `stride` is the plane width; the block starts at `(bx·8, by·8)`.
+pub fn load_block(plane: &[u8], stride: usize, bx: usize, by: usize) -> Block {
+    let mut out = [0.0f32; 64];
+    for y in 0..N {
+        for x in 0..N {
+            out[y * N + x] = f32::from(plane[(by * N + y) * stride + bx * N + x]) - 128.0;
+        }
+    }
+    out
+}
+
+/// Stores an 8×8 spatial block back into a plane, undoing the level shift
+/// and clamping to `u8`.
+pub fn store_block(plane: &mut [u8], stride: usize, bx: usize, by: usize, block: &Block) {
+    for y in 0..N {
+        for x in 0..N {
+            let v = (block[y * N + x] + 128.0).round().clamp(0.0, 255.0) as u8;
+            plane[(by * N + y) * stride + bx * N + x] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &Block, b: &Block) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f32 - 128.0;
+        }
+        let rt = inverse(&forward(&block));
+        assert!(max_abs_diff(&block, &rt) < 0.01, "diff {}", max_abs_diff(&block, &rt));
+    }
+
+    #[test]
+    fn flat_block_is_pure_dc() {
+        let block = [50.0f32; 64];
+        let c = forward(&block);
+        assert!((c[0] - 400.0).abs() < 0.01, "DC {}", c[0]); // 50 * 8
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.01, "AC[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn dc_only_reconstructs_flat() {
+        let mut c = [0.0f32; 64];
+        c[0] = 80.0;
+        let s = inverse(&c);
+        let expect = 80.0 / 8.0;
+        for &v in &s {
+            assert!((v - expect).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (((i * 73) % 200) as f32) - 100.0;
+        }
+        let c = forward(&block);
+        let es: f32 = block.iter().map(|v| v * v).sum();
+        let ec: f32 = c.iter().map(|v| v * v).sum();
+        assert!((es - ec).abs() / es < 1e-4, "spatial {es} vs coeff {ec}");
+    }
+
+    #[test]
+    fn horizontal_cosine_hits_single_bin() {
+        // A pure horizontal basis function concentrates in one coefficient.
+        let mut block = [0.0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                block[y * 8 + x] =
+                    ((2.0 * x as f64 + 1.0) * 3.0 * std::f64::consts::PI / 16.0).cos() as f32;
+            }
+        }
+        let c = forward(&block);
+        let (mut max_i, mut max_v) = (0, 0.0f32);
+        for (i, &v) in c.iter().enumerate() {
+            if v.abs() > max_v {
+                max_v = v.abs();
+                max_i = i;
+            }
+        }
+        assert_eq!(max_i, 3, "energy should land in (u=3, v=0)");
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let stride = 16;
+        let mut plane: Vec<u8> = (0..16 * 16).map(|i| (i % 251) as u8).collect();
+        let orig = plane.clone();
+        let b = load_block(&plane, stride, 1, 1);
+        store_block(&mut plane, stride, 1, 1, &b);
+        assert_eq!(plane, orig);
+    }
+
+    #[test]
+    fn store_clamps() {
+        let stride = 8;
+        let mut plane = vec![0u8; 64];
+        let mut b = [0.0f32; 64];
+        b[0] = 500.0; // way past 255 after level shift
+        b[1] = -500.0;
+        store_block(&mut plane, stride, 0, 0, &b);
+        assert_eq!(plane[0], 255);
+        assert_eq!(plane[1], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Dimensions must be non-zero multiples of 16.
+    BadDimensions {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+    },
+    /// A pushed frame did not match the configured dimensions.
+    FrameSizeMismatch {
+        /// Expected dimensions.
+        expected: (u32, u32),
+        /// Actual frame dimensions.
+        actual: (u32, u32),
+    },
+    /// The bitstream was truncated or corrupt.
+    Malformed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The configured frame rate or GOP size is unusable.
+    BadConfig {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadDimensions { width, height } => {
+                write!(f, "dimensions {width}x{height} must be non-zero multiples of 16")
+            }
+            CodecError::FrameSizeMismatch { expected, actual } => write!(
+                f,
+                "frame is {}x{} but stream is {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            CodecError::Malformed { reason } => write!(f, "malformed bitstream: {reason}"),
+            CodecError::BadConfig { reason } => write!(f, "bad encoder config: {reason}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            CodecError::BadDimensions { width: 3, height: 16 },
+            CodecError::FrameSizeMismatch { expected: (16, 16), actual: (32, 16) },
+            CodecError::Malformed { reason: "eof".into() },
+            CodecError::BadConfig { reason: "fps".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Distortion metrics.
+
+use annolight_imgproc::{Frame, Yuv420Frame};
+
+/// Peak signal-to-noise ratio between two RGB frames, in dB, computed over
+/// all three channels. Returns `f64::INFINITY` for identical frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn psnr(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "PSNR requires equal dimensions"
+    );
+    mse_to_psnr(mse(a.as_bytes(), b.as_bytes()))
+}
+
+/// PSNR over the luma planes of two 4:2:0 frames, in dB.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn psnr_luma(a: &Yuv420Frame, b: &Yuv420Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "PSNR requires equal dimensions"
+    );
+    mse_to_psnr(mse(a.y_plane(), b.y_plane()))
+}
+
+fn mse(a: &[u8], b: &[u8]) -> f64 {
+    let sum: u64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / a.len() as f64
+}
+
+fn mse_to_psnr(mse: f64) -> f64 {
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::Rgb8;
+
+    #[test]
+    fn identical_frames_are_infinite() {
+        let f = Frame::filled(8, 8, Rgb8::gray(128));
+        assert_eq!(psnr(&f, &f), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse_value() {
+        // Every byte differs by 5: MSE = 25, PSNR = 10·log10(65025/25).
+        let a = Frame::filled(4, 4, Rgb8::gray(100));
+        let b = Frame::filled(4, 4, Rgb8::gray(105));
+        let expect = 10.0 * (255.0f64 * 255.0 / 25.0).log10();
+        assert!((psnr(&a, &b) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_error_means_lower_psnr() {
+        let a = Frame::filled(4, 4, Rgb8::gray(100));
+        let b = Frame::filled(4, 4, Rgb8::gray(110));
+        let c = Frame::filled(4, 4, Rgb8::gray(160));
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    fn luma_psnr_ignores_chroma() {
+        let a = Frame::filled(16, 16, Rgb8::new(100, 100, 100)).to_yuv420().unwrap();
+        let mut b = a.clone();
+        for u in b.u_plane_mut() {
+            *u = u.wrapping_add(30);
+        }
+        assert_eq!(psnr_luma(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Frame::new(4, 4);
+        let b = Frame::new(8, 4);
+        let _ = psnr(&a, &b);
+    }
+}

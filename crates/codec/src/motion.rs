@@ -1,0 +1,405 @@
+//! Block motion estimation and compensation.
+//!
+//! 16×16 luma macroblocks, full-pel motion vectors in a ±8 search window,
+//! estimated with a three-step search seeded at the zero vector. Chroma
+//! uses the luma vector halved (4:2:0).
+
+/// A full-pel motion vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct MotionVector {
+    /// Horizontal displacement in pixels (positive = right).
+    pub dx: i8,
+    /// Vertical displacement in pixels (positive = down).
+    pub dy: i8,
+}
+
+/// Maximum motion magnitude per axis.
+pub const SEARCH_RANGE: i32 = 8;
+
+/// Sum of absolute differences between a `size`×`size` block of `cur` at
+/// `(cx, cy)` and a block of `reference` displaced by `(dx, dy)`.
+/// Out-of-bounds reference pixels clamp to the edge.
+#[allow(clippy::too_many_arguments)]
+pub fn sad(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+    size: usize,
+) -> u32 {
+    let mut acc = 0u32;
+    for y in 0..size {
+        for x in 0..size {
+            let c = cur[(cy + y) * width + cx + x];
+            let rx = (cx as i32 + x as i32 + dx).clamp(0, width as i32 - 1) as usize;
+            let ry = (cy as i32 + y as i32 + dy).clamp(0, height as i32 - 1) as usize;
+            let r = reference[ry * width + rx];
+            acc += u32::from(c.abs_diff(r));
+        }
+    }
+    acc
+}
+
+/// Three-step search (plus a unit-step descent refinement) for the best
+/// motion vector of the 16×16 macroblock at `(mbx, mby)` (macroblock
+/// coordinates). Returns the vector and its SAD.
+///
+/// The refinement walks ±1 neighbours until no improvement, so the result
+/// is always a local SAD minimum; on smooth content this recovers exact
+/// translations the coarse three-step pattern alone can miss.
+pub fn estimate(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    mbx: usize,
+    mby: usize,
+) -> (MotionVector, u32) {
+    let (cx, cy) = (mbx * 16, mby * 16);
+    let mut best = (0i32, 0i32);
+    let mut best_sad = sad(cur, reference, width, height, cx, cy, 0, 0, 16);
+    let mut step = SEARCH_RANGE / 2;
+    while step >= 1 {
+        let (bx, by) = best;
+        for (dx, dy) in [
+            (-step, -step), (0, -step), (step, -step),
+            (-step, 0),                 (step, 0),
+            (-step, step),  (0, step),  (step, step),
+        ] {
+            let (nx, ny) = (bx + dx, by + dy);
+            if nx.abs() > SEARCH_RANGE || ny.abs() > SEARCH_RANGE {
+                continue;
+            }
+            let s = sad(cur, reference, width, height, cx, cy, nx, ny, 16);
+            if s < best_sad {
+                best_sad = s;
+                best = (nx, ny);
+            }
+        }
+        step /= 2;
+    }
+    // Unit-step descent until a local minimum (bounded by the window
+    // perimeter, so it always terminates quickly).
+    loop {
+        let (bx, by) = best;
+        let mut improved = false;
+        for (dx, dy) in [
+            (-1, -1), (0, -1), (1, -1),
+            (-1, 0),           (1, 0),
+            (-1, 1),  (0, 1),  (1, 1),
+        ] {
+            let (nx, ny) = (bx + dx, by + dy);
+            if nx.abs() > SEARCH_RANGE || ny.abs() > SEARCH_RANGE {
+                continue;
+            }
+            let s = sad(cur, reference, width, height, cx, cy, nx, ny, 16);
+            if s < best_sad {
+                best_sad = s;
+                best = (nx, ny);
+                improved = true;
+            }
+        }
+        if !improved || best_sad == 0 {
+            break;
+        }
+    }
+    (MotionVector { dx: best.0 as i8, dy: best.1 as i8 }, best_sad)
+}
+
+/// Copies the motion-compensated prediction of a `size`×`size` block at
+/// `(cx, cy)` from `reference` into `out` (a `size*size` buffer).
+/// Out-of-bounds reference pixels clamp to the edge.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_into(
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+    size: usize,
+    out: &mut [u8],
+) {
+    debug_assert_eq!(out.len(), size * size);
+    for y in 0..size {
+        for x in 0..size {
+            let rx = (cx as i32 + x as i32 + dx).clamp(0, width as i32 - 1) as usize;
+            let ry = (cy as i32 + y as i32 + dy).clamp(0, height as i32 - 1) as usize;
+            out[y * size + x] = reference[ry * width + rx];
+        }
+    }
+}
+
+/// A motion vector in half-pel units (`dx2 = 3` means +1.5 pixels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct HalfPelVector {
+    /// Horizontal displacement in half-pels.
+    pub dx2: i16,
+    /// Vertical displacement in half-pels.
+    pub dy2: i16,
+}
+
+impl HalfPelVector {
+    /// Promotes a full-pel vector.
+    pub fn from_full_pel(mv: MotionVector) -> Self {
+        Self { dx2: i16::from(mv.dx) * 2, dy2: i16::from(mv.dy) * 2 }
+    }
+}
+
+/// Samples `reference` at `(x + dx2/2, y + dy2/2)` with bilinear
+/// interpolation at half-pel positions (H.261-style rounding averages) and
+/// edge clamping.
+fn sample_halfpel(reference: &[u8], width: usize, height: usize, x: i32, y: i32, dx2: i32, dy2: i32) -> u8 {
+    let bx = x + dx2.div_euclid(2);
+    let by = y + dy2.div_euclid(2);
+    let fx = dx2.rem_euclid(2);
+    let fy = dy2.rem_euclid(2);
+    let at = |px: i32, py: i32| -> u32 {
+        let cx = px.clamp(0, width as i32 - 1) as usize;
+        let cy = py.clamp(0, height as i32 - 1) as usize;
+        u32::from(reference[cy * width + cx])
+    };
+    match (fx, fy) {
+        (0, 0) => at(bx, by) as u8,
+        (1, 0) => ((at(bx, by) + at(bx + 1, by) + 1) / 2) as u8,
+        (0, 1) => ((at(bx, by) + at(bx, by + 1) + 1) / 2) as u8,
+        _ => ((at(bx, by) + at(bx + 1, by) + at(bx, by + 1) + at(bx + 1, by + 1) + 2) / 4) as u8,
+    }
+}
+
+/// Copies the half-pel motion-compensated prediction of a `size`×`size`
+/// block at `(cx, cy)` from `reference` into `out`.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_halfpel_into(
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx2: i32,
+    dy2: i32,
+    size: usize,
+    out: &mut [u8],
+) {
+    debug_assert_eq!(out.len(), size * size);
+    for y in 0..size {
+        for x in 0..size {
+            out[y * size + x] = sample_halfpel(
+                reference,
+                width,
+                height,
+                (cx + x) as i32,
+                (cy + y) as i32,
+                dx2,
+                dy2,
+            );
+        }
+    }
+}
+
+/// Full-pel search ([`estimate`]) followed by a half-pel refinement over
+/// the eight half-pel neighbours. Returns the vector in half-pel units
+/// and its SAD.
+pub fn estimate_halfpel(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    mbx: usize,
+    mby: usize,
+) -> (HalfPelVector, u32) {
+    let (full, full_sad) = estimate(cur, reference, width, height, mbx, mby);
+    let (cx, cy) = (mbx * 16, mby * 16);
+    let base = HalfPelVector::from_full_pel(full);
+    let mut best = base;
+    let mut best_sad = full_sad;
+    let mut pred = [0u8; 256];
+    for (ddx, ddy) in [
+        (-1i16, -1i16), (0, -1), (1, -1),
+        (-1, 0),                 (1, 0),
+        (-1, 1),  (0, 1),  (1, 1),
+    ] {
+        let cand = HalfPelVector { dx2: base.dx2 + ddx, dy2: base.dy2 + ddy };
+        if i32::from(cand.dx2).unsigned_abs() > 2 * SEARCH_RANGE as u32
+            || i32::from(cand.dy2).unsigned_abs() > 2 * SEARCH_RANGE as u32
+        {
+            continue;
+        }
+        predict_halfpel_into(
+            reference, width, height, cx, cy, cand.dx2.into(), cand.dy2.into(), 16, &mut pred,
+        );
+        let mut s = 0u32;
+        for y in 0..16 {
+            for x in 0..16 {
+                s += u32::from(cur[(cy + y) * width + cx + x].abs_diff(pred[y * 16 + x]));
+            }
+        }
+        if s < best_sad {
+            best_sad = s;
+            best = cand;
+        }
+    }
+    (best, best_sad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 32×32 test plane with a bright square at `(ox, oy)`.
+    fn plane_with_square(ox: usize, oy: usize) -> Vec<u8> {
+        let mut p = vec![20u8; 32 * 32];
+        for y in 0..8 {
+            for x in 0..8 {
+                p[(oy + y) * 32 + ox + x] = 200;
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_zero_for_identical() {
+        let p = plane_with_square(8, 8);
+        assert_eq!(sad(&p, &p, 32, 32, 0, 0, 0, 0, 16), 0);
+    }
+
+    #[test]
+    fn estimate_finds_known_shift() {
+        // Current frame: square at (10, 8); reference: square at (7, 8).
+        // The block content moved +3 in x, so the best vector points back
+        // by (-3, 0) into the reference.
+        let cur = plane_with_square(10, 8);
+        let reference = plane_with_square(7, 8);
+        let (mv, s) = estimate(&cur, &reference, 32, 32, 0, 0);
+        assert_eq!((mv.dx, mv.dy), (-3, 0), "sad {s}");
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn estimate_finds_diagonal_shift() {
+        let cur = plane_with_square(12, 12);
+        let reference = plane_with_square(8, 8);
+        let (mv, s) = estimate(&cur, &reference, 32, 32, 0, 0);
+        assert_eq!((mv.dx, mv.dy), (-4, -4));
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn estimate_static_content_zero_vector() {
+        let p = plane_with_square(8, 8);
+        let (mv, s) = estimate(&p, &p, 32, 32, 0, 0);
+        assert_eq!(mv, MotionVector::default());
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn vector_never_exceeds_range() {
+        // Content that moved farther than the window: the estimator still
+        // stays inside ±SEARCH_RANGE.
+        let cur = plane_with_square(24, 8);
+        let reference = plane_with_square(0, 8);
+        let (mv, _) = estimate(&cur, &reference, 32, 32, 1, 0);
+        assert!(i32::from(mv.dx).abs() <= SEARCH_RANGE);
+        assert!(i32::from(mv.dy).abs() <= SEARCH_RANGE);
+    }
+
+    #[test]
+    fn predict_reproduces_reference_block() {
+        let reference = plane_with_square(7, 8);
+        let mut out = vec![0u8; 256];
+        predict_into(&reference, 32, 32, 0, 0, -3 + 3, 0, 16, &mut out);
+        // Zero-displacement prediction equals the reference block itself.
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(out[y * 16 + x], reference[y * 32 + x]);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_clamps_at_edges() {
+        let reference: Vec<u8> = (0..32 * 32).map(|i| (i % 256) as u8).collect();
+        let mut out = vec![0u8; 64];
+        // Predict an 8x8 block at the top-left corner displaced off-plane.
+        predict_into(&reference, 32, 32, 0, 0, -5, -5, 8, &mut out);
+        assert_eq!(out[0], reference[0]);
+    }
+
+    #[test]
+    fn halfpel_full_positions_match_fullpel() {
+        let reference = plane_with_square(7, 8);
+        let mut a = vec![0u8; 256];
+        let mut b = vec![0u8; 256];
+        predict_into(&reference, 32, 32, 0, 0, -3, 2, 16, &mut a);
+        predict_halfpel_into(&reference, 32, 32, 0, 0, -6, 4, 16, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn halfpel_interpolates_between_pixels() {
+        // A horizontal step edge: the half-pel sample between 20 and 200
+        // is their rounding average.
+        let mut reference = vec![20u8; 32 * 32];
+        for row in reference.chunks_mut(32) {
+            for v in &mut row[16..] {
+                *v = 200;
+            }
+        }
+        let mut out = vec![0u8; 64];
+        // dx2 = 1: sample halfway between columns.
+        predict_halfpel_into(&reference, 32, 32, 15, 0, 1, 0, 8, &mut out);
+        // Block column 0 = source column 15 + 0.5 → (20 + 200 + 1)/2 = 110.
+        assert_eq!(out[0], 110);
+    }
+
+    #[test]
+    fn halfpel_beats_fullpel_on_half_shift() {
+        // Content shifted by exactly half a pixel (simulated by averaging
+        // neighbours): the half-pel estimator must find a strictly lower
+        // SAD than full-pel.
+        let w = 48usize;
+        let reference: Vec<u8> = (0..w * w)
+            .map(|i| {
+                let x = (i % w) as f64;
+                (128.0 + 100.0 * (x * 0.2).sin()) as u8
+            })
+            .collect();
+        let cur: Vec<u8> = (0..w * w)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                let a = u32::from(reference[y * w + x]);
+                let b = u32::from(reference[y * w + (x + 1).min(w - 1)]);
+                ((a + b + 1) / 2) as u8
+            })
+            .collect();
+        let (_, full_sad) = estimate(&cur, &reference, w, w, 1, 1);
+        let (hv, half_sad) = estimate_halfpel(&cur, &reference, w, w, 1, 1);
+        assert!(half_sad < full_sad, "half {half_sad} vs full {full_sad}");
+        assert_eq!(hv.dx2.rem_euclid(2), 1, "expected a half-pel x component: {hv:?}");
+    }
+
+    #[test]
+    fn halfpel_vector_promotion() {
+        let hv = HalfPelVector::from_full_pel(MotionVector { dx: -3, dy: 5 });
+        assert_eq!((hv.dx2, hv.dy2), (-6, 10));
+    }
+
+    #[test]
+    fn mc_then_residual_zero_for_pure_translation() {
+        let cur = plane_with_square(10, 8);
+        let reference = plane_with_square(7, 8);
+        let (mv, _) = estimate(&cur, &reference, 32, 32, 0, 0);
+        let mut pred = vec![0u8; 256];
+        predict_into(&reference, 32, 32, 0, 0, mv.dx.into(), mv.dy.into(), 16, &mut pred);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(pred[y * 16 + x], cur[y * 32 + x]);
+            }
+        }
+    }
+}

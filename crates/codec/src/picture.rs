@@ -1,0 +1,491 @@
+//! I- and P-picture coding.
+//!
+//! Pictures are coded macroblock by macroblock (16×16 luma + two 8×8
+//! chroma blocks in 4:2:0). Intra macroblocks level-shift and DCT the
+//! samples directly; inter macroblocks code the residual against a
+//! motion-compensated prediction from the previous reconstructed picture.
+//! The encoder reconstructs exactly what the decoder will, so there is no
+//! drift across a GOP.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::dct;
+use crate::error::CodecError;
+use crate::motion::{self, HalfPelVector};
+use crate::quant::{dequantize, quantize, QScale, INTER_MATRIX, INTRA_MATRIX};
+use crate::zigzag::{decode_block, encode_block};
+use annolight_imgproc::Yuv420Frame;
+
+/// The outcome of encoding one picture: the payload bytes and the
+/// decoder-identical reconstruction to predict the next picture from.
+#[derive(Debug, Clone)]
+pub struct CodedPicture {
+    /// Entropy-coded payload (starts with the qscale byte).
+    pub bytes: Vec<u8>,
+    /// The picture exactly as the decoder will reconstruct it.
+    pub reconstruction: Yuv420Frame,
+}
+
+struct PlaneDims {
+    w: usize,
+    h: usize,
+}
+
+fn plane_dims(frame: &Yuv420Frame) -> (PlaneDims, PlaneDims) {
+    let luma = PlaneDims { w: frame.width() as usize, h: frame.height() as usize };
+    let chroma = PlaneDims { w: luma.w / 2, h: luma.h / 2 };
+    (luma, chroma)
+}
+
+/// Encodes an intra (I) picture.
+pub fn encode_intra(frame: &Yuv420Frame, qscale: QScale) -> CodedPicture {
+    let (luma, chroma) = plane_dims(frame);
+    let mut recon = Yuv420Frame::new(frame.width(), frame.height())
+        .expect("source frame dimensions are valid");
+    let mut w = BitWriter::new();
+    let mut dc = [0i16; 3]; // per-plane DC predictors
+
+    let mbs_x = luma.w / 16;
+    let mbs_y = luma.h / 16;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            for (by, bx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                dc[0] = code_intra_block(
+                    &mut w,
+                    frame.y_plane(),
+                    recon.y_plane_mut(),
+                    luma.w,
+                    mbx * 2 + bx,
+                    mby * 2 + by,
+                    qscale,
+                    dc[0],
+                );
+            }
+            dc[1] = code_intra_block(
+                &mut w, frame.u_plane(), recon.u_plane_mut(), chroma.w, mbx, mby, qscale, dc[1],
+            );
+            dc[2] = code_intra_block(
+                &mut w, frame.v_plane(), recon.v_plane_mut(), chroma.w, mbx, mby, qscale, dc[2],
+            );
+        }
+    }
+    let mut bytes = vec![qscale.value()];
+    bytes.extend(w.into_bytes());
+    CodedPicture { bytes, reconstruction: recon }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn code_intra_block(
+    w: &mut BitWriter,
+    src: &[u8],
+    recon: &mut [u8],
+    stride: usize,
+    bx: usize,
+    by: usize,
+    qscale: QScale,
+    dc_pred: i16,
+) -> i16 {
+    let block = dct::load_block(src, stride, bx, by);
+    let coeffs = dct::forward(&block);
+    let levels = quantize(&coeffs, &INTRA_MATRIX, qscale, true);
+    let dc = encode_block(w, &levels, dc_pred);
+    let rec = dct::inverse(&dequantize(&levels, &INTRA_MATRIX, qscale, true));
+    dct::store_block(recon, stride, bx, by, &rec);
+    dc
+}
+
+/// Decodes an intra (I) picture payload.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for malformed payloads or bad dimensions.
+pub fn decode_intra(bytes: &[u8], width: u32, height: u32) -> Result<Yuv420Frame, CodecError> {
+    let (qscale, mut r) = split_payload(bytes)?;
+    let mut frame = Yuv420Frame::new(width, height)
+        .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
+    let luma_w = width as usize;
+    let chroma_w = luma_w / 2;
+    let mut dc = [0i16; 3];
+    let mbs_x = luma_w / 16;
+    let mbs_y = height as usize / 16;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            for (by, bx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                dc[0] = read_intra_block(
+                    &mut r, frame.y_plane_mut(), luma_w, mbx * 2 + bx, mby * 2 + by, qscale, dc[0],
+                )?;
+            }
+            dc[1] = read_intra_block(&mut r, frame.u_plane_mut(), chroma_w, mbx, mby, qscale, dc[1])?;
+            dc[2] = read_intra_block(&mut r, frame.v_plane_mut(), chroma_w, mbx, mby, qscale, dc[2])?;
+        }
+    }
+    Ok(frame)
+}
+
+fn read_intra_block(
+    r: &mut BitReader<'_>,
+    plane: &mut [u8],
+    stride: usize,
+    bx: usize,
+    by: usize,
+    qscale: QScale,
+    dc_pred: i16,
+) -> Result<i16, CodecError> {
+    let (levels, dc) = decode_block(r, dc_pred)?;
+    let rec = dct::inverse(&dequantize(&levels, &INTRA_MATRIX, qscale, true));
+    dct::store_block(plane, stride, bx, by, &rec);
+    Ok(dc)
+}
+
+/// Encodes a predicted (P) picture against `reference` (the previous
+/// reconstruction).
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn encode_inter(frame: &Yuv420Frame, reference: &Yuv420Frame, qscale: QScale) -> CodedPicture {
+    assert_eq!(
+        (frame.width(), frame.height()),
+        (reference.width(), reference.height()),
+        "reference dimensions must match"
+    );
+    let (luma, chroma) = plane_dims(frame);
+    let mut recon = Yuv420Frame::new(frame.width(), frame.height())
+        .expect("source frame dimensions are valid");
+    let mut w = BitWriter::new();
+
+    let mbs_x = luma.w / 16;
+    let mbs_y = luma.h / 16;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let (mv, mc_sad) =
+                motion::estimate_halfpel(frame.y_plane(), reference.y_plane(), luma.w, luma.h, mbx, mby);
+            // Intra/inter decision: compare the MC residual energy with the
+            // deviation from the block mean (a cheap intra-cost proxy).
+            let intra_cost = mean_deviation(frame.y_plane(), luma.w, mbx * 16, mby * 16, 16);
+            let inter = mc_sad < intra_cost;
+            w.put_bit(inter);
+            if inter {
+                w.put_se(i32::from(mv.dx2));
+                w.put_se(i32::from(mv.dy2));
+                code_inter_mb(&mut w, frame, reference, &mut recon, &luma, &chroma, mbx, mby, mv, qscale);
+            } else {
+                // Intra refresh macroblock (DC predictor reset to 0).
+                for (by, bx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    code_intra_block(
+                        &mut w, frame.y_plane(), recon.y_plane_mut(), luma.w,
+                        mbx * 2 + bx, mby * 2 + by, qscale, 0,
+                    );
+                }
+                code_intra_block(&mut w, frame.u_plane(), recon.u_plane_mut(), chroma.w, mbx, mby, qscale, 0);
+                code_intra_block(&mut w, frame.v_plane(), recon.v_plane_mut(), chroma.w, mbx, mby, qscale, 0);
+            }
+        }
+    }
+    let mut bytes = vec![qscale.value()];
+    bytes.extend(w.into_bytes());
+    CodedPicture { bytes, reconstruction: recon }
+}
+
+fn mean_deviation(plane: &[u8], stride: usize, px: usize, py: usize, size: usize) -> u32 {
+    let mut sum = 0u32;
+    for y in 0..size {
+        for x in 0..size {
+            sum += u32::from(plane[(py + y) * stride + px + x]);
+        }
+    }
+    let mean = (sum / (size * size) as u32) as i32;
+    let mut dev = 0u32;
+    for y in 0..size {
+        for x in 0..size {
+            dev += (i32::from(plane[(py + y) * stride + px + x]) - mean).unsigned_abs();
+        }
+    }
+    dev
+}
+
+#[allow(clippy::too_many_arguments)]
+fn code_inter_mb(
+    w: &mut BitWriter,
+    frame: &Yuv420Frame,
+    reference: &Yuv420Frame,
+    recon: &mut Yuv420Frame,
+    luma: &PlaneDims,
+    chroma: &PlaneDims,
+    mbx: usize,
+    mby: usize,
+    mv: HalfPelVector,
+    qscale: QScale,
+) {
+    // Luma: four 8x8 residual blocks against the 16x16 prediction.
+    let mut pred = vec![0u8; 256];
+    motion::predict_halfpel_into(
+        reference.y_plane(), luma.w, luma.h, mbx * 16, mby * 16,
+        mv.dx2.into(), mv.dy2.into(), 16, &mut pred,
+    );
+    for (by, bx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+        code_residual_block(
+            w, frame.y_plane(), &pred, 16, recon.y_plane_mut(), luma.w,
+            mbx * 16 + bx * 8, mby * 16 + by * 8, bx * 8, by * 8, qscale,
+        );
+    }
+    // Chroma: halved vector (luma half-pels → chroma half-pels).
+    let (cdx2, cdy2) = (i32::from(mv.dx2) / 2, i32::from(mv.dy2) / 2);
+    let mut cpred = vec![0u8; 64];
+    motion::predict_halfpel_into(reference.u_plane(), chroma.w, chroma.h, mbx * 8, mby * 8, cdx2, cdy2, 8, &mut cpred);
+    code_residual_block(w, frame.u_plane(), &cpred, 8, recon.u_plane_mut(), chroma.w, mbx * 8, mby * 8, 0, 0, qscale);
+    motion::predict_halfpel_into(reference.v_plane(), chroma.w, chroma.h, mbx * 8, mby * 8, cdx2, cdy2, 8, &mut cpred);
+    code_residual_block(w, frame.v_plane(), &cpred, 8, recon.v_plane_mut(), chroma.w, mbx * 8, mby * 8, 0, 0, qscale);
+}
+
+/// Codes one 8×8 residual block. `(px, py)` locate the block in the full
+/// plane; `(ox, oy)` locate it inside the prediction buffer of width
+/// `pred_stride`.
+#[allow(clippy::too_many_arguments)]
+fn code_residual_block(
+    w: &mut BitWriter,
+    src: &[u8],
+    pred: &[u8],
+    pred_stride: usize,
+    recon: &mut [u8],
+    stride: usize,
+    px: usize,
+    py: usize,
+    ox: usize,
+    oy: usize,
+    qscale: QScale,
+) {
+    let mut residual = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let s = f32::from(src[(py + y) * stride + px + x]);
+            let p = f32::from(pred[(oy + y) * pred_stride + ox + x]);
+            residual[y * 8 + x] = s - p;
+        }
+    }
+    let coeffs = dct::forward(&residual);
+    let levels = quantize(&coeffs, &INTER_MATRIX, qscale, false);
+    encode_block(w, &levels, 0);
+    let rec = dct::inverse(&dequantize(&levels, &INTER_MATRIX, qscale, false));
+    for y in 0..8 {
+        for x in 0..8 {
+            let p = f32::from(pred[(oy + y) * pred_stride + ox + x]);
+            let v = (p + rec[y * 8 + x]).round().clamp(0.0, 255.0) as u8;
+            recon[(py + y) * stride + px + x] = v;
+        }
+    }
+}
+
+/// Decodes a predicted (P) picture payload against `reference`.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for malformed payloads.
+pub fn decode_inter(bytes: &[u8], reference: &Yuv420Frame) -> Result<Yuv420Frame, CodecError> {
+    let (qscale, mut r) = split_payload(bytes)?;
+    let (luma, chroma) = plane_dims(reference);
+    let mut frame = Yuv420Frame::new(reference.width(), reference.height())
+        .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
+    let mbs_x = luma.w / 16;
+    let mbs_y = luma.h / 16;
+    for mby in 0..mbs_y {
+        for mbx in 0..mbs_x {
+            let inter = r.get_bit()?;
+            if inter {
+                let dx2 = r.get_se()?;
+                let dy2 = r.get_se()?;
+                if dx2.abs() > 2 * motion::SEARCH_RANGE || dy2.abs() > 2 * motion::SEARCH_RANGE {
+                    return Err(CodecError::Malformed {
+                        reason: format!("motion vector ({dx2},{dy2}) out of range"),
+                    });
+                }
+                let mut pred = vec![0u8; 256];
+                motion::predict_halfpel_into(reference.y_plane(), luma.w, luma.h, mbx * 16, mby * 16, dx2, dy2, 16, &mut pred);
+                for (by, bx) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                    read_residual_block(
+                        &mut r, &pred, 16, frame.y_plane_mut(), luma.w,
+                        mbx * 16 + bx * 8, mby * 16 + by * 8, bx * 8, by * 8, qscale,
+                    )?;
+                }
+                let (cdx2, cdy2) = (dx2 / 2, dy2 / 2);
+                let mut cpred = vec![0u8; 64];
+                motion::predict_halfpel_into(reference.u_plane(), chroma.w, chroma.h, mbx * 8, mby * 8, cdx2, cdy2, 8, &mut cpred);
+                read_residual_block(&mut r, &cpred, 8, frame.u_plane_mut(), chroma.w, mbx * 8, mby * 8, 0, 0, qscale)?;
+                motion::predict_halfpel_into(reference.v_plane(), chroma.w, chroma.h, mbx * 8, mby * 8, cdx2, cdy2, 8, &mut cpred);
+                read_residual_block(&mut r, &cpred, 8, frame.v_plane_mut(), chroma.w, mbx * 8, mby * 8, 0, 0, qscale)?;
+            } else {
+                for (by, bx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    read_intra_block(&mut r, frame.y_plane_mut(), luma.w, mbx * 2 + bx, mby * 2 + by, qscale, 0)?;
+                }
+                read_intra_block(&mut r, frame.u_plane_mut(), chroma.w, mbx, mby, qscale, 0)?;
+                read_intra_block(&mut r, frame.v_plane_mut(), chroma.w, mbx, mby, qscale, 0)?;
+            }
+        }
+    }
+    Ok(frame)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_residual_block(
+    r: &mut BitReader<'_>,
+    pred: &[u8],
+    pred_stride: usize,
+    plane: &mut [u8],
+    stride: usize,
+    px: usize,
+    py: usize,
+    ox: usize,
+    oy: usize,
+    qscale: QScale,
+) -> Result<(), CodecError> {
+    let (levels, _) = decode_block(r, 0)?;
+    let rec = dct::inverse(&dequantize(&levels, &INTER_MATRIX, qscale, false));
+    for y in 0..8 {
+        for x in 0..8 {
+            let p = f32::from(pred[(oy + y) * pred_stride + ox + x]);
+            let v = (p + rec[y * 8 + x]).round().clamp(0.0, 255.0) as u8;
+            plane[(py + y) * stride + px + x] = v;
+        }
+    }
+    Ok(())
+}
+
+fn split_payload(bytes: &[u8]) -> Result<(QScale, BitReader<'_>), CodecError> {
+    let (&q, rest) = bytes
+        .split_first()
+        .ok_or_else(|| CodecError::Malformed { reason: "empty picture payload".into() })?;
+    if !(1..=31).contains(&q) {
+        return Err(CodecError::Malformed { reason: format!("qscale {q} out of range") });
+    }
+    Ok((QScale::new(q), BitReader::new(rest)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::Frame;
+
+    fn test_frame(shift: u32) -> Yuv420Frame {
+        // Smooth content that translates exactly with `shift` (a function
+        // of x only slides along x), so motion compensation can match it.
+        Frame::from_fn(48, 32, |x, y| {
+            let xx = (x + shift) as f32;
+            let v = (128.0 + 80.0 * (xx * 0.18).sin() + 40.0 * (y as f32 * 0.25).cos())
+                .round()
+                .clamp(0.0, 255.0) as u8;
+            [v, v.saturating_sub(8), 255 - v]
+        })
+        .to_yuv420()
+        .unwrap()
+    }
+
+    fn luma_mad(a: &Yuv420Frame, b: &Yuv420Frame) -> f64 {
+        let n = a.y_plane().len() as f64;
+        a.y_plane()
+            .iter()
+            .zip(b.y_plane())
+            .map(|(&x, &y)| f64::from(x.abs_diff(y)))
+            .sum::<f64>()
+            / n
+    }
+
+    #[test]
+    fn intra_decode_matches_encoder_reconstruction() {
+        let f = test_frame(0);
+        let coded = encode_intra(&f, QScale::new(4));
+        let decoded = decode_intra(&coded.bytes, 48, 32).unwrap();
+        assert_eq!(decoded, coded.reconstruction);
+    }
+
+    #[test]
+    fn intra_quality_improves_with_finer_scale() {
+        let f = test_frame(0);
+        let fine = encode_intra(&f, QScale::new(2));
+        let coarse = encode_intra(&f, QScale::new(24));
+        assert!(luma_mad(&f, &fine.reconstruction) < luma_mad(&f, &coarse.reconstruction));
+        assert!(luma_mad(&f, &fine.reconstruction) < 3.0);
+    }
+
+    #[test]
+    fn coarse_scale_compresses_smaller() {
+        let f = test_frame(0);
+        let fine = encode_intra(&f, QScale::new(2));
+        let coarse = encode_intra(&f, QScale::new(24));
+        assert!(coarse.bytes.len() < fine.bytes.len());
+    }
+
+    #[test]
+    fn inter_decode_matches_encoder_reconstruction() {
+        let a = test_frame(0);
+        let b = test_frame(2); // shifted content → real motion
+        let ia = encode_intra(&a, QScale::new(4));
+        let pb = encode_inter(&b, &ia.reconstruction, QScale::new(4));
+        let decoded = decode_inter(&pb.bytes, &ia.reconstruction).unwrap();
+        assert_eq!(decoded, pb.reconstruction);
+    }
+
+    #[test]
+    fn inter_beats_intra_on_translated_content() {
+        let a = test_frame(0);
+        let b = test_frame(2);
+        let ia = encode_intra(&a, QScale::new(4));
+        let inter = encode_inter(&b, &ia.reconstruction, QScale::new(4));
+        let intra = encode_intra(&b, QScale::new(4));
+        assert!(
+            inter.bytes.len() < intra.bytes.len(),
+            "inter {} should be smaller than intra {}",
+            inter.bytes.len(),
+            intra.bytes.len()
+        );
+    }
+
+    #[test]
+    fn static_scene_inter_is_tiny() {
+        let a = test_frame(0);
+        let ia = encode_intra(&a, QScale::new(4));
+        let p = encode_inter(&a, &ia.reconstruction, QScale::new(4));
+        // Mostly-zero residual with zero vectors: well below the intra
+        // size (which is itself small for smooth content).
+        assert!(
+            p.bytes.len() * 3 < ia.bytes.len() * 2,
+            "static P {} vs I {}",
+            p.bytes.len(),
+            ia.bytes.len()
+        );
+        assert!(luma_mad(&a, &p.reconstruction) < 3.0);
+    }
+
+    #[test]
+    fn inter_reconstruction_tracks_source() {
+        let a = test_frame(0);
+        let b = test_frame(3);
+        let ia = encode_intra(&a, QScale::new(4));
+        let p = encode_inter(&b, &ia.reconstruction, QScale::new(4));
+        assert!(luma_mad(&b, &p.reconstruction) < 3.0, "mad {}", luma_mad(&b, &p.reconstruction));
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_intra(&[], 16, 16).is_err());
+        assert!(decode_intra(&[0], 16, 16).is_err()); // qscale 0
+        assert!(decode_intra(&[4, 0xFF], 16, 16).is_err()); // truncated
+        let f = test_frame(0);
+        let ia = encode_intra(&f, QScale::new(4));
+        assert!(decode_inter(&[9], &ia.reconstruction).is_err());
+    }
+
+    #[test]
+    fn no_drift_across_p_chain() {
+        // Encode a chain of P pictures and verify decode stays bit-exact
+        // with the encoder's reconstructions.
+        let mut reference = encode_intra(&test_frame(0), QScale::new(6)).reconstruction;
+        let mut dec_ref = decode_intra(&encode_intra(&test_frame(0), QScale::new(6)).bytes, 48, 32).unwrap();
+        for i in 1..5 {
+            let cur = test_frame(i);
+            let coded = encode_inter(&cur, &reference, QScale::new(6));
+            let dec = decode_inter(&coded.bytes, &dec_ref).unwrap();
+            assert_eq!(dec, coded.reconstruction, "drift at P{i}");
+            reference = coded.reconstruction;
+            dec_ref = dec;
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! MPEG-style coefficient quantisation.
+//!
+//! Intra blocks use the MPEG-1 default perceptual matrix (coarser at high
+//! frequencies); inter (residual) blocks use a flat matrix, both scaled by
+//! a per-picture `qscale` in `1..=31`.
+
+use crate::dct::Block;
+
+/// The MPEG-1 default intra quantisation matrix (zig-zag-free, row-major).
+pub const INTRA_MATRIX: [u16; 64] = [
+    8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// The flat inter (residual) matrix.
+pub const INTER_MATRIX: [u16; 64] = [16; 64];
+
+/// Per-picture quantiser scale, `1..=31` (MPEG-1 range). Larger = coarser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QScale(u8);
+
+impl QScale {
+    /// Creates a quantiser scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ q ≤ 31`.
+    pub fn new(q: u8) -> Self {
+        assert!((1..=31).contains(&q), "qscale {q} outside 1..=31");
+        Self(q)
+    }
+
+    /// The raw scale value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for QScale {
+    fn default() -> Self {
+        Self(8)
+    }
+}
+
+/// Quantised coefficients (integer levels).
+pub type QBlock = [i16; 64];
+
+/// Quantises a DCT coefficient block.
+///
+/// The DC coefficient of intra blocks is quantised with a fixed divisor of
+/// 8 (as in MPEG-1, where intra DC has its own precision) so that average
+/// brightness survives even at coarse scales.
+pub fn quantize(coeffs: &Block, matrix: &[u16; 64], qscale: QScale, intra: bool) -> QBlock {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let div = if intra && i == 0 {
+            8.0
+        } else {
+            f32::from(matrix[i]) * f32::from(qscale.value()) / 8.0
+        };
+        out[i] = (coeffs[i] / div).round().clamp(-2047.0, 2047.0) as i16;
+    }
+    out
+}
+
+/// Reconstructs DCT coefficients from quantised levels.
+pub fn dequantize(levels: &QBlock, matrix: &[u16; 64], qscale: QScale, intra: bool) -> Block {
+    let mut out = [0.0f32; 64];
+    for i in 0..64 {
+        let mul = if intra && i == 0 {
+            8.0
+        } else {
+            f32::from(matrix[i]) * f32::from(qscale.value()) / 8.0
+        };
+        out[i] = f32::from(levels[i]) * mul;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct;
+
+    #[test]
+    fn qscale_bounds() {
+        assert_eq!(QScale::new(1).value(), 1);
+        assert_eq!(QScale::new(31).value(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn qscale_rejects_zero() {
+        QScale::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn qscale_rejects_32() {
+        QScale::new(32);
+    }
+
+    #[test]
+    fn quant_dequant_bounded_error() {
+        let mut coeffs = [0.0f32; 64];
+        for (i, v) in coeffs.iter_mut().enumerate() {
+            *v = ((i as f32) - 32.0) * 7.3;
+        }
+        let q = QScale::new(4);
+        let levels = quantize(&coeffs, &INTRA_MATRIX, q, true);
+        let rec = dequantize(&levels, &INTRA_MATRIX, q, true);
+        for i in 0..64 {
+            let step = if i == 0 { 8.0 } else { f32::from(INTRA_MATRIX[i]) * 4.0 / 8.0 };
+            assert!(
+                (coeffs[i] - rec[i]).abs() <= step / 2.0 + 1e-3,
+                "coeff {i}: {} vs {} (step {step})",
+                coeffs[i],
+                rec[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let levels = quantize(&[0.0; 64], &INTER_MATRIX, QScale::new(16), false);
+        assert!(levels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn coarser_scale_zeroes_more() {
+        let mut coeffs = [0.0f32; 64];
+        for (i, v) in coeffs.iter_mut().enumerate() {
+            *v = 30.0 / (1.0 + i as f32); // decaying spectrum
+        }
+        let count = |q: u8| {
+            quantize(&coeffs, &INTRA_MATRIX, QScale::new(q), true)
+                .iter()
+                .filter(|&&l| l != 0)
+                .count()
+        };
+        assert!(count(1) >= count(8));
+        assert!(count(8) >= count(31));
+    }
+
+    #[test]
+    fn dc_preserved_at_coarse_scale() {
+        // A flat 8x8 block must keep its average even at qscale 31.
+        let block = [60.0f32; 64];
+        let coeffs = dct::forward(&block);
+        let q = QScale::new(31);
+        let levels = quantize(&coeffs, &INTRA_MATRIX, q, true);
+        let rec = dct::inverse(&dequantize(&levels, &INTRA_MATRIX, q, true));
+        let mean: f32 = rec.iter().sum::<f32>() / 64.0;
+        assert!((mean - 60.0).abs() < 4.5, "mean {mean}");
+    }
+
+    #[test]
+    fn intra_matrix_is_perceptual() {
+        // Low frequencies must be quantised more finely than high ones.
+        assert!(INTRA_MATRIX[0] < INTRA_MATRIX[63]);
+        assert!(INTRA_MATRIX[1] < INTRA_MATRIX[62]);
+    }
+}

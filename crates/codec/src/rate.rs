@@ -1,0 +1,148 @@
+//! Rate control: adapting the quantiser to hit a target bitrate.
+//!
+//! The streaming model delivers over a bandwidth-limited 802.11b hop, so
+//! the encoder must be able to hold a bitrate budget. This is a simple
+//! reactive controller in the spirit of MPEG-1 TM5's picture-level loop:
+//! after each coded picture the quantiser scale for the next picture is
+//! nudged proportionally to the fullness of a virtual buffer.
+
+use crate::quant::QScale;
+
+/// Picture-level reactive rate controller.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    target_bytes_per_frame: f64,
+    /// Virtual buffer fullness in bytes (positive = over budget).
+    buffer: f64,
+    qscale: f64,
+}
+
+impl RateController {
+    /// Creates a controller for a byte budget per frame, starting from
+    /// `initial` quantiser scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget is positive and finite.
+    pub fn new(target_bytes_per_frame: f64, initial: QScale) -> Self {
+        assert!(
+            target_bytes_per_frame.is_finite() && target_bytes_per_frame > 0.0,
+            "target {target_bytes_per_frame} bytes/frame must be positive"
+        );
+        Self {
+            target_bytes_per_frame,
+            buffer: 0.0,
+            qscale: f64::from(initial.value()),
+        }
+    }
+
+    /// Creates a controller from a bitrate and frame rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive and finite.
+    pub fn from_bitrate(bits_per_second: f64, fps: f64, initial: QScale) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps {fps} must be positive");
+        Self::new(bits_per_second / 8.0 / fps, initial)
+    }
+
+    /// The byte budget per frame.
+    pub fn target_bytes_per_frame(&self) -> f64 {
+        self.target_bytes_per_frame
+    }
+
+    /// The quantiser scale to use for the next picture.
+    pub fn qscale(&self) -> QScale {
+        QScale::new(self.qscale.round().clamp(1.0, 31.0) as u8)
+    }
+
+    /// Reports the size of the picture just coded and updates the
+    /// controller state.
+    pub fn update(&mut self, coded_bytes: usize) {
+        let error = coded_bytes as f64 - self.target_bytes_per_frame;
+        // Leaky virtual buffer: remember recent overshoot, forget slowly.
+        self.buffer = 0.7 * self.buffer + error;
+        // Proportional correction: a full frame's overshoot in the buffer
+        // moves qscale by ~35 % of its value.
+        let correction = 1.0 + 0.35 * (self.buffer / self.target_bytes_per_frame).clamp(-2.0, 2.0);
+        self.qscale = (self.qscale * correction).clamp(1.0, 31.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picture::encode_intra;
+    use annolight_imgproc::Frame;
+
+    fn busy_frame(i: u32) -> annolight_imgproc::Yuv420Frame {
+        Frame::from_fn(64, 48, |x, y| {
+            let v = ((x * 13 + y * 7 + i * 5) % 256) as u8;
+            [v, 255 - v, v / 2]
+        })
+        .to_yuv420()
+        .unwrap()
+    }
+
+    #[test]
+    fn qscale_rises_when_over_budget() {
+        let mut rc = RateController::new(200.0, QScale::new(4));
+        rc.update(1_000); // massively over budget
+        assert!(rc.qscale().value() > 4);
+    }
+
+    #[test]
+    fn qscale_falls_when_under_budget() {
+        let mut rc = RateController::new(1_000.0, QScale::new(16));
+        for _ in 0..6 {
+            rc.update(100);
+        }
+        assert!(rc.qscale().value() < 16);
+    }
+
+    #[test]
+    fn qscale_stays_in_range() {
+        let mut rc = RateController::new(10.0, QScale::new(30));
+        for _ in 0..50 {
+            rc.update(100_000);
+        }
+        assert_eq!(rc.qscale().value(), 31);
+        let mut rc = RateController::new(1e9, QScale::new(2));
+        for _ in 0..50 {
+            rc.update(1);
+        }
+        assert_eq!(rc.qscale().value(), 1);
+    }
+
+    #[test]
+    fn converges_on_real_pictures() {
+        // Encode 30 busy intra pictures against a budget and check the
+        // steady-state average lands near the target.
+        let target = 900.0;
+        let mut rc = RateController::new(target, QScale::new(8));
+        let mut sizes = Vec::new();
+        for i in 0..30 {
+            let coded = encode_intra(&busy_frame(i), rc.qscale());
+            rc.update(coded.bytes.len());
+            sizes.push(coded.bytes.len());
+        }
+        let steady: f64 =
+            sizes[10..].iter().map(|&s| s as f64).sum::<f64>() / (sizes.len() - 10) as f64;
+        assert!(
+            (steady - target).abs() / target < 0.35,
+            "steady-state {steady} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn from_bitrate_computes_budget() {
+        let rc = RateController::from_bitrate(480_000.0, 12.0, QScale::new(8));
+        assert!((rc.target_bytes_per_frame() - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_budget() {
+        RateController::new(0.0, QScale::new(8));
+    }
+}

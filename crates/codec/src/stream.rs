@@ -1,0 +1,662 @@
+//! The packetised container: sequence header, GOP structure, user data.
+//!
+//! The container's job in this reproduction is the paper's §3 property:
+//! annotations must be "available even before decoding the data". User-data
+//! packets are therefore ordinary packets that the encoder emits *ahead* of
+//! the pictures they describe, and the decoder surfaces them without
+//! touching any picture payload.
+//!
+//! Layout (all multi-byte integers little-endian):
+//!
+//! ```text
+//! magic   "ALV1"
+//! u16     width        u16 height
+//! u32     fps × 1000   u32 frame count
+//! u8      gop size (I-frame interval)
+//! packets: { u8 kind; varint len; payload[len] }*
+//!          kind 1 = user data, 2 = I picture, 3 = P picture
+//! ```
+
+use crate::error::CodecError;
+use crate::picture;
+use crate::quant::QScale;
+use annolight_imgproc::{Frame, Yuv420Frame};
+use bytes::{BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ALV1";
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    /// Frame width (non-zero multiple of 16).
+    pub width: u32,
+    /// Frame height (non-zero multiple of 16).
+    pub height: u32,
+    /// Frames per second.
+    pub fps: f64,
+    /// I-frame interval (GOP size), ≥ 1.
+    pub gop_size: u8,
+    /// Quantiser scale for all pictures (the starting point when rate
+    /// control is enabled).
+    pub qscale: QScale,
+    /// Optional target bitrate; when set, a picture-level rate controller
+    /// adapts the quantiser around `qscale` to hold this budget.
+    pub target_bitrate_bps: Option<f64>,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            width: 128,
+            height: 96,
+            fps: 12.0,
+            gop_size: 12,
+            qscale: QScale::default(),
+            target_bitrate_bps: None,
+        }
+    }
+}
+
+/// Packet kinds in the container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Out-of-band user data (annotation tracks).
+    UserData,
+    /// Intra picture.
+    IntraPicture,
+    /// Predicted picture.
+    PredictedPicture,
+}
+
+impl PacketKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PacketKind::UserData => 1,
+            PacketKind::IntraPicture => 2,
+            PacketKind::PredictedPicture => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, CodecError> {
+        match b {
+            1 => Ok(PacketKind::UserData),
+            2 => Ok(PacketKind::IntraPicture),
+            3 => Ok(PacketKind::PredictedPicture),
+            _ => Err(CodecError::Malformed { reason: format!("unknown packet kind {b}") }),
+        }
+    }
+}
+
+/// One container packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// What the payload contains.
+    pub kind: PacketKind,
+    /// The payload bytes.
+    pub payload: Bytes,
+}
+
+/// A fully encoded stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedStream {
+    bytes: Bytes,
+    width: u32,
+    height: u32,
+    fps: f64,
+    frame_count: u32,
+}
+
+impl EncodedStream {
+    /// The serialized stream bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total stream size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the stream is empty (never true for encoder output).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Number of coded pictures.
+    pub fn frame_count(&self) -> u32 {
+        self.frame_count
+    }
+
+    /// Reconstructs a stream object from raw bytes (e.g. received over the
+    /// network).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] if the header is invalid.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Self, CodecError> {
+        let bytes: Bytes = bytes.into();
+        let h = Header::parse(&bytes)?;
+        Ok(Self { width: h.width, height: h.height, fps: h.fps, frame_count: h.frame_count, bytes })
+    }
+}
+
+struct Header {
+    width: u32,
+    height: u32,
+    fps: f64,
+    frame_count: u32,
+    gop_size: u8,
+    body_offset: usize,
+}
+
+impl Header {
+    const LEN: usize = 4 + 2 + 2 + 4 + 4 + 1;
+
+    fn parse(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < Self::LEN || &bytes[..4] != MAGIC {
+            return Err(CodecError::Malformed { reason: "bad or missing stream header".into() });
+        }
+        let width = u32::from(u16::from_le_bytes([bytes[4], bytes[5]]));
+        let height = u32::from(u16::from_le_bytes([bytes[6], bytes[7]]));
+        let fps = f64::from(u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]])) / 1000.0;
+        let frame_count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        let gop_size = bytes[16];
+        if width == 0 || height == 0 || width % 16 != 0 || height % 16 != 0 {
+            return Err(CodecError::Malformed { reason: "bad dimensions in header".into() });
+        }
+        Ok(Self { width, height, fps, frame_count, gop_size, body_offset: Self::LEN })
+    }
+}
+
+/// The streaming encoder.
+///
+/// Push frames in display order; interleave [`Encoder::push_user_data`]
+/// calls at any point — user data is emitted at the current stream
+/// position, i.e. *before* all later pictures.
+#[derive(Debug)]
+pub struct Encoder {
+    config: EncoderConfig,
+    body: BytesMut,
+    frame_count: u32,
+    reference: Option<Yuv420Frame>,
+    rate: Option<crate::rate::RateController>,
+}
+
+impl Encoder {
+    /// Creates an encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadDimensions`] / [`CodecError::BadConfig`]
+    /// for invalid configuration.
+    pub fn new(config: EncoderConfig) -> Result<Self, CodecError> {
+        if config.width == 0
+            || config.height == 0
+            || !config.width.is_multiple_of(16)
+            || !config.height.is_multiple_of(16)
+            || config.width > u32::from(u16::MAX)
+            || config.height > u32::from(u16::MAX)
+        {
+            return Err(CodecError::BadDimensions { width: config.width, height: config.height });
+        }
+        if !config.fps.is_finite() || config.fps <= 0.0 {
+            return Err(CodecError::BadConfig { reason: format!("fps {}", config.fps) });
+        }
+        if config.gop_size == 0 {
+            return Err(CodecError::BadConfig { reason: "gop_size must be >= 1".into() });
+        }
+        let rate = match config.target_bitrate_bps {
+            Some(bps) => {
+                if !bps.is_finite() || bps <= 0.0 {
+                    return Err(CodecError::BadConfig { reason: format!("bitrate {bps}") });
+                }
+                Some(crate::rate::RateController::from_bitrate(bps, config.fps, config.qscale))
+            }
+            None => None,
+        };
+        Ok(Self { config, body: BytesMut::new(), frame_count: 0, reference: None, rate })
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> EncoderConfig {
+        self.config
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frame_count(&self) -> u32 {
+        self.frame_count
+    }
+
+    /// Appends a user-data packet at the current stream position.
+    pub fn push_user_data(&mut self, data: &[u8]) {
+        self.put_packet(PacketKind::UserData, data);
+    }
+
+    /// Encodes and appends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameSizeMismatch`] when the frame does not
+    /// match the configured dimensions.
+    pub fn push_frame(&mut self, frame: &Frame) -> Result<(), CodecError> {
+        if (frame.width(), frame.height()) != (self.config.width, self.config.height) {
+            return Err(CodecError::FrameSizeMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (frame.width(), frame.height()),
+            });
+        }
+        let yuv = frame
+            .to_yuv420()
+            .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
+        let is_intra =
+            self.reference.is_none() || self.frame_count.is_multiple_of(u32::from(self.config.gop_size));
+        let qscale = self.rate.as_ref().map_or(self.config.qscale, |r| r.qscale());
+        let coded = if is_intra {
+            picture::encode_intra(&yuv, qscale)
+        } else {
+            let reference = self.reference.as_ref().expect("checked above");
+            picture::encode_inter(&yuv, reference, qscale)
+        };
+        if let Some(rate) = &mut self.rate {
+            rate.update(coded.bytes.len());
+        }
+        let kind = if is_intra { PacketKind::IntraPicture } else { PacketKind::PredictedPicture };
+        self.put_packet(kind, &coded.bytes);
+        self.reference = Some(coded.reconstruction);
+        self.frame_count += 1;
+        Ok(())
+    }
+
+    fn put_packet(&mut self, kind: PacketKind, payload: &[u8]) {
+        self.body.put_u8(kind.to_byte());
+        let mut len = payload.len() as u64;
+        loop {
+            let byte = (len & 0x7F) as u8;
+            len >>= 7;
+            if len == 0 {
+                self.body.put_u8(byte);
+                break;
+            }
+            self.body.put_u8(byte | 0x80);
+        }
+        self.body.put_slice(payload);
+    }
+
+    /// Finalises and returns the stream.
+    pub fn finish(self) -> EncodedStream {
+        let mut out = BytesMut::with_capacity(Header::LEN + self.body.len());
+        out.put_slice(MAGIC);
+        out.put_u16_le(self.config.width as u16);
+        out.put_u16_le(self.config.height as u16);
+        out.put_u32_le((self.config.fps * 1000.0).round() as u32);
+        out.put_u32_le(self.frame_count);
+        out.put_u8(self.config.gop_size);
+        out.put_slice(&self.body);
+        EncodedStream {
+            bytes: out.freeze(),
+            width: self.config.width,
+            height: self.config.height,
+            fps: self.config.fps,
+            frame_count: self.frame_count,
+        }
+    }
+}
+
+/// The streaming decoder.
+///
+/// On construction it scans the packet table (cheap — no picture payload is
+/// touched) and collects all user data, mirroring how the paper's client
+/// reads annotations before decode. Pictures are then decoded on demand.
+#[derive(Debug)]
+pub struct Decoder {
+    width: u32,
+    height: u32,
+    fps: f64,
+    gop_size: u8,
+    user_data: Vec<Bytes>,
+    pictures: Vec<Packet>,
+    /// Index of the next picture [`Decoder::decode_next`] will produce.
+    next: usize,
+    reference: Option<Yuv420Frame>,
+}
+
+impl Decoder {
+    /// Parses the container structure of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] for a corrupt container.
+    pub fn new(stream: &EncodedStream) -> Result<Self, CodecError> {
+        Self::from_bytes(stream.as_bytes())
+    }
+
+    /// Parses a container from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] for a corrupt container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let header = Header::parse(bytes)?;
+        let mut pos = header.body_offset;
+        let mut user_data = Vec::new();
+        let mut pictures = Vec::new();
+        while pos < bytes.len() {
+            let kind = PacketKind::from_byte(bytes[pos])?;
+            pos += 1;
+            let mut len = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = *bytes
+                    .get(pos)
+                    .ok_or_else(|| CodecError::Malformed { reason: "truncated packet length".into() })?;
+                pos += 1;
+                len |= u64::from(byte & 0x7F) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                if shift >= 64 {
+                    return Err(CodecError::Malformed { reason: "packet length overflow".into() });
+                }
+            }
+            let end = pos + len as usize;
+            if end > bytes.len() {
+                return Err(CodecError::Malformed { reason: "truncated packet payload".into() });
+            }
+            let payload = Bytes::copy_from_slice(&bytes[pos..end]);
+            pos = end;
+            match kind {
+                PacketKind::UserData => user_data.push(payload),
+                _ => pictures.push(Packet { kind, payload }),
+            }
+        }
+        if pictures.len() as u32 != header.frame_count {
+            return Err(CodecError::Malformed {
+                reason: format!(
+                    "header promises {} pictures, found {}",
+                    header.frame_count,
+                    pictures.len()
+                ),
+            });
+        }
+        Ok(Self {
+            width: header.width,
+            height: header.height,
+            fps: header.fps,
+            gop_size: header.gop_size,
+            user_data,
+            pictures,
+            next: 0,
+            reference: None,
+        })
+    }
+
+    /// All user-data payloads, in stream order — available before any
+    /// picture is decoded.
+    pub fn user_data(&self) -> &[Bytes] {
+        &self.user_data
+    }
+
+    /// Frame dimensions.
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// I-frame interval.
+    pub fn gop_size(&self) -> u8 {
+        self.gop_size
+    }
+
+    /// Number of coded pictures.
+    pub fn frame_count(&self) -> u32 {
+        self.pictures.len() as u32
+    }
+
+    /// Decodes the next picture in display order, or `None` at end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] for corrupt picture payloads or a
+    /// P picture with no preceding I picture.
+    pub fn decode_next(&mut self) -> Result<Option<Frame>, CodecError> {
+        let Some(packet) = self.pictures.get(self.next) else {
+            return Ok(None);
+        };
+        let yuv = match packet.kind {
+            PacketKind::IntraPicture => picture::decode_intra(&packet.payload, self.width, self.height)?,
+            PacketKind::PredictedPicture => {
+                let reference = self.reference.as_ref().ok_or_else(|| CodecError::Malformed {
+                    reason: "P picture before any I picture".into(),
+                })?;
+                picture::decode_inter(&packet.payload, reference)?
+            }
+            PacketKind::UserData => unreachable!("user data filtered at parse time"),
+        };
+        self.next += 1;
+        let rgb = yuv.to_rgb();
+        self.reference = Some(yuv);
+        Ok(Some(rgb))
+    }
+
+    /// Decodes every remaining picture.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error encountered.
+    pub fn decode_all(&mut self) -> Result<Vec<Frame>, CodecError> {
+        let mut out = Vec::with_capacity(self.pictures.len() - self.next);
+        while let Some(f) = self.decode_next()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+
+    fn frames(n: u32, w: u32, h: u32) -> Vec<Frame> {
+        (0..n)
+            .map(|i| {
+                Frame::from_fn(w, h, |x, y| {
+                    let v = (120.0
+                        + 70.0 * (((x + i * 2) as f32) * 0.15).sin()
+                        + 40.0 * ((y as f32) * 0.2).cos())
+                    .round()
+                    .clamp(0.0, 255.0) as u8;
+                    [v, v / 2, 255 - v]
+                })
+            })
+            .collect()
+    }
+
+    fn encode(frames: &[Frame], cfg: EncoderConfig, user: &[&[u8]]) -> EncodedStream {
+        let mut enc = Encoder::new(cfg).unwrap();
+        for u in user {
+            enc.push_user_data(u);
+        }
+        for f in frames {
+            enc.push_frame(f).unwrap();
+        }
+        enc.finish()
+    }
+
+    fn cfg(w: u32, h: u32) -> EncoderConfig {
+        EncoderConfig {
+            width: w,
+            height: h,
+            fps: 12.0,
+            gop_size: 4,
+            qscale: QScale::new(4),
+            target_bitrate_bps: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let fs = frames(9, 32, 32);
+        let stream = encode(&fs, cfg(32, 32), &[b"hello"]);
+        let mut dec = Decoder::new(&stream).unwrap();
+        assert_eq!(dec.dimensions(), (32, 32));
+        assert_eq!(dec.frame_count(), 9);
+        assert_eq!(dec.gop_size(), 4);
+        assert_eq!(dec.user_data().len(), 1);
+        assert_eq!(&dec.user_data()[0][..], b"hello");
+        let out = dec.decode_all().unwrap();
+        assert_eq!(out.len(), 9);
+    }
+
+    #[test]
+    fn decoded_frames_are_faithful() {
+        let fs = frames(8, 48, 32);
+        let stream = encode(&fs, cfg(48, 32), &[]);
+        let mut dec = Decoder::new(&stream).unwrap();
+        for (i, orig) in fs.iter().enumerate() {
+            let d = dec.decode_next().unwrap().unwrap();
+            let p = psnr(orig, &d);
+            assert!(p > 28.0, "frame {i} PSNR {p:.1} dB");
+        }
+    }
+
+    #[test]
+    fn gop_structure_alternates() {
+        let fs = frames(10, 32, 32);
+        let stream = encode(&fs, cfg(32, 32), &[]);
+        let dec = Decoder::new(&stream).unwrap();
+        let kinds: Vec<PacketKind> = dec.pictures.iter().map(|p| p.kind).collect();
+        assert_eq!(kinds[0], PacketKind::IntraPicture);
+        assert_eq!(kinds[1], PacketKind::PredictedPicture);
+        assert_eq!(kinds[4], PacketKind::IntraPicture, "gop_size 4 → I at 0, 4, 8");
+        assert_eq!(kinds[8], PacketKind::IntraPicture);
+    }
+
+    #[test]
+    fn user_data_interleaves_in_order() {
+        let fs = frames(2, 32, 32);
+        let mut enc = Encoder::new(cfg(32, 32)).unwrap();
+        enc.push_user_data(b"first");
+        enc.push_frame(&fs[0]).unwrap();
+        enc.push_user_data(b"second");
+        enc.push_frame(&fs[1]).unwrap();
+        let stream = enc.finish();
+        let dec = Decoder::new(&stream).unwrap();
+        let ud: Vec<&[u8]> = dec.user_data().iter().map(|b| &b[..]).collect();
+        assert_eq!(ud, vec![&b"first"[..], &b"second"[..]]);
+    }
+
+    #[test]
+    fn frame_size_mismatch_rejected() {
+        let mut enc = Encoder::new(cfg(32, 32)).unwrap();
+        let err = enc.push_frame(&Frame::new(16, 16)).unwrap_err();
+        assert!(matches!(err, CodecError::FrameSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        assert!(Encoder::new(EncoderConfig { width: 30, ..cfg(32, 32) }).is_err());
+        assert!(Encoder::new(EncoderConfig { fps: 0.0, ..cfg(32, 32) }).is_err());
+        assert!(Encoder::new(EncoderConfig { gop_size: 0, ..cfg(32, 32) }).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        assert!(Decoder::from_bytes(b"").is_err());
+        assert!(Decoder::from_bytes(b"XXXXXXXXXXXXXXXXXXXX").is_err());
+        let fs = frames(3, 32, 32);
+        let stream = encode(&fs, cfg(32, 32), &[b"u"]);
+        let mut bytes = stream.as_bytes().to_vec();
+        bytes.truncate(bytes.len() - 5);
+        assert!(Decoder::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn stream_from_bytes_roundtrip() {
+        let fs = frames(3, 32, 32);
+        let stream = encode(&fs, cfg(32, 32), &[]);
+        let again = EncodedStream::from_bytes(stream.as_bytes().to_vec()).unwrap();
+        assert_eq!(again, stream);
+        assert_eq!(again.frame_count(), 3);
+    }
+
+    #[test]
+    fn empty_stream_has_zero_frames() {
+        let enc = Encoder::new(cfg(32, 32)).unwrap();
+        let stream = enc.finish();
+        assert_eq!(stream.frame_count(), 0);
+        let mut dec = Decoder::new(&stream).unwrap();
+        assert!(dec.decode_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn rate_control_holds_budget_end_to_end() {
+        let fs = frames(36, 64, 48);
+        let fps = 12.0;
+        let target_bps = 200_000.0;
+        let stream = encode(
+            &fs,
+            EncoderConfig {
+                width: 64,
+                height: 48,
+                fps,
+                gop_size: 6,
+                qscale: QScale::new(8),
+                target_bitrate_bps: Some(target_bps),
+            },
+            &[],
+        );
+        let duration = fs.len() as f64 / fps;
+        let achieved_bps = stream.len() as f64 * 8.0 / duration;
+        assert!(
+            achieved_bps < target_bps * 1.4,
+            "achieved {achieved_bps} bps vs target {target_bps}"
+        );
+        // And the stream still decodes faithfully.
+        let mut dec = Decoder::new(&stream).unwrap();
+        assert_eq!(dec.decode_all().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn bad_bitrate_rejected() {
+        let err = Encoder::new(EncoderConfig {
+            target_bitrate_bps: Some(0.0),
+            ..cfg(32, 32)
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn compression_is_real() {
+        // 20 slowly-moving frames must compress far below raw RGB size.
+        let fs = frames(20, 64, 48);
+        let raw = 20 * 64 * 48 * 3;
+        let stream = encode(&fs, EncoderConfig { gop_size: 10, ..cfg(64, 48) }, &[]);
+        assert!(
+            stream.len() * 3 < raw,
+            "stream {} vs raw {raw}",
+            stream.len()
+        );
+    }
+}

@@ -1,0 +1,17 @@
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight_display::DeviceProfile;
+use annolight_video::ClipLibrary;
+
+fn main() {
+    let dev = DeviceProfile::ipaq_5555();
+    println!("{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}", "clip", "0%", "5%", "10%", "15%", "20%");
+    for clip in ClipLibrary::paper_clips() {
+        let profile = LuminanceProfile::of_clip(&clip).unwrap();
+        print!("{:<22}", clip.name());
+        for q in QualityLevel::PAPER_LEVELS {
+            let a = Annotator::new(dev.clone(), q).annotate_profile(&profile).unwrap();
+            print!(" {:>5.1}%", a.predicted_backlight_savings(&dev) * 100.0);
+        }
+        println!();
+    }
+}

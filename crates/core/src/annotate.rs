@@ -1,0 +1,305 @@
+//! The end-to-end annotator (server/proxy side).
+//!
+//! Ties the pipeline together: profile → scene detection → plan →
+//! annotation track. This is the step performed once per (clip, device
+//! class, quality) at the server or proxy node, leaving the client only
+//! the per-scene backlight writes.
+
+use crate::error::CoreError;
+use crate::extensions::CreditsGuard;
+use crate::plan::BacklightPlan;
+use crate::profile::LuminanceProfile;
+use crate::quality::QualityLevel;
+use crate::scenes::{SceneDetector, SceneSpan};
+use crate::track::{AnnotationMode, AnnotationTrack};
+use annolight_display::DeviceProfile;
+use annolight_video::Clip;
+
+/// Server-side annotator for one target device and quality level.
+///
+/// # Example
+///
+/// ```
+/// use annolight_core::{Annotator, QualityLevel};
+/// use annolight_display::DeviceProfile;
+/// use annolight_video::ClipLibrary;
+///
+/// let clip = ClipLibrary::paper_clip("spiderman2").unwrap().preview(6.0);
+/// let annotator = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q15);
+/// let annotated = annotator.annotate_clip(&clip).unwrap();
+/// assert_eq!(annotated.track().frame_count(), clip.frame_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Annotator {
+    device: DeviceProfile,
+    quality: QualityLevel,
+    detector: SceneDetector,
+    mode: AnnotationMode,
+    credits_guard: Option<CreditsGuard>,
+}
+
+impl Annotator {
+    /// Creates an annotator with the paper's default scene detector and
+    /// per-scene mode.
+    pub fn new(device: DeviceProfile, quality: QualityLevel) -> Self {
+        Self {
+            device,
+            quality,
+            detector: SceneDetector::default(),
+            mode: AnnotationMode::PerScene,
+            credits_guard: None,
+        }
+    }
+
+    /// Uses a custom scene detector.
+    pub fn with_detector(mut self, detector: SceneDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Switches between per-scene and per-frame annotation.
+    pub fn with_mode(mut self, mode: AnnotationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables the end-credits guard (the paper's noted failure mode:
+    /// clipping text on a uniform background, §4.3). Scenes that look like
+    /// credits get their clipping budget capped.
+    pub fn with_credits_guard(mut self, guard: CreditsGuard) -> Self {
+        self.credits_guard = Some(guard);
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The quality level.
+    pub fn quality(&self) -> QualityLevel {
+        self.quality
+    }
+
+    /// Profiles and annotates a whole clip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyClip`] for an empty clip.
+    pub fn annotate_clip(&self, clip: &Clip) -> Result<AnnotatedClip, CoreError> {
+        let profile = LuminanceProfile::of_clip(clip)?;
+        self.annotate_profile(&profile)
+    }
+
+    /// Annotates an already-computed profile (lets callers reuse one
+    /// profile across devices and quality levels, as the server does for
+    /// its five offered qualities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyClip`] for an empty profile.
+    pub fn annotate_profile(&self, profile: &LuminanceProfile) -> Result<AnnotatedClip, CoreError> {
+        if profile.is_empty() {
+            return Err(CoreError::EmptyClip);
+        }
+        let spans = match self.mode {
+            AnnotationMode::PerScene => self.detector.detect(profile),
+            AnnotationMode::PerFrame => (0..profile.len() as u32)
+                .map(|i| SceneSpan { start: i, end: i + 1 })
+                .collect(),
+        };
+        let plan = match &self.credits_guard {
+            None => BacklightPlan::compute(profile, &spans, &self.device, self.quality),
+            Some(guard) => guard.guarded_plan(profile, &spans, &self.device, self.quality),
+        };
+        let track = AnnotationTrack::from_plan(&plan, self.mode, profile.len() as u32);
+        Ok(AnnotatedClip { plan, track })
+    }
+}
+
+/// The result of annotating a clip: the full plan (for analysis) and the
+/// compact track (what actually rides in the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedClip {
+    plan: BacklightPlan,
+    track: AnnotationTrack,
+}
+
+impl AnnotatedClip {
+    /// The per-scene plan.
+    pub fn plan(&self) -> &BacklightPlan {
+        &self.plan
+    }
+
+    /// The annotation track.
+    pub fn track(&self) -> &AnnotationTrack {
+        &self.track
+    }
+
+    /// Duration-weighted backlight power saving predicted for `device`
+    /// (the Fig. 9 quantity). The annotation levels were computed for the
+    /// annotator's device; evaluating them against another device's power
+    /// model answers "what would this track save there".
+    pub fn predicted_backlight_savings(&self, device: &DeviceProfile) -> f64 {
+        let entries = self.track.entries();
+        let frames = self.track.frame_count();
+        if frames == 0 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        for (i, e) in entries.iter().enumerate() {
+            let end = entries.get(i + 1).map_or(frames, |n| n.start_frame);
+            let dur = f64::from(end - e.start_frame);
+            weighted += device.backlight_power().savings_vs_full(e.backlight) * dur;
+        }
+        weighted / f64::from(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_video::{Clip, ClipSpec, ContentKind, SceneSpec};
+
+    fn two_scene_clip() -> Clip {
+        Clip::new(ClipSpec {
+            name: "t".into(),
+            width: 32,
+            height: 32,
+            fps: 10.0,
+            seed: 11,
+            scenes: vec![
+                SceneSpec::new(
+                    ContentKind::Dark { base: 40, spread: 10, highlight_fraction: 0.01, highlight: 200 },
+                    2.0,
+                ),
+                SceneSpec::new(ContentKind::Bright { base: 215, spread: 25 }, 2.0),
+            ],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn annotate_covers_whole_clip() {
+        let clip = two_scene_clip();
+        let a = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10);
+        let out = a.annotate_clip(&clip).unwrap();
+        assert_eq!(out.track().frame_count(), clip.frame_count());
+        assert_eq!(out.track().entries()[0].start_frame, 0);
+    }
+
+    #[test]
+    fn detects_the_cut() {
+        let clip = two_scene_clip();
+        let a = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10);
+        let out = a.annotate_clip(&clip).unwrap();
+        // The dark→bright cut at frame 20 must appear as an entry boundary.
+        assert!(
+            out.track().entries().iter().any(|e| e.start_frame == 20),
+            "entries: {:?}",
+            out.track().entries()
+        );
+    }
+
+    #[test]
+    fn dark_scene_gets_dimmer_backlight_than_bright() {
+        let clip = two_scene_clip();
+        let a = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10);
+        let out = a.annotate_clip(&clip).unwrap();
+        let t = out.track();
+        let dark = t.entry_at(5).unwrap().backlight;
+        let bright = t.entry_at(30).unwrap().backlight;
+        assert!(dark < bright, "dark {dark} vs bright {bright}");
+    }
+
+    #[test]
+    fn per_frame_mode_annotates_every_frame() {
+        let clip = two_scene_clip();
+        let a = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10)
+            .with_mode(AnnotationMode::PerFrame);
+        let out = a.annotate_clip(&clip).unwrap();
+        assert_eq!(out.plan().scenes().len() as u32, clip.frame_count());
+        // The wire form still collapses runs of identical levels.
+        assert!(out.track().to_rle_bytes().len() < 40 * 6 + 64);
+    }
+
+    #[test]
+    fn per_frame_wins_on_rapid_alternation() {
+        // Dark/bright flashes every 0.3 s: below the scene detector's
+        // 0.5 s guard interval, so per-scene mode must light the whole
+        // stretch for its brightest frames, while per-frame mode tracks
+        // the dark dips ("sometimes, better results are obtained if we
+        // allow backlight changes for each frame").
+        let mut scenes = Vec::new();
+        for i in 0..10 {
+            let content = if i % 2 == 0 {
+                ContentKind::Dark { base: 35, spread: 8, highlight_fraction: 0.0, highlight: 0 }
+            } else {
+                ContentKind::Bright { base: 210, spread: 20 }
+            };
+            scenes.push(SceneSpec::new(content, 0.3));
+        }
+        let clip = Clip::new(ClipSpec {
+            name: "flash".into(),
+            width: 32,
+            height: 32,
+            fps: 10.0,
+            seed: 5,
+            scenes,
+        })
+        .unwrap();
+        let dev = DeviceProfile::ipaq_5555();
+        let scene = Annotator::new(dev.clone(), QualityLevel::Q5)
+            .annotate_clip(&clip)
+            .unwrap()
+            .predicted_backlight_savings(&dev);
+        let frame = Annotator::new(dev.clone(), QualityLevel::Q5)
+            .with_mode(AnnotationMode::PerFrame)
+            .annotate_clip(&clip)
+            .unwrap()
+            .predicted_backlight_savings(&dev);
+        assert!(frame > scene + 0.05, "per-frame {frame} should beat per-scene {scene}");
+    }
+
+    #[test]
+    fn savings_increase_with_quality_loss() {
+        let clip = two_scene_clip();
+        let dev = DeviceProfile::ipaq_5555();
+        let mut last = -1.0;
+        for q in QualityLevel::PAPER_LEVELS {
+            let s = Annotator::new(dev.clone(), q)
+                .annotate_clip(&clip)
+                .unwrap()
+                .predicted_backlight_savings(&dev);
+            assert!(s + 1e-9 >= last, "{q:?}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn different_devices_get_different_levels() {
+        let clip = two_scene_clip();
+        let led = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10)
+            .annotate_clip(&clip)
+            .unwrap();
+        let ccfl = Annotator::new(DeviceProfile::ipaq_3650(), QualityLevel::Q10)
+            .annotate_clip(&clip)
+            .unwrap();
+        // Same scene structure, device-specific levels ("device specific
+        // are the actual backlight levels").
+        assert_ne!(
+            led.track().entries()[0].backlight,
+            ccfl.track().entries()[0].backlight
+        );
+    }
+
+    #[test]
+    fn profile_reuse_matches_direct_annotation() {
+        let clip = two_scene_clip();
+        let a = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q5);
+        let direct = a.annotate_clip(&clip).unwrap();
+        let profile = LuminanceProfile::of_clip(&clip).unwrap();
+        let via_profile = a.annotate_profile(&profile).unwrap();
+        assert_eq!(direct, via_profile);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the annotation pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by profiling, planning and annotation (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The input contained no frames.
+    EmptyClip,
+    /// An annotation byte stream failed to parse.
+    MalformedTrack {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// The annotation track targets a different device than requested.
+    DeviceMismatch {
+        /// Device name in the track.
+        expected: String,
+        /// Device name asked for.
+        actual: String,
+    },
+    /// A frame index was outside the annotated range.
+    FrameOutOfRange {
+        /// Requested frame.
+        frame: u32,
+        /// Number of annotated frames.
+        frames: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyClip => write!(f, "clip contains no frames"),
+            CoreError::MalformedTrack { reason } => write!(f, "malformed annotation track: {reason}"),
+            CoreError::DeviceMismatch { expected, actual } => {
+                write!(f, "annotation track is for device {expected}, not {actual}")
+            }
+            CoreError::FrameOutOfRange { frame, frames } => {
+                write!(f, "frame {frame} outside annotated range of {frames} frames")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            CoreError::EmptyClip,
+            CoreError::MalformedTrack { reason: "bad magic".into() },
+            CoreError::DeviceMismatch { expected: "a".into(), actual: "b".into() },
+            CoreError::FrameOutOfRange { frame: 9, frames: 5 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

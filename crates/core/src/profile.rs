@@ -1,0 +1,225 @@
+//! Offline luminance profiling of a video stream.
+//!
+//! §4: "The video clips available for streaming at the servers are first
+//! profiled, processed and annotated with data characterizing the luminance
+//! levels during various scenes." Profiling happens once, at the server or
+//! proxy, so the handheld never has to analyse frames at runtime.
+
+use crate::error::CoreError;
+use annolight_imgproc::{Frame, Histogram};
+use annolight_video::Clip;
+use serde::{Deserialize, Serialize};
+
+/// Per-frame luminance statistics gathered during profiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Frame index within the clip.
+    pub index: u32,
+    /// Maximum pixel luminance (the signal driving scene detection,
+    /// Fig. 6).
+    pub max_luma: u8,
+    /// Mean pixel luminance.
+    pub mean_luma: f64,
+    /// Full 256-bin luminance histogram (needed to evaluate clip levels
+    /// for every quality level without re-reading the frame).
+    pub histogram: Histogram,
+}
+
+impl FrameStats {
+    /// Profiles a single frame.
+    pub fn of_frame(index: u32, frame: &Frame) -> Self {
+        let histogram = frame.luma_histogram();
+        let max_luma = histogram.max_nonzero().unwrap_or(0);
+        let mean_luma = histogram.mean();
+        Self { index, max_luma, mean_luma, histogram }
+    }
+}
+
+/// The complete luminance profile of a clip.
+///
+/// # Example
+///
+/// ```
+/// use annolight_core::LuminanceProfile;
+/// use annolight_video::ClipLibrary;
+///
+/// let clip = ClipLibrary::paper_clip("officexp").unwrap().preview(3.0);
+/// let profile = LuminanceProfile::of_clip(&clip).unwrap();
+/// assert_eq!(profile.len() as u32, clip.frame_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LuminanceProfile {
+    fps: f64,
+    frames: Vec<FrameStats>,
+}
+
+impl LuminanceProfile {
+    /// Profiles every frame of `clip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyClip`] if the clip has no frames.
+    pub fn of_clip(clip: &Clip) -> Result<Self, CoreError> {
+        Self::of_frames(clip.fps(), clip.frames())
+    }
+
+    /// Profiles an arbitrary frame sequence at `fps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyClip`] if the iterator yields nothing.
+    pub fn of_frames<I>(fps: f64, frames: I) -> Result<Self, CoreError>
+    where
+        I: IntoIterator<Item = Frame>,
+    {
+        let frames: Vec<FrameStats> = frames
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| FrameStats::of_frame(i as u32, &f))
+            .collect();
+        if frames.is_empty() {
+            return Err(CoreError::EmptyClip);
+        }
+        Ok(Self { fps, frames })
+    }
+
+    /// Builds a profile from precomputed stats (used by streaming-side
+    /// incremental profiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyClip`] for an empty vector.
+    pub fn from_stats(fps: f64, frames: Vec<FrameStats>) -> Result<Self, CoreError> {
+        if frames.is_empty() {
+            return Err(CoreError::EmptyClip);
+        }
+        Ok(Self { fps, frames })
+    }
+
+    /// Frames per second of the profiled stream.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Number of profiled frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the profile is empty (never true for a constructed profile).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Per-frame statistics, in order.
+    pub fn frames(&self) -> &[FrameStats] {
+        &self.frames
+    }
+
+    /// The per-frame maximum-luminance series (the top curve of Fig. 6).
+    pub fn max_luma_series(&self) -> Vec<u8> {
+        self.frames.iter().map(|f| f.max_luma).collect()
+    }
+
+    /// Merges the histograms of frames `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn merged_histogram(&self, start: u32, end: u32) -> Histogram {
+        assert!(start < end, "empty frame range {start}..{end}");
+        assert!((end as usize) <= self.frames.len(), "range end {end} out of bounds");
+        let mut h = Histogram::new();
+        for f in &self.frames[start as usize..end as usize] {
+            h.merge(&f.histogram);
+        }
+        h
+    }
+
+    /// Maximum of `max_luma` over frames `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn range_max_luma(&self, start: u32, end: u32) -> u8 {
+        assert!(start < end, "empty frame range {start}..{end}");
+        assert!((end as usize) <= self.frames.len(), "range end {end} out of bounds");
+        self.frames[start as usize..end as usize]
+            .iter()
+            .map(|f| f.max_luma)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::Rgb8;
+
+    fn frame(luma: u8) -> Frame {
+        Frame::filled(8, 8, Rgb8::gray(luma))
+    }
+
+    #[test]
+    fn frame_stats_capture_extremes() {
+        let mut f = frame(30);
+        f.set_pixel(3, 3, Rgb8::gray(220));
+        let s = FrameStats::of_frame(5, &f);
+        assert_eq!(s.index, 5);
+        assert_eq!(s.max_luma, 220);
+        assert!(s.mean_luma > 30.0 && s.mean_luma < 40.0);
+        assert_eq!(s.histogram.total(), 64);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(
+            LuminanceProfile::of_frames(10.0, std::iter::empty()).unwrap_err(),
+            CoreError::EmptyClip
+        );
+    }
+
+    #[test]
+    fn profile_indexes_frames_in_order() {
+        let p = LuminanceProfile::of_frames(10.0, vec![frame(10), frame(20), frame(30)]).unwrap();
+        assert_eq!(p.len(), 3);
+        let idx: Vec<u32> = p.frames().iter().map(|f| f.index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert_eq!(p.max_luma_series(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merged_histogram_spans_range() {
+        let p = LuminanceProfile::of_frames(10.0, vec![frame(10), frame(20), frame(30)]).unwrap();
+        let h = p.merged_histogram(0, 2);
+        assert_eq!(h.total(), 128);
+        assert_eq!(h.max_nonzero(), Some(20));
+        assert_eq!(p.range_max_luma(0, 3), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty frame range")]
+    fn merged_histogram_rejects_empty_range() {
+        let p = LuminanceProfile::of_frames(10.0, vec![frame(10)]).unwrap();
+        let _ = p.merged_histogram(1, 1);
+    }
+
+    #[test]
+    fn of_clip_matches_manual_profiling() {
+        use annolight_video::{Clip, ClipSpec, ContentKind, SceneSpec};
+        let clip = Clip::new(ClipSpec {
+            name: "t".into(),
+            width: 16,
+            height: 16,
+            fps: 4.0,
+            seed: 3,
+            scenes: vec![SceneSpec::new(ContentKind::Bright { base: 180, spread: 10 }, 1.0)],
+        })
+        .unwrap();
+        let p = LuminanceProfile::of_clip(&clip).unwrap();
+        assert_eq!(p.len() as u32, clip.frame_count());
+        assert_eq!(p.frames()[0].max_luma, clip.frame(0).max_luma());
+        assert!((p.fps() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! User-supervised annotation: regions of interest (§3).
+//!
+//! "The process of annotating the data stream can be either automated …
+//! or under user supervision (for example, the user may specify which
+//! parts or objects of the video stream are more important in a
+//! power-quality trade-off scenario)."
+//!
+//! A [`RegionOfInterest`] marks a rectangle (per scene span) whose pixels
+//! must never clip: the clipping budget is spent exclusively on the
+//! background. Planning then needs *regional* histograms, so this module
+//! analyses frames directly instead of going through the pooled
+//! [`LuminanceProfile`](crate::profile::LuminanceProfile) histograms.
+
+use crate::plan::{plan_levels, ScenePlan};
+use crate::quality::QualityLevel;
+use crate::scenes::SceneSpan;
+use annolight_display::DeviceProfile;
+use annolight_imgproc::Histogram;
+use annolight_video::Clip;
+use serde::{Deserialize, Serialize};
+
+/// A protected rectangle, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Rect {
+    /// Whether the rectangle contains pixel `(px, py)`.
+    pub fn contains(&self, px: u32, py: u32) -> bool {
+        px >= self.x && px < self.x + self.width && py >= self.y && py < self.y + self.height
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+}
+
+/// A user-marked region of interest over a span of frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionOfInterest {
+    /// Frames the region applies to.
+    pub span: SceneSpan,
+    /// The protected rectangle.
+    pub rect: Rect,
+}
+
+/// Plans one scene with an optional protected region: the clipping budget
+/// is spent only on pixels *outside* the region, and the effective maximum
+/// can never drop below the region's own maximum luminance.
+///
+/// Returns the scene plan (same shape as the automated planner's).
+///
+/// # Panics
+///
+/// Panics if the span is empty or outside the clip, or the rectangle does
+/// not fit inside the frame.
+pub fn plan_scene_with_roi(
+    clip: &Clip,
+    span: SceneSpan,
+    roi: Option<Rect>,
+    device: &DeviceProfile,
+    quality: QualityLevel,
+) -> ScenePlan {
+    assert!(span.start < span.end, "empty span");
+    assert!(span.end <= clip.frame_count(), "span outside clip");
+    let (w, h) = clip.dimensions();
+    if let Some(r) = roi {
+        assert!(
+            r.width > 0 && r.height > 0 && r.x + r.width <= w && r.y + r.height <= h,
+            "ROI {r:?} outside {w}x{h} frame"
+        );
+    }
+    let mut inside = Histogram::new();
+    let mut outside = Histogram::new();
+    for f in span.start..span.end {
+        let frame = clip.frame(f);
+        let luma = frame.to_luma();
+        for y in 0..h {
+            for x in 0..w {
+                let v = luma.sample(x, y);
+                match roi {
+                    Some(r) if r.contains(x, y) => inside.add(v),
+                    _ => outside.add(v),
+                }
+            }
+        }
+    }
+    let raw_max = inside.max_nonzero().unwrap_or(0).max(outside.max_nonzero().unwrap_or(0));
+    // Budget in *whole-frame* pixels, spent on the background only.
+    let total = inside.total() + outside.total();
+    let budget_pixels = (quality.clip_fraction() * total as f64).floor();
+    let background_budget = if outside.total() == 0 {
+        0.0
+    } else {
+        (budget_pixels / outside.total() as f64).min(1.0)
+    };
+    let background_level = outside.clip_level(background_budget);
+    let effective = background_level.max(inside.max_nonzero().unwrap_or(0));
+    let clipped = outside.count_above(effective) + inside.count_above(effective);
+    let (k, backlight) = plan_levels(device, effective);
+    ScenePlan {
+        span,
+        raw_max_luma: raw_max,
+        effective_max_luma: effective,
+        clipped_fraction: clipped as f64 / total as f64,
+        compensation: k,
+        backlight,
+        power_savings: device.backlight_power().savings_vs_full(backlight),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_video::{ClipSpec, ContentKind, SceneSpec};
+
+    /// A dark clip whose only bright content is a patch in the top-left
+    /// 32x32 corner (via Credits-style sparse brights everywhere — no;
+    /// use a gradient pan whose bright end sits left).
+    fn clip() -> Clip {
+        Clip::new(ClipSpec {
+            name: "roi-test".into(),
+            width: 64,
+            height: 64,
+            fps: 10.0,
+            seed: 4,
+            scenes: vec![SceneSpec::new(
+                ContentKind::Dark { base: 40, spread: 10, highlight_fraction: 0.02, highlight: 230 },
+                2.0,
+            )],
+        })
+        .unwrap()
+    }
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::ipaq_5555()
+    }
+
+    #[test]
+    fn no_roi_matches_pooled_planner_within_quantisation() {
+        let c = clip();
+        let span = SceneSpan { start: 0, end: c.frame_count() };
+        let roi_plan = plan_scene_with_roi(&c, span, None, &device(), QualityLevel::Q10);
+        let profile = crate::profile::LuminanceProfile::of_clip(&c).unwrap();
+        let pooled = crate::plan::BacklightPlan::compute(&profile, &[span], &device(), QualityLevel::Q10);
+        assert_eq!(roi_plan.effective_max_luma, pooled.scenes()[0].effective_max_luma);
+        assert_eq!(roi_plan.backlight, pooled.scenes()[0].backlight);
+    }
+
+    #[test]
+    fn roi_pixels_never_clip() {
+        let c = clip();
+        let span = SceneSpan { start: 0, end: c.frame_count() };
+        let rect = Rect { x: 0, y: 0, width: 32, height: 32 };
+        let plan = plan_scene_with_roi(&c, span, Some(rect), &device(), QualityLevel::Q20);
+        // Verify: no pixel inside the ROI exceeds the effective max.
+        for f in span.start..span.end {
+            let luma = c.frame(f).to_luma();
+            for y in 0..32 {
+                for x in 0..32 {
+                    assert!(
+                        luma.sample(x, y) <= plan.effective_max_luma,
+                        "ROI pixel ({x},{y}) above effective max"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protecting_bright_region_costs_savings() {
+        // The clip's highlights are scattered; protecting a quadrant that
+        // contains some of them forces a brighter effective max than the
+        // unprotected plan.
+        let c = clip();
+        let span = SceneSpan { start: 0, end: c.frame_count() };
+        let rect = Rect { x: 0, y: 0, width: 32, height: 32 };
+        let protected = plan_scene_with_roi(&c, span, Some(rect), &device(), QualityLevel::Q20);
+        let free = plan_scene_with_roi(&c, span, None, &device(), QualityLevel::Q20);
+        assert!(protected.effective_max_luma > free.effective_max_luma);
+        assert!(protected.power_savings < free.power_savings);
+        // But the realised whole-frame clipping still respects the budget.
+        assert!(protected.clipped_fraction <= 0.20 + 1e-9);
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect { x: 2, y: 3, width: 4, height: 5 };
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 7));
+        assert!(!r.contains(6, 3));
+        assert!(!r.contains(2, 8));
+        assert_eq!(r.area(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_roi_panics() {
+        let c = clip();
+        let span = SceneSpan { start: 0, end: 1 };
+        let rect = Rect { x: 40, y: 0, width: 32, height: 32 };
+        let _ = plan_scene_with_roi(&c, span, Some(rect), &device(), QualityLevel::Q10);
+    }
+}

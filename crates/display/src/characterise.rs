@@ -1,0 +1,129 @@
+//! Fitting a transfer function to measured data (§5).
+//!
+//! "We start by first characterizing the display and backlight of our
+//! PDAs. This is performed by displaying images of different solid gray
+//! levels on the handhelds and capturing snapshots of the screen with a
+//! digital camera." The captured `(backlight level, relative luminance)`
+//! samples are then fitted to the parametric transfer families, giving
+//! the device model used everywhere else ("our scheme allows us to tailor
+//! the technique to each PDA … by including the display properties in the
+//! loop").
+
+use crate::transfer::{BacklightLevel, TransferFunction};
+
+/// One measured point: the programmed backlight level and the relative
+/// luminance the camera read off the screen (normalised so full backlight
+/// is ~1).
+pub type TransferSample = (BacklightLevel, f64);
+
+/// Fits the best parametric [`TransferFunction`] to measured samples by
+/// least squares over a dense parameter grid of both families
+/// (saturating-exponential for LEDs, power-law for CCFLs), plus the linear
+/// baseline.
+///
+/// Returns the winning curve and its root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 samples are supplied.
+pub fn fit_transfer(samples: &[TransferSample]) -> (TransferFunction, f64) {
+    assert!(samples.len() >= 3, "need at least 3 samples to fit a curve");
+    let mut candidates = vec![TransferFunction::Linear];
+    let mut a = 0.2f64;
+    while a <= 6.0 {
+        candidates.push(TransferFunction::SaturatingExp { a });
+        a += 0.05;
+    }
+    let mut gamma = 0.4f64;
+    while gamma <= 3.0 {
+        candidates.push(TransferFunction::Gamma { gamma });
+        gamma += 0.05;
+    }
+    let mut best = TransferFunction::Linear;
+    let mut best_err = f64::INFINITY;
+    for cand in candidates {
+        let sse: f64 = samples
+            .iter()
+            .map(|&(level, lum)| {
+                let d = cand.luminance(level) - lum;
+                d * d
+            })
+            .sum();
+        if sse < best_err {
+            best_err = sse;
+            best = cand;
+        }
+    }
+    (best, (best_err / samples.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_curve(f: TransferFunction, noise: f64) -> Vec<TransferSample> {
+        (0..=16u16)
+            .map(|i| {
+                let level = BacklightLevel((i * 16).min(255) as u8);
+                // Deterministic "noise" so the test is reproducible.
+                let jitter = noise * ((i as f64 * 2.39).sin());
+                (level, (f.luminance(level) + jitter).clamp(0.0, 1.1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_led_curve() {
+        let truth = TransferFunction::SaturatingExp { a: 1.3 };
+        let (fit, rmse) = fit_transfer(&sample_curve(truth, 0.0));
+        match fit {
+            TransferFunction::SaturatingExp { a } => assert!((a - 1.3).abs() < 0.051, "a = {a}"),
+            other => panic!("fit wrong family: {other:?}"),
+        }
+        assert!(rmse < 1e-3);
+    }
+
+    #[test]
+    fn recovers_ccfl_curve() {
+        let truth = TransferFunction::Gamma { gamma: 1.55 };
+        let (fit, _) = fit_transfer(&sample_curve(truth, 0.0));
+        match fit {
+            TransferFunction::Gamma { gamma } => assert!((gamma - 1.55).abs() < 0.051, "gamma = {gamma}"),
+            other => panic!("fit wrong family: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        let truth = TransferFunction::Gamma { gamma: 1.35 };
+        let (fit, rmse) = fit_transfer(&sample_curve(truth, 0.02));
+        match fit {
+            TransferFunction::Gamma { gamma } => assert!((gamma - 1.35).abs() < 0.2, "gamma = {gamma}"),
+            // A heavily-noised convex curve could fit a nearby exp — don't
+            // accept it silently, the RMSE bound below still guards.
+            other => panic!("fit wrong family: {other:?}"),
+        }
+        assert!(rmse < 0.05, "rmse {rmse}");
+    }
+
+    #[test]
+    fn identifies_linear_response() {
+        let (fit, _) = fit_transfer(&sample_curve(TransferFunction::Linear, 0.0));
+        // Linear is exactly representable by the grid's neighbours too;
+        // accept any candidate within tight error of linear.
+        let max_dev = (0..=255u16)
+            .map(|v| {
+                (fit.luminance(BacklightLevel(v as u8))
+                    - TransferFunction::Linear.luminance(BacklightLevel(v as u8)))
+                .abs()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 0.03, "fit {fit:?} deviates {max_dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn too_few_samples_panics() {
+        fit_transfer(&[(BacklightLevel(0), 0.0), (BacklightLevel(255), 1.0)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Runtime backlight controller.
+//!
+//! §4.3: "Sometimes, better results are obtained if we allow backlight
+//! changes for each frame (but it may introduce some flicker). Both these
+//! thresholds were experimentally set for minimizing visible spikes."
+//!
+//! The controller is the only piece of the technique that runs on the
+//! client: it receives the annotated backlight level for the current
+//! scene/frame and applies it, subject to a minimum switching interval and
+//! a minimum step size that suppress visible flicker. It also keeps the
+//! statistics (switch count, flicker score) used to evaluate per-frame vs
+//! per-scene annotation modes.
+
+use crate::transfer::BacklightLevel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the client-side backlight controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Minimum time between two backlight changes, in seconds. Requests
+    /// arriving earlier are ignored (the paper's threshold interval).
+    pub min_switch_interval_s: f64,
+    /// Changes smaller than this many levels are ignored.
+    pub min_step: u8,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        // The paper sets the scene-change guard experimentally; 0.5 s and a
+        // 4-level dead-band suppress visible spikes in our model.
+        Self { min_switch_interval_s: 0.5, min_step: 4 }
+    }
+}
+
+/// Statistics accumulated by a [`BacklightController`] during playback.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Number of requests that actually changed the backlight.
+    pub switches: u64,
+    /// Number of requests suppressed by the interval or dead-band guard.
+    pub suppressed: u64,
+    /// Sum of absolute level changes applied (a proxy for flicker energy).
+    pub total_travel: u64,
+    /// Largest single applied step.
+    pub max_step: u8,
+}
+
+impl SwitchStats {
+    /// A simple flicker score: level travel per switch, 0 when no switch
+    /// occurred. Large, frequent jumps score high.
+    pub fn flicker_score(&self) -> f64 {
+        if self.switches == 0 {
+            0.0
+        } else {
+            self.total_travel as f64 / self.switches as f64
+        }
+    }
+}
+
+/// The client-side backlight state machine.
+///
+/// # Example
+///
+/// ```
+/// use annolight_display::{BacklightController, BacklightLevel, ControllerConfig};
+/// let mut ctl = BacklightController::new(ControllerConfig::default());
+/// // Scene 1 at t = 0 s wants a dimmer backlight:
+/// assert_eq!(ctl.request(0.0, BacklightLevel(140)), BacklightLevel(140));
+/// // A request 0.1 s later is inside the guard interval and is ignored:
+/// assert_eq!(ctl.request(0.1, BacklightLevel(90)), BacklightLevel(140));
+/// // After the guard expires the change is applied:
+/// assert_eq!(ctl.request(1.0, BacklightLevel(90)), BacklightLevel(90));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BacklightController {
+    config: ControllerConfig,
+    current: BacklightLevel,
+    last_switch_time: Option<f64>,
+    stats: SwitchStats,
+}
+
+impl BacklightController {
+    /// Creates a controller starting at full backlight (the device default
+    /// before playback begins).
+    pub fn new(config: ControllerConfig) -> Self {
+        Self {
+            config,
+            current: BacklightLevel::MAX,
+            last_switch_time: None,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// The level currently applied to the hardware.
+    pub fn current(&self) -> BacklightLevel {
+        self.current
+    }
+
+    /// Accumulated switching statistics.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> ControllerConfig {
+        self.config
+    }
+
+    /// Requests `level` at playback time `now_s` (seconds, monotone
+    /// non-decreasing across calls). Returns the level actually in effect
+    /// afterwards.
+    ///
+    /// The very first request is always honoured; later requests are
+    /// subject to the guard interval and dead-band.
+    pub fn request(&mut self, now_s: f64, level: BacklightLevel) -> BacklightLevel {
+        let step = (i16::from(level.0) - i16::from(self.current.0)).unsigned_abs() as u8;
+        if step == 0 {
+            return self.current;
+        }
+        let too_soon = match self.last_switch_time {
+            Some(t) => now_s - t < self.config.min_switch_interval_s,
+            None => false,
+        };
+        if too_soon || step < self.config.min_step {
+            self.stats.suppressed += 1;
+            return self.current;
+        }
+        self.current = level;
+        self.last_switch_time = Some(now_s);
+        self.stats.switches += 1;
+        self.stats.total_travel += u64::from(step);
+        self.stats.max_step = self.stats.max_step.max(step);
+        self.current
+    }
+
+    /// Forces the backlight to `level` immediately, bypassing the guards
+    /// (used when playback stops and the OS restores full brightness).
+    pub fn force(&mut self, now_s: f64, level: BacklightLevel) {
+        if level != self.current {
+            let step = (i16::from(level.0) - i16::from(self.current.0)).unsigned_abs() as u8;
+            self.stats.switches += 1;
+            self.stats.total_travel += u64::from(step);
+            self.stats.max_step = self.stats.max_step.max(step);
+            self.current = level;
+            self.last_switch_time = Some(now_s);
+        }
+    }
+}
+
+impl Default for BacklightController {
+    fn default() -> Self {
+        Self::new(ControllerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_full() {
+        let ctl = BacklightController::default();
+        assert_eq!(ctl.current(), BacklightLevel::MAX);
+    }
+
+    #[test]
+    fn first_request_applies() {
+        let mut ctl = BacklightController::default();
+        assert_eq!(ctl.request(0.0, BacklightLevel(100)), BacklightLevel(100));
+        assert_eq!(ctl.stats().switches, 1);
+    }
+
+    #[test]
+    fn guard_interval_suppresses() {
+        let mut ctl = BacklightController::default();
+        ctl.request(0.0, BacklightLevel(100));
+        assert_eq!(ctl.request(0.2, BacklightLevel(50)), BacklightLevel(100));
+        assert_eq!(ctl.stats().suppressed, 1);
+        assert_eq!(ctl.request(0.6, BacklightLevel(50)), BacklightLevel(50));
+    }
+
+    #[test]
+    fn dead_band_suppresses_small_steps() {
+        let mut ctl = BacklightController::new(ControllerConfig {
+            min_switch_interval_s: 0.0,
+            min_step: 10,
+        });
+        ctl.request(0.0, BacklightLevel(100));
+        assert_eq!(ctl.request(1.0, BacklightLevel(95)), BacklightLevel(100));
+        assert_eq!(ctl.request(2.0, BacklightLevel(80)), BacklightLevel(80));
+    }
+
+    #[test]
+    fn same_level_is_free() {
+        let mut ctl = BacklightController::default();
+        ctl.request(0.0, BacklightLevel(100));
+        ctl.request(5.0, BacklightLevel(100));
+        assert_eq!(ctl.stats().switches, 1);
+        assert_eq!(ctl.stats().suppressed, 0);
+    }
+
+    #[test]
+    fn travel_and_max_step_tracked() {
+        let mut ctl = BacklightController::default();
+        ctl.request(0.0, BacklightLevel(155)); // step 100
+        ctl.request(1.0, BacklightLevel(205)); // step 50
+        let s = ctl.stats();
+        assert_eq!(s.total_travel, 150);
+        assert_eq!(s.max_step, 100);
+        assert!((s.flicker_score() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_bypasses_guards() {
+        let mut ctl = BacklightController::default();
+        ctl.request(0.0, BacklightLevel(100));
+        ctl.force(0.1, BacklightLevel::MAX);
+        assert_eq!(ctl.current(), BacklightLevel::MAX);
+    }
+
+    #[test]
+    fn flicker_score_zero_without_switches() {
+        assert_eq!(SwitchStats::default().flicker_score(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! LCD panel and backlight models for the `annolight` workspace.
+//!
+//! The paper's technique is *device-tailored*: the server computes, for each
+//! scene, the backlight level a particular PDA must use, which requires the
+//! device's **backlight→luminance transfer function** (measured in §5 with a
+//! digital camera, Figs. 7–8) and its **power-vs-backlight model** (found to
+//! be "almost proportional to backlight level, but little dependent of pixel
+//! values").
+//!
+//! This crate models exactly those two artefacts, for the three devices the
+//! paper characterises:
+//!
+//! * **iPAQ 3650** — reflective panel, CCFL frontlight;
+//! * **Sharp Zaurus SL-5600** — reflective panel, CCFL frontlight;
+//! * **iPAQ 5555** — transflective panel, white-LED backlight (the device
+//!   used for the power measurements in Figs. 9–10).
+//!
+//! # Example
+//!
+//! ```
+//! use annolight_display::{BacklightLevel, DeviceProfile};
+//!
+//! let dev = DeviceProfile::ipaq_5555();
+//! // A scene whose (clipped) maximum luminance is 50% of full scale only
+//! // needs the backlight bright enough to reproduce that level:
+//! let level = dev.transfer().level_for_luminance(0.5);
+//! assert!(level < BacklightLevel::MAX);
+//! // ... and that dimming saves real power:
+//! assert!(dev.backlight_power().savings_vs_full(level) > 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterise;
+pub mod controller;
+pub mod device;
+pub mod panel;
+pub mod power;
+pub mod render;
+pub mod transfer;
+
+pub use characterise::{fit_transfer, TransferSample};
+pub use controller::{BacklightController, ControllerConfig, SwitchStats};
+pub use device::{BacklightTechnology, DeviceProfile};
+pub use panel::{Panel, PanelKind};
+pub use power::BacklightPowerModel;
+pub use render::render_perceived;
+pub use transfer::{BacklightLevel, TransferFunction};

@@ -1,0 +1,124 @@
+//! Rendering a frame through the display model.
+//!
+//! Produces the *perceived* luminance plane a viewer (or the validation
+//! camera, Fig. 2) sees when a frame is displayed on a given device at a
+//! given backlight level. This is the link between the image domain and the
+//! optical domain: `I = ρ · L(b) · Y^γ + ambient term`.
+
+use crate::device::DeviceProfile;
+use crate::transfer::BacklightLevel;
+use annolight_imgproc::{Frame, LumaFrame};
+
+/// Renders `frame` on `device` at `backlight`, returning the perceived
+/// luminance plane scaled so that a full-white pixel at full backlight on an
+/// ideal panel maps to 255.
+///
+/// `ambient` is the relative ambient illumination in `[0, 1]` (0 = dark
+/// room, as in the paper's measurement setup).
+///
+/// # Example
+///
+/// ```
+/// use annolight_display::{render_perceived, BacklightLevel, DeviceProfile};
+/// use annolight_imgproc::{Frame, Rgb8};
+///
+/// let dev = DeviceProfile::ipaq_5555();
+/// let frame = Frame::filled(8, 8, Rgb8::gray(200));
+/// let full = render_perceived(&frame, &dev, BacklightLevel::MAX, 0.0);
+/// let dim = render_perceived(&frame, &dev, BacklightLevel(96), 0.0);
+/// assert!(dim.mean() < full.mean());
+/// ```
+pub fn render_perceived(
+    frame: &Frame,
+    device: &DeviceProfile,
+    backlight: BacklightLevel,
+    ambient: f64,
+) -> LumaFrame {
+    let l = device.transfer().luminance(backlight);
+    let panel = device.panel();
+    let luma = frame.to_luma();
+    let mut out = Vec::with_capacity(luma.samples().len());
+    // Precompute the 256-entry response once; every pixel is then a table
+    // look-up (mirrors what real hardware does and keeps rendering fast).
+    let mut lut = [0u8; 256];
+    for (white, slot) in lut.iter_mut().enumerate() {
+        let i = panel.perceived_intensity(white as u8, l, ambient);
+        *slot = (i * 255.0).round().clamp(0.0, 255.0) as u8;
+    }
+    for &y in luma.samples() {
+        out.push(lut[y as usize]);
+    }
+    LumaFrame::from_buffer(frame.width(), frame.height(), out)
+        .expect("buffer built from the source frame always matches its dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_imgproc::Rgb8;
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::ipaq_5555()
+    }
+
+    #[test]
+    fn dimming_darkens_output() {
+        let frame = Frame::filled(16, 16, Rgb8::gray(180));
+        let full = render_perceived(&frame, &device(), BacklightLevel::MAX, 0.0);
+        let half = render_perceived(&frame, &device(), BacklightLevel(80), 0.0);
+        assert!(half.mean() < full.mean());
+    }
+
+    #[test]
+    fn black_frame_renders_black() {
+        let frame = Frame::new(8, 8);
+        let out = render_perceived(&frame, &device(), BacklightLevel::MAX, 0.0);
+        assert_eq!(out.mean(), 0.0);
+    }
+
+    #[test]
+    fn output_monotone_in_input_luma() {
+        let frame = Frame::from_fn(256, 1, |x, _| [x as u8, x as u8, x as u8]);
+        let out = render_perceived(&frame, &device(), BacklightLevel(200), 0.0);
+        let s = out.samples();
+        for i in 1..s.len() {
+            assert!(s[i] >= s[i - 1]);
+        }
+    }
+
+    #[test]
+    fn compensation_plus_dimming_preserves_perception() {
+        // The core identity of the paper: dim the backlight to L', scale
+        // the image by k = L/L', and the perceived output stays close for
+        // unclipped pixels.
+        let dev = device();
+        let original = Frame::filled(8, 8, Rgb8::gray(100));
+        let full_render = render_perceived(&original, &dev, BacklightLevel::MAX, 0.0);
+
+        let target_level = dev.transfer().level_for_luminance(0.55);
+        let l_ratio = 1.0 / dev.transfer().luminance(target_level);
+        let mut compensated = original.clone();
+        // Compensate in the luminance domain: invert the panel gamma so the
+        // transmitted luminance scales by exactly l_ratio.
+        let gamma = dev.panel().white_gamma();
+        let k = (l_ratio).powf(1.0 / gamma) as f32;
+        annolight_imgproc::contrast_enhance(&mut compensated, k);
+        let dim_render = render_perceived(&compensated, &dev, target_level, 0.0);
+
+        let diff = (dim_render.mean() - full_render.mean()).abs();
+        assert!(
+            diff <= 3.0,
+            "perceived mean drifted by {diff} (full {} vs dim {})",
+            full_render.mean(),
+            dim_render.mean()
+        );
+    }
+
+    #[test]
+    fn ambient_light_raises_transflective_output() {
+        let frame = Frame::filled(8, 8, Rgb8::gray(128));
+        let dark = render_perceived(&frame, &device(), BacklightLevel(64), 0.0);
+        let sunny = render_perceived(&frame, &device(), BacklightLevel(64), 0.8);
+        assert!(sunny.mean() > dark.mean());
+    }
+}

@@ -1,0 +1,228 @@
+//! Image compensation operators (§4.1 of the paper).
+//!
+//! When the backlight is dimmed from `L` to `L'`, the displayed image is
+//! brightened so the perceived intensity `I = ρ·L·Y` is preserved. The paper
+//! describes two operators:
+//!
+//! * **Contrast enhancement** — every normalised channel value is multiplied
+//!   by a constant: `C' = min(1, C·k)`, with `k = L/L'`. This is the
+//!   operator used in the paper's experiments.
+//! * **Brightness compensation** — a constant is added instead:
+//!   `C' = min(1, C + δC)`.
+//!
+//! Both may *clip* pixels that no longer fit the 8-bit range; [`ClipStats`]
+//! records how many did and by how much, which is exactly the quality
+//! degradation the user-selected quality level bounds.
+
+use crate::frame::Frame;
+use serde::{Deserialize, Serialize};
+
+/// Which compensation operator to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CompensationKind {
+    /// Multiply channels by `k = L/L'` (used in the paper's evaluation).
+    #[default]
+    ContrastEnhancement,
+    /// Add a constant `δC` to the channels.
+    BrightnessCompensation,
+}
+
+/// Statistics about pixels clipped by a compensation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClipStats {
+    /// Number of pixels in which at least one channel saturated.
+    pub clipped_pixels: u64,
+    /// Total number of pixels processed.
+    pub total_pixels: u64,
+    /// Largest per-channel overshoot beyond 255 (in pre-clamp 8-bit units).
+    pub max_overshoot: f32,
+}
+
+impl ClipStats {
+    /// Fraction of pixels that clipped, in `[0, 1]`.
+    pub fn clipped_fraction(&self) -> f64 {
+        if self.total_pixels == 0 {
+            0.0
+        } else {
+            self.clipped_pixels as f64 / self.total_pixels as f64
+        }
+    }
+}
+
+/// Applies contrast enhancement `C' = min(255, C·k)` to every channel of
+/// every pixel, in place, and reports clipping statistics.
+///
+/// `k` is the compensation factor `L/L' ≥ 1` computed from the backlight
+/// dimming ratio. Values `k < 1` are permitted (they darken the image and
+/// can never clip).
+///
+/// # Panics
+///
+/// Panics if `k` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use annolight_imgproc::{contrast_enhance, Frame, Rgb8};
+/// let mut f = Frame::filled(4, 4, Rgb8::new(100, 100, 200));
+/// let stats = contrast_enhance(&mut f, 2.0);
+/// assert_eq!(f.pixel(0, 0), Rgb8::new(200, 200, 255));
+/// assert_eq!(stats.clipped_pixels, 16); // blue channel saturated everywhere
+/// ```
+pub fn contrast_enhance(frame: &mut Frame, k: f32) -> ClipStats {
+    assert!(k.is_finite() && k >= 0.0, "compensation factor {k} must be finite and >= 0");
+    let mut stats = ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
+    for c in frame.as_bytes_mut().chunks_exact_mut(3) {
+        let mut clipped = false;
+        for ch in c.iter_mut() {
+            let scaled = f32::from(*ch) * k;
+            if scaled > 255.0 {
+                clipped = true;
+                stats.max_overshoot = stats.max_overshoot.max(scaled - 255.0);
+                *ch = 255;
+            } else {
+                *ch = scaled.round() as u8;
+            }
+        }
+        if clipped {
+            stats.clipped_pixels += 1;
+        }
+    }
+    stats
+}
+
+/// Applies brightness compensation `C' = min(255, C + delta)` to every
+/// channel of every pixel, in place, and reports clipping statistics.
+///
+/// # Example
+///
+/// ```
+/// use annolight_imgproc::{brightness_compensate, Frame, Rgb8};
+/// let mut f = Frame::filled(2, 2, Rgb8::new(250, 10, 10));
+/// let stats = brightness_compensate(&mut f, 20);
+/// assert_eq!(f.pixel(0, 0), Rgb8::new(255, 30, 30));
+/// assert_eq!(stats.clipped_pixels, 4);
+/// ```
+pub fn brightness_compensate(frame: &mut Frame, delta: u8) -> ClipStats {
+    let mut stats = ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
+    for c in frame.as_bytes_mut().chunks_exact_mut(3) {
+        let mut clipped = false;
+        for ch in c.iter_mut() {
+            let sum = u16::from(*ch) + u16::from(delta);
+            if sum > 255 {
+                clipped = true;
+                stats.max_overshoot = stats.max_overshoot.max(f32::from(sum - 255));
+                *ch = 255;
+            } else {
+                *ch = sum as u8;
+            }
+        }
+        if clipped {
+            stats.clipped_pixels += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb8;
+
+    #[test]
+    fn contrast_identity() {
+        let orig = Frame::from_fn(8, 8, |x, y| [(x * 31) as u8, (y * 31) as u8, 77]);
+        let mut f = orig.clone();
+        let stats = contrast_enhance(&mut f, 1.0);
+        assert_eq!(f, orig);
+        assert_eq!(stats.clipped_pixels, 0);
+        assert_eq!(stats.max_overshoot, 0.0);
+    }
+
+    #[test]
+    fn contrast_scales_without_clipping() {
+        let mut f = Frame::filled(4, 4, Rgb8::new(10, 20, 40));
+        let stats = contrast_enhance(&mut f, 2.5);
+        assert_eq!(f.pixel(2, 2), Rgb8::new(25, 50, 100));
+        assert_eq!(stats.clipped_pixels, 0);
+    }
+
+    #[test]
+    fn contrast_never_lowers_pixels_for_k_ge_1() {
+        let orig = Frame::from_fn(16, 16, |x, y| [(x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8]);
+        let mut f = orig.clone();
+        contrast_enhance(&mut f, 1.7);
+        for (a, b) in orig.pixels().zip(f.pixels()) {
+            assert!(b.r >= a.r && b.g >= a.g && b.b >= a.b);
+        }
+    }
+
+    #[test]
+    fn contrast_counts_clips_once_per_pixel() {
+        // Both r and g saturate but the pixel is counted once.
+        let mut f = Frame::filled(3, 3, Rgb8::new(200, 201, 2));
+        let stats = contrast_enhance(&mut f, 1.5);
+        assert_eq!(stats.clipped_pixels, 9);
+        assert_eq!(stats.total_pixels, 9);
+        assert!((stats.clipped_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_overshoot_is_tracked() {
+        let mut f = Frame::filled(1, 1, Rgb8::new(200, 0, 0));
+        let stats = contrast_enhance(&mut f, 2.0);
+        assert!((stats.max_overshoot - 145.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn darkening_never_clips() {
+        let mut f = Frame::filled(5, 5, Rgb8::new(255, 255, 255));
+        let stats = contrast_enhance(&mut f, 0.5);
+        assert_eq!(stats.clipped_pixels, 0);
+        assert_eq!(f.pixel(0, 0), Rgb8::gray(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn contrast_rejects_nan() {
+        let mut f = Frame::new(1, 1);
+        contrast_enhance(&mut f, f32::NAN);
+    }
+
+    #[test]
+    fn brightness_adds_uniformly() {
+        let mut f = Frame::filled(2, 2, Rgb8::new(10, 20, 30));
+        let stats = brightness_compensate(&mut f, 15);
+        assert_eq!(f.pixel(0, 0), Rgb8::new(25, 35, 45));
+        assert_eq!(stats.clipped_pixels, 0);
+    }
+
+    #[test]
+    fn brightness_zero_delta_is_identity() {
+        let orig = Frame::from_fn(4, 4, |x, _| [x as u8 * 60, 3, 250]);
+        let mut f = orig.clone();
+        let stats = brightness_compensate(&mut f, 0);
+        assert_eq!(f, orig);
+        assert_eq!(stats.clipped_pixels, 0);
+    }
+
+    #[test]
+    fn clip_stats_fraction_empty() {
+        let s = ClipStats::default();
+        assert_eq!(s.clipped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compensation_preserves_hue_for_gray() {
+        // Gray input must stay gray under both operators (the paper notes
+        // each RGB value is compensated by the same amount to keep colors).
+        let mut f = Frame::filled(2, 2, Rgb8::gray(60));
+        contrast_enhance(&mut f, 1.9);
+        let p = f.pixel(0, 0);
+        assert!(p.r == p.g && p.g == p.b);
+        let mut g = Frame::filled(2, 2, Rgb8::gray(60));
+        brightness_compensate(&mut g, 33);
+        let q = g.pixel(0, 0);
+        assert!(q.r == q.g && q.g == q.b);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for image operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by frame construction and plane manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The provided buffer length does not match `width × height` (times
+    /// the per-pixel stride).
+    BufferSizeMismatch {
+        /// Expected buffer length in bytes.
+        expected: usize,
+        /// Actual buffer length in bytes.
+        actual: usize,
+    },
+    /// A dimension was zero or otherwise unusable.
+    InvalidDimensions {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+    },
+    /// 4:2:0 chroma subsampling requires even dimensions.
+    OddDimensions {
+        /// Requested width.
+        width: u32,
+        /// Requested height.
+        height: u32,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid frame dimensions {width}x{height}")
+            }
+            ImageError::OddDimensions { width, height } => {
+                write!(f, "4:2:0 frames require even dimensions, got {width}x{height}")
+            }
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            ImageError::BufferSizeMismatch { expected: 12, actual: 10 },
+            ImageError::InvalidDimensions { width: 0, height: 4 },
+            ImageError::OddDimensions { width: 3, height: 4 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! 256-bin luminance histograms and the statistics read off them.
+//!
+//! The paper uses histograms in two ways:
+//!
+//! 1. **Analysis** (§4.3): the effective maximum luminance of a scene under
+//!    a quality level *q* is the histogram level below which at least
+//!    `1 − q` of the pixels lie — the brightest `q` fraction is allowed to
+//!    clip. [`Histogram::clip_level`] implements this.
+//! 2. **Validation** (§4.2): snapshots of the PDA screen taken with a
+//!    digital camera are compared via their histograms, which capture both
+//!    the *average luminance* and the *dynamic range* of an image (Fig. 3).
+//!    [`Histogram::mean`], [`Histogram::dynamic_range`] and the distance
+//!    metrics implement this.
+
+use serde::{Deserialize, Serialize};
+
+/// A 256-bin histogram of 8-bit luminance values.
+///
+/// # Example
+///
+/// ```
+/// use annolight_imgproc::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10u8, 10, 20, 240] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.max_nonzero(), Some(240));
+/// // Allowing 25% of pixels to clip removes the single bright outlier.
+/// assert_eq!(h.clip_level(0.25), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>, // always length 256
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { bins: vec![0; 256], total: 0 }
+    }
+
+    /// Builds a histogram from an iterator of luminance samples.
+    pub fn from_samples<I: IntoIterator<Item = u8>>(samples: I) -> Self {
+        let mut h = Self::new();
+        for s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: u8) {
+        self.bins[value as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Adds `count` samples of the same value.
+    pub fn add_count(&mut self, value: u8, count: u64) {
+        self.bins[value as usize] += count;
+        self.total += count;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Count in bin `value`.
+    pub fn bin(&self, value: u8) -> u64 {
+        self.bins[value as usize]
+    }
+
+    /// All 256 bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean sample value ("average point" in Fig. 3); `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.bins.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Smallest value with a non-zero count.
+    pub fn min_nonzero(&self) -> Option<u8> {
+        self.bins.iter().position(|&c| c > 0).map(|v| v as u8)
+    }
+
+    /// Largest value with a non-zero count.
+    pub fn max_nonzero(&self) -> Option<u8> {
+        self.bins.iter().rposition(|&c| c > 0).map(|v| v as u8)
+    }
+
+    /// Dynamic range `max − min` of the occupied bins (Fig. 3); `0` when
+    /// empty.
+    pub fn dynamic_range(&self) -> u8 {
+        match (self.min_nonzero(), self.max_nonzero()) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+
+    /// The `p`-quantile value (`p` in `[0, 1]`): the smallest value `v`
+    /// such that at least `p · total` samples are `≤ v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a finite value in `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u8 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (p * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v as u8;
+            }
+        }
+        255
+    }
+
+    /// Effective maximum luminance when the brightest `quality` fraction of
+    /// pixels may clip (§4.3, Fig. 5).
+    ///
+    /// Returns the smallest value `v` such that the number of samples
+    /// strictly above `v` is at most `quality · total`. With `quality = 0`
+    /// this is exactly [`Histogram::max_nonzero`] (or 0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is not a finite value in `[0, 1]`.
+    pub fn clip_level(&self, quality: f64) -> u8 {
+        assert!((0.0..=1.0).contains(&quality), "quality {quality} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let budget = (quality * self.total as f64).floor() as u64;
+        let mut above = 0u64;
+        // Walk down from the top; stop before the clipped tail exceeds the
+        // budget.
+        for v in (0..256usize).rev() {
+            let next = above + self.bins[v];
+            if next > budget {
+                return v as u8;
+            }
+            above = next;
+        }
+        0
+    }
+
+    /// Number of samples strictly above `level` (the pixels that clip when
+    /// `level` is used as the scene maximum).
+    pub fn count_above(&self, level: u8) -> u64 {
+        self.bins[(level as usize + 1)..].iter().sum()
+    }
+
+    /// Fraction of samples strictly above `level`; `0.0` when empty.
+    pub fn fraction_above(&self, level: u8) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count_above(level) as f64 / self.total as f64
+    }
+
+    /// Histogram intersection similarity in `[0, 1]` (1 = identical
+    /// shapes). Compares *normalised* histograms, so differing sample
+    /// counts are fine.
+    pub fn intersection(&self, other: &Histogram) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return if self.total == other.total { 1.0 } else { 0.0 };
+        }
+        let (ta, tb) = (self.total as f64, other.total as f64);
+        self.bins
+            .iter()
+            .zip(&other.bins)
+            .map(|(&a, &b)| (a as f64 / ta).min(b as f64 / tb))
+            .sum()
+    }
+
+    /// Symmetric chi-square distance between normalised histograms
+    /// (0 = identical; larger = more different).
+    pub fn chi_square(&self, other: &Histogram) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return if self.total == other.total { 0.0 } else { f64::INFINITY };
+        }
+        let (ta, tb) = (self.total as f64, other.total as f64);
+        self.bins
+            .iter()
+            .zip(&other.bins)
+            .map(|(&a, &b)| {
+                let (pa, pb) = (a as f64 / ta, b as f64 / tb);
+                let s = pa + pb;
+                if s > 0.0 {
+                    (pa - pb) * (pa - pb) / s
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            * 0.5
+    }
+
+    /// 1-D earth mover's distance between normalised histograms, in
+    /// luminance levels (0 = identical, 255 = black vs white).
+    pub fn emd(&self, other: &Histogram) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return if self.total == other.total { 0.0 } else { f64::INFINITY };
+        }
+        let (ta, tb) = (self.total as f64, other.total as f64);
+        let mut carry = 0.0;
+        let mut dist = 0.0;
+        for (&a, &b) in self.bins.iter().zip(&other.bins) {
+            carry += a as f64 / ta - b as f64 / tb;
+            dist += carry.abs();
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(lo: u8, hi: u8, per_bin: u64) -> Histogram {
+        let mut h = Histogram::new();
+        for v in lo..=hi {
+            h.add_count(v, per_bin);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min_nonzero(), None);
+        assert_eq!(h.max_nonzero(), None);
+        assert_eq!(h.dynamic_range(), 0);
+        assert_eq!(h.clip_level(0.1), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn total_counts_samples() {
+        let h = Histogram::from_samples([1u8, 2, 3, 3]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bin(3), 2);
+    }
+
+    #[test]
+    fn mean_of_uniform() {
+        let h = uniform(0, 255, 1);
+        assert!((h.mean() - 127.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_range_bounds() {
+        let h = uniform(40, 200, 3);
+        assert_eq!(h.min_nonzero(), Some(40));
+        assert_eq!(h.max_nonzero(), Some(200));
+        assert_eq!(h.dynamic_range(), 160);
+    }
+
+    #[test]
+    fn clip_level_zero_is_max() {
+        let h = Histogram::from_samples([10u8, 50, 250]);
+        assert_eq!(h.clip_level(0.0), 250);
+    }
+
+    #[test]
+    fn clip_level_removes_sparse_tail() {
+        // 99 dark pixels plus one bright outlier.
+        let mut h = Histogram::new();
+        h.add_count(30, 99);
+        h.add(255);
+        assert_eq!(h.clip_level(0.0), 255);
+        assert_eq!(h.clip_level(0.01), 30);
+    }
+
+    #[test]
+    fn clip_level_respects_budget_boundary() {
+        // 10 samples: clipping 20% = 2 samples allowed.
+        let mut h = Histogram::new();
+        h.add_count(100, 8);
+        h.add_count(200, 1);
+        h.add_count(220, 1);
+        assert_eq!(h.clip_level(0.2), 100);
+        assert_eq!(h.clip_level(0.1), 200);
+        assert_eq!(h.clip_level(0.05), 220); // budget 0.5 floors to 0
+    }
+
+    #[test]
+    fn clipped_fraction_never_exceeds_quality() {
+        let h = uniform(0, 255, 7);
+        for q in [0.0, 0.01, 0.05, 0.1, 0.15, 0.2, 0.5] {
+            let level = h.clip_level(q);
+            assert!(
+                h.fraction_above(level) <= q + 1e-12,
+                "q={q} level={level} frac={}",
+                h.fraction_above(level)
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let h = uniform(10, 240, 2);
+        let mut last = 0u8;
+        for i in 0..=10 {
+            let p = h.percentile(i as f64 / 10.0);
+            assert!(p >= last);
+            last = p;
+        }
+        assert_eq!(h.percentile(1.0), 240);
+    }
+
+    #[test]
+    fn count_above_top_is_zero() {
+        let h = uniform(0, 255, 1);
+        assert_eq!(h.count_above(255), 0);
+        assert_eq!(h.count_above(254), 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::from_samples([1u8, 2]);
+        let b = Histogram::from_samples([2u8, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.bin(2), 2);
+    }
+
+    #[test]
+    fn intersection_identity_and_disjoint() {
+        let a = uniform(0, 10, 5);
+        assert!((a.intersection(&a) - 1.0).abs() < 1e-9);
+        let b = uniform(200, 210, 5);
+        assert!(a.intersection(&b) < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_identity_zero() {
+        let a = uniform(5, 50, 2);
+        assert!(a.chi_square(&a) < 1e-12);
+        let b = uniform(100, 150, 2);
+        assert!(a.chi_square(&b) > 0.5);
+    }
+
+    #[test]
+    fn emd_measures_shift() {
+        // All mass at 10 vs all mass at 30: EMD = 20 levels.
+        let mut a = Histogram::new();
+        a.add_count(10, 4);
+        let mut b = Histogram::new();
+        b.add_count(30, 4);
+        assert!((a.emd(&b) - 20.0).abs() < 1e-9);
+        assert!(a.emd(&a) < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = uniform(0, 100, 1);
+        let b = uniform(50, 180, 2);
+        assert!((a.emd(&b) - b.emd(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn clip_level_validates_quality() {
+        Histogram::new().clip_level(1.5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Perceptual quality metrics.
+//!
+//! The paper validates with histograms; SSIM is the modern structural
+//! complement — it penalises exactly the artefacts histogram comparison
+//! can miss (texture crushed by clipping while the global distribution
+//! stays similar). Used alongside the histogram metrics in the validation
+//! report.
+
+use crate::frame::LumaFrame;
+
+const C1: f64 = 6.5025; // (0.01 * 255)^2
+const C2: f64 = 58.5225; // (0.03 * 255)^2
+const WINDOW: u32 = 8;
+
+/// Mean SSIM between two luminance planes over non-overlapping 8×8
+/// windows, in `[-1, 1]` (1 = identical).
+///
+/// ```
+/// use annolight_imgproc::{ssim_luma, Frame};
+/// let a = Frame::from_fn(16, 16, |x, y| [(x * 16) as u8, (y * 16) as u8, 0]).to_luma();
+/// assert_eq!(ssim_luma(&a, &a), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the planes differ in size or are smaller than one window.
+pub fn ssim_luma(a: &LumaFrame, b: &LumaFrame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "SSIM requires equal dimensions"
+    );
+    assert!(
+        a.width() >= WINDOW && a.height() >= WINDOW,
+        "SSIM needs at least one {WINDOW}x{WINDOW} window"
+    );
+    let mut acc = 0.0;
+    let mut windows = 0u32;
+    for wy in 0..(a.height() / WINDOW) {
+        for wx in 0..(a.width() / WINDOW) {
+            acc += window_ssim(a, b, wx * WINDOW, wy * WINDOW);
+            windows += 1;
+        }
+    }
+    acc / f64::from(windows)
+}
+
+fn window_ssim(a: &LumaFrame, b: &LumaFrame, ox: u32, oy: u32) -> f64 {
+    let n = f64::from(WINDOW * WINDOW);
+    let (mut sa, mut sb) = (0.0f64, 0.0f64);
+    for y in 0..WINDOW {
+        for x in 0..WINDOW {
+            sa += f64::from(a.sample(ox + x, oy + y));
+            sb += f64::from(b.sample(ox + x, oy + y));
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for y in 0..WINDOW {
+        for x in 0..WINDOW {
+            let da = f64::from(a.sample(ox + x, oy + y)) - ma;
+            let db = f64::from(b.sample(ox + x, oy + y)) - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    let (va, vb, cov) = (va / (n - 1.0), vb / (n - 1.0), cov / (n - 1.0));
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    fn textured(seed: u32) -> LumaFrame {
+        Frame::from_fn(32, 32, |x, y| {
+            let v = ((x * 13 + y * 7 + seed) % 200 + 20) as u8;
+            [v, v, v]
+        })
+        .to_luma()
+    }
+
+    #[test]
+    fn identical_planes_score_one() {
+        let a = textured(0);
+        assert!((ssim_luma(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_planes_score_low() {
+        let a = textured(0);
+        let b = textured(97);
+        assert!(ssim_luma(&a, &b) < 0.5);
+    }
+
+    #[test]
+    fn small_noise_scores_high() {
+        let a = textured(0);
+        let mut noisy = a.clone();
+        for (i, s) in noisy.samples_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *s = s.saturating_add(2);
+            }
+        }
+        assert!(ssim_luma(&a, &noisy) > 0.95);
+    }
+
+    #[test]
+    fn crushing_texture_hurts_more_than_brightness_shift() {
+        // A +10 global shift keeps structure; flattening an area kills it.
+        let a = textured(0);
+        let mut shifted = a.clone();
+        for s in shifted.samples_mut() {
+            *s = s.saturating_add(10);
+        }
+        let mut crushed = a.clone();
+        for s in crushed.samples_mut().iter_mut().take(512) {
+            *s = 128;
+        }
+        assert!(ssim_luma(&a, &shifted) > ssim_luma(&a, &crushed));
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = textured(0);
+        let b = textured(5);
+        assert!((ssim_luma(&a, &b) - ssim_luma(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Frame::new(16, 16).to_luma();
+        let b = Frame::new(32, 16).to_luma();
+        let _ = ssim_luma(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn too_small_panics() {
+        let a = Frame::new(4, 4).to_luma();
+        let _ = ssim_luma(&a, &a);
+    }
+}

@@ -1,0 +1,152 @@
+//! Frame scaling and cropping.
+//!
+//! §2 of the paper surveys "data-shaping algorithms for mobile multimedia
+//! communication" (Lee/Panigrahi/Dey) where image data is reshaped to fit
+//! dynamic network conditions; the proxy in Fig. 1 is explicitly a
+//! transcoder. These operators let the proxy downscale a stream for a
+//! constrained wireless hop while the annotation machinery keeps working
+//! on the reshaped frames.
+
+use crate::color::Rgb8;
+use crate::error::ImageError;
+use crate::frame::Frame;
+
+/// Halves both dimensions by box-averaging each 2×2 block.
+///
+/// # Errors
+///
+/// Returns [`ImageError::OddDimensions`] when either dimension is odd and
+/// [`ImageError::InvalidDimensions`] when halving would reach zero.
+pub fn downscale_2x(frame: &Frame) -> Result<Frame, ImageError> {
+    let (w, h) = (frame.width(), frame.height());
+    if w % 2 != 0 || h % 2 != 0 {
+        return Err(ImageError::OddDimensions { width: w, height: h });
+    }
+    if w < 2 || h < 2 {
+        return Err(ImageError::InvalidDimensions { width: w, height: h });
+    }
+    Ok(Frame::from_fn(w / 2, h / 2, |x, y| {
+        let mut acc = [0u16; 3];
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let p = frame.pixel(x * 2 + dx, y * 2 + dy);
+                acc[0] += u16::from(p.r);
+                acc[1] += u16::from(p.g);
+                acc[2] += u16::from(p.b);
+            }
+        }
+        [((acc[0] + 2) / 4) as u8, ((acc[1] + 2) / 4) as u8, ((acc[2] + 2) / 4) as u8]
+    }))
+}
+
+/// Extracts the `width × height` rectangle at `(x, y)`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::InvalidDimensions`] when the rectangle is empty
+/// or does not fit inside the frame.
+pub fn crop(frame: &Frame, x: u32, y: u32, width: u32, height: u32) -> Result<Frame, ImageError> {
+    if width == 0
+        || height == 0
+        || x.checked_add(width).is_none_or(|r| r > frame.width())
+        || y.checked_add(height).is_none_or(|b| b > frame.height())
+    {
+        return Err(ImageError::InvalidDimensions { width, height });
+    }
+    Ok(Frame::from_fn(width, height, |cx, cy| frame.pixel(x + cx, y + cy).to_array()))
+}
+
+/// Letterboxes `frame` onto a `width × height` canvas (centred, black
+/// bars), preserving content scale — what a QVGA PDA does with a wider
+/// trailer.
+///
+/// # Errors
+///
+/// Returns [`ImageError::InvalidDimensions`] if the frame is larger than
+/// the canvas in either dimension.
+pub fn letterbox(frame: &Frame, width: u32, height: u32) -> Result<Frame, ImageError> {
+    if frame.width() > width || frame.height() > height || width == 0 || height == 0 {
+        return Err(ImageError::InvalidDimensions { width, height });
+    }
+    let ox = (width - frame.width()) / 2;
+    let oy = (height - frame.height()) / 2;
+    Ok(Frame::from_fn(width, height, |x, y| {
+        if x >= ox && x < ox + frame.width() && y >= oy && y < oy + frame.height() {
+            frame.pixel(x - ox, y - oy).to_array()
+        } else {
+            Rgb8::default().to_array()
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downscale_halves_dimensions() {
+        let f = Frame::from_fn(8, 6, |x, y| [(x * 30) as u8, (y * 40) as u8, 9]);
+        let d = downscale_2x(&f).unwrap();
+        assert_eq!((d.width(), d.height()), (4, 3));
+    }
+
+    #[test]
+    fn downscale_averages_blocks() {
+        let mut f = Frame::new(2, 2);
+        f.set_pixel(0, 0, Rgb8::gray(100));
+        f.set_pixel(1, 0, Rgb8::gray(200));
+        f.set_pixel(0, 1, Rgb8::gray(100));
+        f.set_pixel(1, 1, Rgb8::gray(200));
+        let d = downscale_2x(&f).unwrap();
+        assert_eq!(d.pixel(0, 0), Rgb8::gray(150));
+    }
+
+    #[test]
+    fn downscale_preserves_mean_luma() {
+        let f = Frame::from_fn(32, 32, |x, y| {
+            let v = ((x * 7 + y * 3) % 240) as u8;
+            [v, v, v]
+        });
+        let d = downscale_2x(&f).unwrap();
+        assert!((f.mean_luma() - d.mean_luma()).abs() < 1.5);
+    }
+
+    #[test]
+    fn downscale_rejects_odd() {
+        let f = Frame::new(3, 4);
+        assert!(matches!(downscale_2x(&f), Err(ImageError::OddDimensions { .. })));
+    }
+
+    #[test]
+    fn crop_extracts_rectangle() {
+        let f = Frame::from_fn(8, 8, |x, y| [x as u8, y as u8, 0]);
+        let c = crop(&f, 2, 3, 4, 2).unwrap();
+        assert_eq!((c.width(), c.height()), (4, 2));
+        assert_eq!(c.pixel(0, 0), Rgb8::new(2, 3, 0));
+        assert_eq!(c.pixel(3, 1), Rgb8::new(5, 4, 0));
+    }
+
+    #[test]
+    fn crop_bounds_checked() {
+        let f = Frame::new(8, 8);
+        assert!(crop(&f, 6, 0, 4, 4).is_err());
+        assert!(crop(&f, 0, 0, 0, 4).is_err());
+        assert!(crop(&f, 0, 0, 8, 8).is_ok());
+    }
+
+    #[test]
+    fn letterbox_centres_content() {
+        let f = Frame::filled(4, 2, Rgb8::gray(200));
+        let l = letterbox(&f, 8, 6).unwrap();
+        assert_eq!(l.pixel(0, 0), Rgb8::default()); // bar
+        assert_eq!(l.pixel(2, 2), Rgb8::gray(200)); // content
+        assert_eq!(l.pixel(5, 3), Rgb8::gray(200));
+        assert_eq!(l.pixel(7, 5), Rgb8::default());
+    }
+
+    #[test]
+    fn letterbox_rejects_oversize() {
+        let f = Frame::new(16, 16);
+        assert!(letterbox(&f, 8, 16).is_err());
+    }
+}

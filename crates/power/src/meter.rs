@@ -1,0 +1,125 @@
+//! Thread-safe energy accounting for the streaming pipeline.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Accumulates energy per named component across threads.
+///
+/// The server, proxy and client of the streaming model each run on their
+/// own thread and attribute consumed energy here; the session report then
+/// breaks energy down per component.
+///
+/// # Example
+///
+/// ```
+/// use annolight_power::EnergyMeter;
+/// let meter = EnergyMeter::new();
+/// meter.add("backlight", 1.5);
+/// meter.add("cpu", 2.0);
+/// meter.add("backlight", 0.5);
+/// assert_eq!(meter.component_j("backlight"), 2.0);
+/// assert_eq!(meter.total_j(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    inner: Arc<Mutex<BTreeMap<String, f64>>>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `joules` to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for negative or non-finite energy.
+    pub fn add(&self, component: &str, joules: f64) {
+        assert!(joules.is_finite() && joules >= 0.0, "energy {joules} must be non-negative");
+        *self.inner.lock().entry(component.to_owned()).or_insert(0.0) += joules;
+    }
+
+    /// Energy recorded for one component, joules (0 if never seen).
+    pub fn component_j(&self, component: &str) -> f64 {
+        self.inner.lock().get(component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all components, joules.
+    pub fn total_j(&self) -> f64 {
+        self.inner.lock().values().sum()
+    }
+
+    /// Snapshot of all components and their energies.
+    pub fn breakdown(&self) -> BTreeMap<String, f64> {
+        self.inner.lock().clone()
+    }
+
+    /// Resets the meter.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn accumulates_per_component() {
+        let m = EnergyMeter::new();
+        m.add("a", 1.0);
+        m.add("b", 2.0);
+        m.add("a", 3.0);
+        assert_eq!(m.component_j("a"), 4.0);
+        assert_eq!(m.component_j("b"), 2.0);
+        assert_eq!(m.component_j("c"), 0.0);
+        assert_eq!(m.total_j(), 6.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = EnergyMeter::new();
+        let m2 = m.clone();
+        m2.add("x", 5.0);
+        assert_eq!(m.component_j("x"), 5.0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let m = EnergyMeter::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.add("cpu", 0.001);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((m.component_j("cpu") - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_and_clear() {
+        let m = EnergyMeter::new();
+        m.add("a", 1.0);
+        let b = m.breakdown();
+        assert_eq!(b.len(), 1);
+        m.clear();
+        assert_eq!(m.total_j(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_energy() {
+        EnergyMeter::new().add("a", -1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! The streaming system model of Fig. 1.
+//!
+//! "The system entities include a multimedia server, an (optional) proxy
+//! node that can perform various operations on the stream (transcoding),
+//! the users with low-power mobile devices and other network equipment. …
+//! The annotations can be generated and added to the video stream at
+//! either the server or proxy node, with no changes for the client."
+//!
+//! * [`server`] — stores profiled clips and serves annotated, compensated,
+//!   encoded streams for a negotiated device/quality;
+//! * [`proxy`] — transcodes an *unannotated* stream on the fly, inserting
+//!   annotations and compensation mid-path;
+//! * [`client`] — decodes, obeys the annotation track through the
+//!   backlight controller, and accounts energy with the device power
+//!   model;
+//! * [`network`] — a bandwidth/latency channel model for the wireless hop;
+//! * [`session`] — end-to-end orchestration (threaded server → client
+//!   delivery over crossbeam channels), producing the measurements behind
+//!   Fig. 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod message;
+pub mod network;
+pub mod proxy;
+pub mod server;
+pub mod session;
+
+pub use client::{PlaybackClient, PlaybackReport};
+pub use message::{grant_quality, ClientHello, ServerOffer};
+pub use network::WirelessChannel;
+pub use proxy::Proxy;
+pub use server::{MediaServer, ServeRequest};
+pub use session::{run_session, run_shared_sessions, SessionConfig, SessionReport};

@@ -1,0 +1,152 @@
+//! The negotiation protocol (§4.3).
+//!
+//! "These can be computed by either the server/proxy (client
+//! characteristics are sent during the initial negotiation phase), or by
+//! the client itself." The messages here are what crosses the wire before
+//! streaming starts: the client announces its device profile and requested
+//! quality; the server answers with the qualities it offers and the chosen
+//! stream parameters.
+
+use annolight_core::track::AnnotationMode;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Client → server: session opening.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientHello {
+    /// The clip the user asked for.
+    pub clip_name: String,
+    /// The client's full display characterisation — this is what lets the
+    /// server tailor backlight levels per device.
+    pub device: DeviceProfile,
+    /// The user-selected quality level.
+    pub quality: QualityLevel,
+    /// Whether the client's backlight driver prefers per-scene or
+    /// per-frame updates.
+    pub mode: AnnotationMode,
+    /// Protocol version, for forward compatibility.
+    pub version: u16,
+}
+
+/// Server → client: the offer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerOffer {
+    /// Quality levels this server pre-computes ("the server … provides a
+    /// number of different video qualities … 5 in our case").
+    pub offered_qualities: Vec<QualityLevel>,
+    /// The quality the server will actually stream (closest offered to
+    /// the request).
+    pub granted_quality: QualityLevel,
+    /// Stream dimensions.
+    pub width: u32,
+    /// Stream dimensions.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: f64,
+    /// Expected stream size, bytes (for client buffering decisions).
+    pub stream_bytes: u64,
+}
+
+/// Protocol version implemented by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+impl ClientHello {
+    /// Builds a hello with the current protocol version.
+    pub fn new(
+        clip_name: impl Into<String>,
+        device: DeviceProfile,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+    ) -> Self {
+        Self { clip_name: clip_name.into(), device, quality, mode, version: PROTOCOL_VERSION }
+    }
+
+    /// Serialises to the JSON wire form.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for well-formed hellos (all fields are serialisable).
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("hello messages are always serialisable")
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string for malformed input.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Picks the offered quality closest to (and not exceeding) the request —
+/// the server never degrades more than the user agreed to.
+pub fn grant_quality(offered: &[QualityLevel], requested: QualityLevel) -> QualityLevel {
+    let req = requested.clip_fraction();
+    offered
+        .iter()
+        .copied()
+        .filter(|q| q.clip_fraction() <= req + 1e-12)
+        .max_by(|a, b| a.clip_fraction().total_cmp(&b.clip_fraction()))
+        .unwrap_or(QualityLevel::Q0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_wire_roundtrip() {
+        let hello = ClientHello::new(
+            "themovie",
+            DeviceProfile::ipaq_5555(),
+            QualityLevel::Q10,
+            AnnotationMode::PerScene,
+        );
+        let wire = hello.to_wire();
+        let back = ClientHello::from_wire(&wire).unwrap();
+        assert_eq!(hello, back);
+        assert_eq!(back.version, PROTOCOL_VERSION);
+        assert_eq!(back.device.name(), "ipaq-5555");
+    }
+
+    #[test]
+    fn malformed_hello_rejected() {
+        assert!(ClientHello::from_wire(b"not json").is_err());
+        assert!(ClientHello::from_wire(b"{}").is_err());
+    }
+
+    #[test]
+    fn grant_picks_closest_not_exceeding() {
+        let offered = QualityLevel::PAPER_LEVELS.to_vec();
+        assert_eq!(grant_quality(&offered, QualityLevel::Q10), QualityLevel::Q10);
+        assert_eq!(
+            grant_quality(&offered, QualityLevel::Custom(0.12)),
+            QualityLevel::Q10,
+            "12% request grants the 10% stream, never 15%"
+        );
+        assert_eq!(grant_quality(&offered, QualityLevel::Custom(0.001)), QualityLevel::Q0);
+    }
+
+    #[test]
+    fn grant_defaults_to_lossless() {
+        assert_eq!(grant_quality(&[], QualityLevel::Q20), QualityLevel::Q0);
+    }
+
+    #[test]
+    fn offer_serialises() {
+        let offer = ServerOffer {
+            offered_qualities: QualityLevel::PAPER_LEVELS.to_vec(),
+            granted_quality: QualityLevel::Q5,
+            width: 128,
+            height: 96,
+            fps: 12.0,
+            stream_bytes: 1_000_000,
+        };
+        let json = serde_json::to_string(&offer).unwrap();
+        let back: ServerOffer = serde_json::from_str(&json).unwrap();
+        assert_eq!(offer, back);
+    }
+}

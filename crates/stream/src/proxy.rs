@@ -1,0 +1,220 @@
+//! The proxy node.
+//!
+//! "The communication between the handheld device and the server can be
+//! routed through a proxy node — a high-end machine with the ability to
+//! process the video stream in real-time, on-the-fly (example in
+//! videoconferencing). Note that for our scheme either the proxy or the
+//! server node suffices."
+//!
+//! [`Proxy::transcode`] takes an *unannotated* stream (e.g. straight from
+//! a camera or a legacy server), decodes it, profiles the decoded frames,
+//! annotates for the negotiated device/quality, compensates, and
+//! re-encodes — producing exactly what the annotation-aware server would
+//! have sent, with no change for the client.
+
+use annolight_codec::{CodecError, Decoder, EncodedStream, Encoder, EncoderConfig};
+use annolight_core::{apply::compensate_frame, Annotator, CoreError, LuminanceProfile, QualityLevel};
+use annolight_core::track::AnnotationMode;
+use annolight_display::DeviceProfile;
+use std::error::Error;
+use std::fmt;
+
+/// Errors during proxy transcoding.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProxyError {
+    /// The incoming stream failed to decode.
+    Codec(CodecError),
+    /// Annotation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Codec(e) => write!(f, "proxy decode/encode failed: {e}"),
+            ProxyError::Core(e) => write!(f, "proxy annotation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ProxyError {}
+
+impl From<CodecError> for ProxyError {
+    fn from(e: CodecError) -> Self {
+        ProxyError::Codec(e)
+    }
+}
+
+impl From<CoreError> for ProxyError {
+    fn from(e: CoreError) -> Self {
+        ProxyError::Core(e)
+    }
+}
+
+/// The transcoding proxy.
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    encoder_template: EncoderConfig,
+}
+
+impl Proxy {
+    /// Creates a proxy that re-encodes with the given settings.
+    pub fn new(encoder_template: EncoderConfig) -> Self {
+        Self { encoder_template }
+    }
+
+    /// Transcodes `input` into an annotated, compensated stream for
+    /// `device` at `quality`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError`] when the input stream cannot be decoded or
+    /// the re-encode fails.
+    pub fn transcode(
+        &self,
+        input: &EncodedStream,
+        device: &DeviceProfile,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+    ) -> Result<EncodedStream, ProxyError> {
+        let mut dec = Decoder::new(input)?;
+        let frames = dec.decode_all()?;
+        let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
+        let annotated = Annotator::new(device.clone(), quality).with_mode(mode).annotate_profile(&profile)?;
+
+        let mut enc = Encoder::new(EncoderConfig {
+            width: input.width(),
+            height: input.height(),
+            fps: input.fps(),
+            ..self.encoder_template
+        })?;
+        enc.push_user_data(&annotated.track().to_rle_bytes());
+        for (i, frame) in frames.into_iter().enumerate() {
+            let mut frame = frame;
+            compensate_frame(&mut frame, annotated.track(), i as u32)
+                .map_err(ProxyError::Core)?;
+            enc.push_frame(&frame)?;
+        }
+        Ok(enc.finish())
+    }
+
+    /// Transcodes *and downscales* by 2× in each dimension — the
+    /// data-shaping role of the Fig. 1 proxy when the wireless hop is
+    /// constrained. Annotations are recomputed on the reshaped frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError`] if the input cannot be decoded, the halved
+    /// dimensions are not multiples of 16, or the re-encode fails.
+    pub fn transcode_downscaled(
+        &self,
+        input: &EncodedStream,
+        device: &DeviceProfile,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+    ) -> Result<EncodedStream, ProxyError> {
+        let mut dec = Decoder::new(input)?;
+        let mut frames = Vec::with_capacity(dec.frame_count() as usize);
+        while let Some(f) = dec.decode_next()? {
+            frames.push(
+                annolight_imgproc::downscale_2x(&f)
+                    .map_err(|e| ProxyError::Codec(CodecError::Malformed { reason: e.to_string() }))?,
+            );
+        }
+        let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
+        let annotated =
+            Annotator::new(device.clone(), quality).with_mode(mode).annotate_profile(&profile)?;
+        let mut enc = Encoder::new(EncoderConfig {
+            width: input.width() / 2,
+            height: input.height() / 2,
+            fps: input.fps(),
+            ..self.encoder_template
+        })?;
+        enc.push_user_data(&annotated.track().to_rle_bytes());
+        for (i, frame) in frames.into_iter().enumerate() {
+            let mut frame = frame;
+            compensate_frame(&mut frame, annotated.track(), i as u32).map_err(ProxyError::Core)?;
+            enc.push_frame(&frame)?;
+        }
+        Ok(enc.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PlaybackClient;
+    use annolight_power::SystemPowerModel;
+    use annolight_video::ClipLibrary;
+
+    fn raw_stream() -> EncodedStream {
+        let clip = ClipLibrary::paper_clip("spiderman2").unwrap().preview(3.0);
+        let (w, h) = clip.dimensions();
+        let mut enc = Encoder::new(EncoderConfig {
+            width: w,
+            height: h,
+            fps: clip.fps(),
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        for f in clip.frames() {
+            enc.push_frame(&f).unwrap();
+        }
+        enc.finish()
+    }
+
+    #[test]
+    fn proxy_adds_annotations_to_plain_stream() {
+        let input = raw_stream();
+        assert!(Decoder::new(&input).unwrap().user_data().is_empty());
+        let proxy = Proxy::new(EncoderConfig::default());
+        let out = proxy
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        let dec = Decoder::new(&out).unwrap();
+        assert_eq!(dec.user_data().len(), 1);
+        assert_eq!(out.frame_count(), input.frame_count());
+    }
+
+    #[test]
+    fn proxied_stream_plays_with_savings() {
+        let input = raw_stream();
+        let proxy = Proxy::new(EncoderConfig::default());
+        let out = proxy
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q15, AnnotationMode::PerScene)
+            .unwrap();
+        let client = PlaybackClient::new(DeviceProfile::ipaq_5555(), SystemPowerModel::ipaq_5555());
+        let report = client.play(&out, None).unwrap();
+        assert!(report.annotated);
+        assert!(report.total_savings() > 0.02, "savings {}", report.total_savings());
+    }
+
+    #[test]
+    fn downscaling_proxy_shrinks_stream_and_keeps_savings() {
+        let input = raw_stream();
+        let proxy = Proxy::new(EncoderConfig::default());
+        let out = proxy
+            .transcode_downscaled(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        assert_eq!(out.width(), input.width() / 2);
+        assert_eq!(out.height(), input.height() / 2);
+        assert_eq!(out.frame_count(), input.frame_count());
+        assert!(out.len() < input.len(), "quarter-area stream must be smaller");
+        let client = PlaybackClient::new(DeviceProfile::ipaq_5555(), SystemPowerModel::ipaq_5555());
+        let report = client.play(&out, None).unwrap();
+        assert!(report.annotated);
+        assert!(report.total_savings() > 0.02);
+    }
+
+    #[test]
+    fn proxy_preserves_frame_count_and_rate() {
+        let input = raw_stream();
+        let proxy = Proxy::new(EncoderConfig::default());
+        let out = proxy
+            .transcode(&input, &DeviceProfile::zaurus_sl5600(), QualityLevel::Q5, AnnotationMode::PerScene)
+            .unwrap();
+        assert_eq!(out.frame_count(), input.frame_count());
+        assert!((out.fps() - input.fps()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic synthetic video clips for the `annolight` workspace.
+//!
+//! The paper evaluates on ten short clips (movie previews downloaded from
+//! apple.com plus two others). Those files are not redistributable, and the
+//! annotation technique consumes only **luminance statistics** — per-frame
+//! histograms and scene structure — so this crate provides a *synthetic
+//! clip library*: deterministic, seeded frame generators whose scene
+//! scripts are calibrated to mimic each clip class the paper describes
+//! (dark thriller scenes with sparse highlights, bright cartoons, office
+//! content, end credits, fades, hard cuts). See `DESIGN.md` §2.
+//!
+//! # Example
+//!
+//! ```
+//! use annolight_video::ClipLibrary;
+//!
+//! let clip = ClipLibrary::paper_clip("ice_age").expect("known clip");
+//! // Bright cartoon content: the average frame is bright, which is why the
+//! // paper reports almost no savings for this clip.
+//! let frame = clip.frame(0);
+//! assert!(frame.mean_luma() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clip;
+pub mod content;
+pub mod library;
+
+pub use clip::{Clip, ClipSpec, SceneSpec};
+pub use content::ContentKind;
+pub use library::ClipLibrary;

@@ -1,0 +1,59 @@
+//! The paper's camera-based quality validation (Fig. 2/Fig. 4): for each
+//! quality level, photograph the original frame at full backlight and the
+//! compensated frame at the annotated backlight, then compare histograms.
+//!
+//! ```text
+//! cargo run --release --example camera_validation
+//! ```
+
+use annolight::camera::{validate_compensation, DigitalCamera};
+use annolight::core::plan::plan_levels;
+use annolight::core::QualityLevel;
+use annolight::display::{BacklightLevel, DeviceProfile};
+use annolight::imgproc::{contrast_enhance, Frame};
+use annolight::video::ClipLibrary;
+
+fn main() {
+    let device = DeviceProfile::ipaq_5555();
+    let camera = DigitalCamera::consumer_compact(2026);
+
+    // A dark frame out of a trailer, as in the paper's news-clip example.
+    let clip = ClipLibrary::paper_clip("i_robot").expect("library clip");
+    let original: Frame = clip.frame(3);
+    let hist = original.luma_histogram();
+    println!(
+        "frame: mean luminance {:.1}, max {}, dynamic range {}",
+        hist.mean(),
+        hist.max_nonzero().unwrap_or(0),
+        hist.dynamic_range()
+    );
+
+    println!(
+        "\n{:<8} {:>9} {:>10} {:>12} {:>12} {:>8} {:>10}",
+        "quality", "backlight", "saved", "ref mean", "comp mean", "EMD", "verdict"
+    );
+    for q in QualityLevel::PAPER_LEVELS {
+        let effective = hist.clip_level(q.clip_fraction());
+        let (k, level) = plan_levels(&device, effective);
+        let mut compensated = original.clone();
+        contrast_enhance(&mut compensated, k);
+        let report = validate_compensation(
+            &original,
+            &compensated,
+            &device,
+            BacklightLevel::MAX,
+            level,
+            &camera,
+        );
+        println!(
+            "{:<8} {:>9} {:>9.1}% {:>12.1} {:>12.1} {:>8.2} {:>10}",
+            q.to_string(),
+            format!("{}/255", level.0),
+            device.backlight_power().savings_vs_full(level) * 100.0,
+            report.reference_mean,
+            report.compensated_mean,
+            report.histogram_emd,
+            if report.acceptable() { "ok" } else { "degraded" }
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: annotate a clip and inspect the predicted savings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use annolight::core::{Annotator, QualityLevel};
+use annolight::display::DeviceProfile;
+use annolight::video::ClipLibrary;
+
+fn main() {
+    // 1. A clip from the paper's evaluation set and the paper's device.
+    let clip = ClipLibrary::paper_clip("themovie").expect("library clip");
+    let device = DeviceProfile::ipaq_5555();
+
+    // 2. Profile + annotate at the 10% quality level (done once, at the
+    //    server or proxy — the handheld never analyses frames).
+    let annotator = Annotator::new(device.clone(), QualityLevel::Q10);
+    let annotated = annotator.annotate_clip(&clip).expect("annotation succeeds");
+
+    // 3. What rides in the stream, and what it buys.
+    let track = annotated.track();
+    println!("clip             : {} ({:.0} s)", clip.name(), clip.duration_s());
+    println!("scenes annotated : {}", track.entries().len());
+    println!("track overhead   : {} bytes (RLE)", track.overhead_bytes());
+    println!(
+        "backlight saving : {:.1}% (predicted, {})",
+        annotated.predicted_backlight_savings(&device) * 100.0,
+        device.name()
+    );
+
+    // 4. The first few scene entries.
+    println!("\nfirst entries:");
+    for e in track.entries().iter().take(5) {
+        println!(
+            "  frame {:>4}: backlight {:>3}/255, k = {:.3}, effective max = {}",
+            e.start_frame, e.backlight.0, e.compensation, e.effective_max_luma
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! A full streaming session: server → 802.11b → iPAQ 5555 client, with
+//! energy accounting (the Fig. 10 pipeline, one clip).
+//!
+//! ```text
+//! cargo run --release --example streaming_playback [clip] [quality%]
+//! ```
+
+use annolight::core::QualityLevel;
+use annolight::stream::{run_session, SessionConfig};
+use annolight::video::ClipLibrary;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clip_name = args.next().unwrap_or_else(|| "returnoftheking".to_owned());
+    let quality = QualityLevel::from_percent(
+        args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0),
+    );
+
+    let clip = ClipLibrary::paper_clip(&clip_name)
+        .unwrap_or_else(|| panic!("unknown clip {clip_name:?}; see ClipLibrary::PAPER_CLIP_NAMES"))
+        .preview(20.0);
+    println!("streaming {} ({:.0} s preview) at quality {quality}", clip.name(), clip.duration_s());
+
+    let report = run_session(SessionConfig::new(clip, quality)).expect("session succeeds");
+
+    println!("\n--- delivery -------------------------------------------");
+    println!("stream size      : {} bytes in {} packets", report.stream_bytes, report.packets);
+    println!("annotation track : {} bytes", report.annotation_bytes);
+    println!("transfer time    : {:.2} s (real-time: {})", report.transfer_time_s, report.real_time);
+
+    let p = &report.playback;
+    println!("\n--- playback on the iPAQ 5555 ---------------------------");
+    println!("frames decoded   : {} ({:.1} s)", p.frames, p.duration_s);
+    println!("mean backlight   : {:.0}/255", p.mean_backlight);
+    println!("backlight writes : {} (suppressed: {})", p.switches.switches, p.switches.suppressed);
+    println!("device energy    : {:.1} J (baseline {:.1} J)", p.energy_j, p.baseline_energy_j);
+    println!("average power    : {:.2} W", p.avg_power_w);
+    println!("TOTAL SAVINGS    : {:.1}%", p.total_savings() * 100.0);
+
+    println!("\n--- energy breakdown ------------------------------------");
+    for (component, joules) in &report.energy_breakdown {
+        println!("{component:<12}: {joules:.1} J");
+    }
+}

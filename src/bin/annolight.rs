@@ -1,0 +1,18 @@
+//! The `annolight` CLI entry point; all logic lives in `annolight::cli`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match annolight::cli::parse(&args).and_then(|cmd| annolight::cli::execute(&cmd)) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", annolight::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

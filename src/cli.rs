@@ -1,0 +1,453 @@
+//! The `annolight` command-line tool.
+//!
+//! A thin, dependency-free front end over the workspace: list clips and
+//! devices, annotate a clip and dump the track, run a measured streaming
+//! session, or validate compensation with the camera model.
+
+use crate::core::track::AnnotationMode;
+use crate::core::{Annotator, QualityLevel};
+use crate::display::DeviceProfile;
+use crate::power::Battery;
+use crate::stream::{run_session, SessionConfig};
+use crate::video::{library::PAPER_CLIP_NAMES, Clip, ClipLibrary};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the clip library.
+    Clips,
+    /// List the device profiles.
+    Devices,
+    /// Annotate a clip and print the track.
+    Annotate {
+        /// Clip name.
+        clip: String,
+        /// Quality in percent.
+        quality: f64,
+        /// Target device name.
+        device: String,
+        /// Per-frame instead of per-scene.
+        per_frame: bool,
+        /// Emit the JSON sidecar instead of the summary.
+        json: bool,
+    },
+    /// Run a full streaming session and report energy.
+    Play {
+        /// Clip name.
+        clip: String,
+        /// Quality in percent.
+        quality: f64,
+        /// Preview length in seconds.
+        seconds: f64,
+        /// Emit the full session report as JSON.
+        json: bool,
+    },
+    /// Camera-validate compensation on a clip frame (Fig. 2 workflow).
+    Validate {
+        /// Clip name.
+        clip: String,
+        /// Target device name.
+        device: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors from argument parsing or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+annolight — annotation-driven backlight power optimization (DATE 2006)
+
+USAGE:
+  annolight clips
+  annolight devices
+  annolight annotate <clip> [--quality N] [--device NAME] [--per-frame] [--json]
+  annolight play <clip> [--quality N] [--seconds S] [--json]
+  annolight validate <clip> [--device NAME]
+  annolight help
+
+Clip names are the paper library (see `annolight clips`).
+Defaults: --quality 10, --device ipaq-5555, --seconds 20.
+";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, flags or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "clips" => Ok(Command::Clips),
+        "devices" => Ok(Command::Devices),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "annotate" | "play" | "validate" => {
+            let rest: Vec<&String> = it.collect();
+            let mut clip = None;
+            let mut quality = 10.0f64;
+            let mut device = "ipaq-5555".to_owned();
+            let mut seconds = 20.0f64;
+            let mut per_frame = false;
+            let mut json = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--quality" | "-q" => {
+                        i += 1;
+                        quality = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| CliError("--quality needs a number".into()))?;
+                    }
+                    "--device" | "-d" => {
+                        i += 1;
+                        device = rest
+                            .get(i)
+                            .ok_or_else(|| CliError("--device needs a name".into()))?
+                            .to_string();
+                    }
+                    "--seconds" | "-s" => {
+                        i += 1;
+                        seconds = rest
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| CliError("--seconds needs a number".into()))?;
+                    }
+                    "--per-frame" => per_frame = true,
+                    "--json" => json = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError(format!("unknown flag {flag}")));
+                    }
+                    name if clip.is_none() => clip = Some(name.to_owned()),
+                    extra => return Err(CliError(format!("unexpected argument {extra}"))),
+                }
+                i += 1;
+            }
+            let clip = clip.ok_or_else(|| CliError(format!("{cmd} needs a clip name")))?;
+            if !(0.0..=100.0).contains(&quality) {
+                return Err(CliError(format!("quality {quality}% outside 0..=100")));
+            }
+            match cmd.as_str() {
+                "annotate" => Ok(Command::Annotate { clip, quality, device, per_frame, json }),
+                "validate" => Ok(Command::Validate { clip, device }),
+                _ => Ok(Command::Play { clip, quality, seconds, json }),
+            }
+        }
+        other => Err(CliError(format!("unknown command {other:?}; try `annolight help`"))),
+    }
+}
+
+fn lookup_clip(name: &str) -> Result<Clip, CliError> {
+    ClipLibrary::paper_clip(name)
+        .ok_or_else(|| CliError(format!("unknown clip {name:?}; `annolight clips` lists them")))
+}
+
+fn lookup_device(name: &str) -> Result<DeviceProfile, CliError> {
+    DeviceProfile::by_name(name)
+        .ok_or_else(|| CliError(format!("unknown device {name:?}; `annolight devices` lists them")))
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown clips/devices or pipeline failures.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Clips => {
+            let _ = writeln!(out, "{:<22} {:>8} {:>8} {:>8}", "clip", "dur (s)", "frames", "scenes");
+            for name in PAPER_CLIP_NAMES {
+                let c = ClipLibrary::paper_clip(name).expect("library names are known");
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>8.0} {:>8} {:>8}",
+                    c.name(),
+                    c.duration_s(),
+                    c.frame_count(),
+                    c.spec().scenes.len()
+                );
+            }
+        }
+        Command::Devices => {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>14} {:>14}",
+                "device", "backlight", "panel", "max power (W)"
+            );
+            for d in DeviceProfile::paper_devices() {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>10} {:>14} {:>14.2}",
+                    d.name(),
+                    format!("{:?}", d.technology()),
+                    format!("{:?}", d.panel().kind()),
+                    d.backlight_power().max_w()
+                );
+            }
+        }
+        Command::Annotate { clip, quality, device, per_frame, json } => {
+            let clip = lookup_clip(clip)?;
+            let device = lookup_device(device)?;
+            let mode = if *per_frame { AnnotationMode::PerFrame } else { AnnotationMode::PerScene };
+            let annotated = Annotator::new(device.clone(), QualityLevel::from_percent(*quality))
+                .with_mode(mode)
+                .annotate_clip(&clip)
+                .map_err(|e| CliError(e.to_string()))?;
+            if *json {
+                out.push_str(&annotated.track().to_json().map_err(|e| CliError(e.to_string()))?);
+                out.push('\n');
+            } else {
+                let track = annotated.track();
+                let _ = writeln!(out, "clip      : {} ({:.0} s)", clip.name(), clip.duration_s());
+                let _ = writeln!(out, "device    : {}", track.device_name());
+                let _ = writeln!(out, "quality   : {}", track.quality());
+                let _ = writeln!(out, "entries   : {} ({:?})", track.entries().len(), track.mode());
+                let _ = writeln!(out, "overhead  : {} bytes (RLE)", track.overhead_bytes());
+                let _ = writeln!(
+                    out,
+                    "predicted : {:.1}% backlight power saved",
+                    annotated.predicted_backlight_savings(&device) * 100.0
+                );
+            }
+        }
+        Command::Validate { clip, device } => {
+            use crate::camera::{validate_compensation, DigitalCamera};
+            use crate::core::plan::plan_levels;
+            use crate::display::BacklightLevel;
+            use crate::imgproc::contrast_enhance;
+            let clip = lookup_clip(clip)?;
+            let device = lookup_device(device)?;
+            let camera = DigitalCamera::consumer_compact(2026);
+            let original = clip.frame(clip.frame_count() / 3);
+            let hist = original.luma_histogram();
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} {:>10} {:>10} {:>8} {:>7} {:>9}",
+                "quality", "backlight", "ref mean", "comp mean", "EMD", "SSIM", "verdict"
+            );
+            for q in QualityLevel::PAPER_LEVELS {
+                let effective = hist.clip_level(q.clip_fraction());
+                let (k, level) = plan_levels(&device, effective);
+                let mut compensated = original.clone();
+                contrast_enhance(&mut compensated, k);
+                let report = validate_compensation(
+                    &original,
+                    &compensated,
+                    &device,
+                    BacklightLevel::MAX,
+                    level,
+                    &camera,
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>9} {:>10.1} {:>10.1} {:>8.2} {:>7.3} {:>9}",
+                    q.to_string(),
+                    format!("{}/255", level.0),
+                    report.reference_mean,
+                    report.compensated_mean,
+                    report.histogram_emd,
+                    report.ssim,
+                    if report.acceptable() { "ok" } else { "degraded" }
+                );
+            }
+        }
+        Command::Play { clip, quality, seconds, json } => {
+            let clip = lookup_clip(clip)?.preview(*seconds);
+            let report =
+                run_session(SessionConfig::new(clip, QualityLevel::from_percent(*quality)))
+                    .map_err(|e| CliError(e.to_string()))?;
+            if *json {
+                out.push_str(
+                    &serde_json::to_string_pretty(&report)
+                        .map_err(|e| CliError(e.to_string()))?,
+                );
+                out.push('\n');
+                return Ok(out);
+            }
+            let p = &report.playback;
+            let battery = Battery::ipaq_5555();
+            let _ = writeln!(out, "granted quality : {}", report.granted_quality);
+            let _ = writeln!(out, "stream          : {} bytes ({} packets)", report.stream_bytes, report.packets);
+            let _ = writeln!(out, "annotations     : {} bytes", report.annotation_bytes);
+            let _ = writeln!(out, "frames          : {} ({:.1} s)", p.frames, p.duration_s);
+            let _ = writeln!(out, "avg power       : {:.2} W", p.avg_power_w);
+            let _ = writeln!(out, "total savings   : {:.1}%", p.total_savings() * 100.0);
+            let _ = writeln!(
+                out,
+                "battery life    : {:.0} min → {:.0} min per charge",
+                battery.runtime_s(p.baseline_energy_j / p.duration_s.max(1e-9)) / 60.0,
+                battery.runtime_s(p.avg_power_w) / 60.0
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_simple_commands() {
+        assert_eq!(parse(&argv("clips")).unwrap(), Command::Clips);
+        assert_eq!(parse(&argv("devices")).unwrap(), Command::Devices);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_annotate_with_flags() {
+        let cmd = parse(&argv("annotate themovie --quality 15 --device ipaq-3650 --per-frame --json"))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Annotate {
+                clip: "themovie".into(),
+                quality: 15.0,
+                device: "ipaq-3650".into(),
+                per_frame: true,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_play_defaults() {
+        let cmd = parse(&argv("play shrek2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Play { clip: "shrek2".into(), quality: 10.0, seconds: 20.0, json: false }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("annotate")).is_err());
+        assert!(parse(&argv("annotate x --quality")).is_err());
+        assert!(parse(&argv("annotate x --quality 120")).is_err());
+        assert!(parse(&argv("play x --bogus")).is_err());
+    }
+
+    #[test]
+    fn execute_clips_lists_all_ten() {
+        let out = execute(&Command::Clips).unwrap();
+        for name in PAPER_CLIP_NAMES {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn execute_devices_lists_three() {
+        let out = execute(&Command::Devices).unwrap();
+        assert!(out.contains("ipaq-5555"));
+        assert!(out.contains("zaurus-sl5600"));
+        assert!(out.contains("ipaq-3650"));
+    }
+
+    #[test]
+    fn execute_annotate_summary() {
+        let out = execute(&Command::Annotate {
+            clip: "officexp".into(),
+            quality: 10.0,
+            device: "ipaq-5555".into(),
+            per_frame: false,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("predicted"));
+        assert!(out.contains("bytes (RLE)"));
+    }
+
+    #[test]
+    fn execute_annotate_json_is_parseable() {
+        let out = execute(&Command::Annotate {
+            clip: "officexp".into(),
+            quality: 5.0,
+            device: "ipaq-5555".into(),
+            per_frame: false,
+            json: true,
+        })
+        .unwrap();
+        assert!(crate::core::track::AnnotationTrack::from_json(&out).is_ok());
+    }
+
+    #[test]
+    fn execute_unknown_clip_fails_cleanly() {
+        let err = execute(&Command::Annotate {
+            clip: "matrix".into(),
+            quality: 10.0,
+            device: "ipaq-5555".into(),
+            per_frame: false,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown clip"));
+    }
+
+    #[test]
+    fn parse_validate() {
+        let cmd = parse(&argv("validate ice_age --device ipaq-3650")).unwrap();
+        assert_eq!(cmd, Command::Validate { clip: "ice_age".into(), device: "ipaq-3650".into() });
+    }
+
+    #[test]
+    fn execute_validate_prints_verdicts() {
+        let out = execute(&Command::Validate {
+            clip: "officexp".into(),
+            device: "ipaq-5555".into(),
+        })
+        .unwrap();
+        assert!(out.contains("verdict"));
+        assert!(out.contains("0%"));
+        assert!(out.contains("20%"));
+    }
+
+    #[test]
+    fn execute_play_reports_savings() {
+        let out = execute(&Command::Play {
+            clip: "themovie".into(),
+            quality: 10.0,
+            seconds: 2.0,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("total savings"));
+        assert!(out.contains("battery life"));
+    }
+
+    #[test]
+    fn execute_play_json_is_parseable() {
+        let out = execute(&Command::Play {
+            clip: "themovie".into(),
+            quality: 10.0,
+            seconds: 2.0,
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("playback").is_some());
+        assert!(v.get("stream_bytes").is_some());
+    }
+}

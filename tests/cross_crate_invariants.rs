@@ -1,0 +1,149 @@
+//! Cross-crate invariants: identities that must hold when the pieces are
+//! composed (display × core × camera × codec).
+
+use annolight::camera::DigitalCamera;
+use annolight::codec::psnr;
+use annolight::core::plan::plan_levels;
+use annolight::core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight::display::{render_perceived, BacklightLevel, DeviceProfile};
+use annolight::imgproc::{contrast_enhance, Frame, Rgb8};
+use annolight::video::ClipLibrary;
+
+/// The paper's central identity: for pixels at or below the effective
+/// maximum, `ρ·L·Y` is preserved by (dim backlight, scale pixels).
+#[test]
+fn perceived_intensity_preserved_for_unclipped_pixels() {
+    for device in DeviceProfile::paper_devices() {
+        for effective in [50u8, 96, 150, 210] {
+            let (k, level) = plan_levels(&device, effective);
+            // Build a frame whose pixels all sit at/below the effective max.
+            let frame = Frame::from_fn(16, 16, |x, _| {
+                let v = (u32::from(effective) * x / 16) as u8;
+                [v, v, v]
+            });
+            let reference = render_perceived(&frame, &device, BacklightLevel::MAX, 0.0);
+            let mut compensated = frame.clone();
+            contrast_enhance(&mut compensated, k);
+            let dimmed = render_perceived(&compensated, &device, level, 0.0);
+            let mad: f64 = reference
+                .samples()
+                .iter()
+                .zip(dimmed.samples())
+                .map(|(&a, &b)| f64::from(a.abs_diff(b)))
+                .sum::<f64>()
+                / reference.samples().len() as f64;
+            assert!(
+                mad < 2.5,
+                "{} at effective {effective}: mean deviation {mad}",
+                device.name()
+            );
+        }
+    }
+}
+
+/// The camera sees through the whole optical chain: a correctly
+/// compensated frame photographs nearly identically to the original.
+#[test]
+fn camera_cannot_distinguish_correct_compensation() {
+    let device = DeviceProfile::ipaq_5555();
+    let camera = DigitalCamera::ideal();
+    let frame = Frame::from_fn(32, 32, |x, y| {
+        let v = 30 + ((x * 5 + y * 3) % 120) as u8;
+        [v, v, v]
+    });
+    let effective = frame.luma_histogram().clip_level(0.0);
+    let (k, level) = plan_levels(&device, effective);
+    let reference = camera.photograph(&frame, &device, BacklightLevel::MAX);
+    let mut compensated = frame.clone();
+    contrast_enhance(&mut compensated, k);
+    let snapshot = camera.photograph(&compensated, &device, level);
+    let emd = reference.histogram().emd(&snapshot.histogram());
+    assert!(emd < 3.0, "EMD {emd}");
+}
+
+/// Compensated + encoded + decoded frames stay faithful: the codec must
+/// not destroy what the compensation built.
+#[test]
+fn codec_preserves_compensated_frames() {
+    let clip = ClipLibrary::paper_clip("officexp").unwrap().preview(2.0);
+    let device = DeviceProfile::ipaq_5555();
+    let profile = LuminanceProfile::of_clip(&clip).unwrap();
+    let annotated =
+        Annotator::new(device, QualityLevel::Q10).annotate_profile(&profile).unwrap();
+
+    let (w, h) = clip.dimensions();
+    let mut enc = annolight::codec::Encoder::new(annolight::codec::EncoderConfig {
+        width: w,
+        height: h,
+        fps: clip.fps(),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut originals = Vec::new();
+    for i in 0..clip.frame_count() {
+        let mut f = clip.frame(i);
+        annolight::core::apply::compensate_frame(&mut f, annotated.track(), i).unwrap();
+        enc.push_frame(&f).unwrap();
+        originals.push(f);
+    }
+    let mut dec = annolight::codec::Decoder::new(&enc.finish()).unwrap();
+    for (i, orig) in originals.iter().enumerate() {
+        let decoded = dec.decode_next().unwrap().expect("frame present");
+        let p = psnr(orig, &decoded);
+        assert!(p > 26.0, "frame {i}: PSNR {p:.1} dB");
+    }
+}
+
+/// Device-specific tables: the same effective max maps to different
+/// backlight levels per device, but all of them reproduce at least the
+/// requested luminance (never under-driven).
+#[test]
+fn all_devices_never_underdrive() {
+    for device in DeviceProfile::paper_devices() {
+        let gamma = device.panel().white_gamma();
+        for effective in 1..=255u8 {
+            let (_, level) = plan_levels(&device, effective);
+            let needed = (f64::from(effective) / 255.0).powf(gamma);
+            let achieved = device.transfer().luminance(level);
+            assert!(
+                achieved + 1e-9 >= needed,
+                "{}: effective {effective} needs {needed} got {achieved}",
+                device.name()
+            );
+        }
+    }
+}
+
+/// Backlight power must decrease monotonically when the annotation gets to
+/// clip more (per device, per clip).
+#[test]
+fn savings_monotone_across_devices_and_qualities() {
+    let clip = ClipLibrary::paper_clip("theincredibles-tlr2").unwrap().preview(4.0);
+    let profile = LuminanceProfile::of_clip(&clip).unwrap();
+    for device in DeviceProfile::paper_devices() {
+        let mut last = -1.0;
+        for q in QualityLevel::PAPER_LEVELS {
+            let s = Annotator::new(device.clone(), q)
+                .annotate_profile(&profile)
+                .unwrap()
+                .predicted_backlight_savings(&device);
+            assert!(s + 1e-9 >= last, "{} at {q:?}", device.name());
+            last = s;
+        }
+    }
+}
+
+/// Gray ramps survive the full RGB→YUV→RGB→luma chain within tight error,
+/// so luminance budgeting in RGB space is sound end to end.
+#[test]
+fn gray_ramp_luma_stability_through_color_pipeline() {
+    let ramp = Frame::from_fn(256, 8, |x, _| [x as u8, x as u8, x as u8]);
+    let rt = ramp.to_yuv420().unwrap().to_rgb();
+    for (a, b) in ramp.pixels().zip(rt.pixels()) {
+        assert!(
+            (i16::from(a.luma()) - i16::from(b.luma())).abs() <= 2,
+            "{a:?} vs {b:?}"
+        );
+    }
+    let _ = Rgb8::gray(0); // keep the import honest
+}

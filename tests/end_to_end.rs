@@ -1,0 +1,120 @@
+//! End-to-end integration: the full paper pipeline across all crates.
+
+use annolight::codec::{Decoder, EncoderConfig};
+use annolight::core::track::{AnnotationMode, AnnotationTrack};
+use annolight::core::QualityLevel;
+use annolight::display::DeviceProfile;
+use annolight::power::SystemPowerModel;
+use annolight::stream::{run_session, MediaServer, PlaybackClient, ServeRequest, SessionConfig};
+use annolight::video::ClipLibrary;
+
+fn preview(name: &str, seconds: f64) -> annolight::video::Clip {
+    ClipLibrary::paper_clip(name).expect("library clip").preview(seconds)
+}
+
+#[test]
+fn serve_and_play_every_paper_device() {
+    let clip = preview("themovie", 3.0);
+    for device in DeviceProfile::paper_devices() {
+        let mut server = MediaServer::new(EncoderConfig::default());
+        server.add_clip(clip.clone());
+        let served = server
+            .serve(&ServeRequest {
+                clip_name: clip.name().into(),
+                device: device.clone(),
+                quality: QualityLevel::Q10,
+                mode: AnnotationMode::PerScene,
+            dvfs: false,
+            })
+            .expect("serve succeeds");
+        let client = PlaybackClient::new(device.clone(), SystemPowerModel::ipaq_5555());
+        let report = client.play(&served.stream, None).expect("playback succeeds");
+        assert!(report.annotated, "{}", device.name());
+        assert_eq!(report.frames, clip.frame_count());
+        assert!(report.total_savings() > 0.0, "{}", device.name());
+    }
+}
+
+#[test]
+fn session_is_deterministic() {
+    let a = run_session(SessionConfig::new(preview("spiderman2", 3.0), QualityLevel::Q10)).unwrap();
+    let b = run_session(SessionConfig::new(preview("spiderman2", 3.0), QualityLevel::Q10)).unwrap();
+    assert_eq!(a.stream_bytes, b.stream_bytes);
+    assert_eq!(a.annotation_bytes, b.annotation_bytes);
+    assert!((a.playback.energy_j - b.playback.energy_j).abs() < 1e-9);
+}
+
+#[test]
+fn annotations_survive_the_whole_pipeline_byte_exact() {
+    // The track the server computes must arrive at the client unchanged
+    // through encode → packetise → reassemble → decode.
+    let clip = preview("catwoman", 3.0);
+    let mut server = MediaServer::new(EncoderConfig::default());
+    server.add_clip(clip.clone());
+    let served = server
+        .serve(&ServeRequest {
+            clip_name: clip.name().into(),
+            device: DeviceProfile::ipaq_5555(),
+            quality: QualityLevel::Q5,
+            mode: AnnotationMode::PerScene,
+        dvfs: false,
+        })
+        .unwrap();
+    let sent = served.annotated.track().to_rle_bytes();
+
+    let roundtripped =
+        annolight::codec::EncodedStream::from_bytes(served.stream.as_bytes().to_vec()).unwrap();
+    let dec = Decoder::new(&roundtripped).unwrap();
+    assert_eq!(&dec.user_data()[0][..], &sent[..], "track bytes must be identical");
+
+    let track = AnnotationTrack::from_rle_bytes(&dec.user_data()[0]).unwrap();
+    assert_eq!(track.quality(), QualityLevel::Q5);
+}
+
+#[test]
+fn per_frame_mode_plays_end_to_end() {
+    let clip = preview("i_robot", 3.0);
+    let mut server = MediaServer::new(EncoderConfig::default());
+    server.add_clip(clip.clone());
+    let served = server
+        .serve(&ServeRequest {
+            clip_name: clip.name().into(),
+            device: DeviceProfile::ipaq_5555(),
+            quality: QualityLevel::Q10,
+            mode: AnnotationMode::PerFrame,
+        dvfs: false,
+        })
+        .unwrap();
+    let client = PlaybackClient::new(DeviceProfile::ipaq_5555(), SystemPowerModel::ipaq_5555());
+    let report = client.play(&served.stream, None).unwrap();
+    assert!(report.annotated);
+    assert!(report.total_savings() > 0.0);
+}
+
+#[test]
+fn quality_sweep_monotone_through_full_pipeline() {
+    let mut last = -1.0;
+    for q in QualityLevel::PAPER_LEVELS {
+        let r = run_session(SessionConfig::new(preview("returnoftheking", 3.0), q)).unwrap();
+        let s = r.playback.total_savings();
+        assert!(s + 1e-9 >= last, "savings decreased at {q:?}: {s} < {last}");
+        last = s;
+    }
+    assert!(last > 0.05, "top quality level should show real savings, got {last}");
+}
+
+#[test]
+fn bright_clip_saves_little_dark_clip_saves_much() {
+    let dark = run_session(SessionConfig::new(preview("themovie", 4.0), QualityLevel::Q20))
+        .unwrap()
+        .playback
+        .total_savings();
+    let bright = run_session(SessionConfig::new(preview("ice_age", 4.0), QualityLevel::Q20))
+        .unwrap()
+        .playback
+        .total_savings();
+    assert!(
+        dark > bright + 0.04,
+        "dark clip ({dark:.3}) should clearly beat bright clip ({bright:.3})"
+    );
+}
