@@ -1,4 +1,4 @@
-//! Criterion benches for the client hot path — checking the paper's claim
+//! Wall-clock benches (annolight-support harness, criterion-shaped) for the client hot path — checking the paper's claim
 //! that runtime work is "a simple multiplication, followed by a table
 //! look-up" and therefore negligible next to decoding.
 
@@ -6,7 +6,8 @@ use annolight_core::{apply::apply_annotation, Annotator, LuminanceProfile, Quali
 use annolight_core::AnnotationTrack;
 use annolight_display::{BacklightController, ControllerConfig, DeviceProfile};
 use annolight_video::ClipLibrary;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use annolight_support::bench::{Criterion, Throughput};
+use annolight_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn track() -> AnnotationTrack {

@@ -1,10 +1,11 @@
-//! Criterion benches for the codec substrate.
+//! Wall-clock benches (annolight-support harness, criterion-shaped) for the codec substrate.
 
 use annolight_codec::picture::{decode_intra, encode_inter, encode_intra};
 use annolight_codec::quant::QScale;
 use annolight_codec::{Decoder, Encoder, EncoderConfig};
 use annolight_video::ClipLibrary;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use annolight_support::bench::{Criterion, Throughput};
+use annolight_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_pictures(c: &mut Criterion) {

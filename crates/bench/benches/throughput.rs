@@ -1,10 +1,11 @@
-//! Criterion benches for the analysis/annotation pipeline (server side).
+//! Wall-clock benches (annolight-support harness, criterion-shaped) for the analysis/annotation pipeline (server side).
 
 use annolight_core::{Annotator, LuminanceProfile, QualityLevel, SceneDetector};
 use annolight_display::DeviceProfile;
 use annolight_imgproc::contrast_enhance;
 use annolight_video::ClipLibrary;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use annolight_support::bench::{BatchSize, Criterion, Throughput};
+use annolight_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_profiling(c: &mut Criterion) {
@@ -61,7 +62,7 @@ fn bench_compensation(c: &mut Criterion) {
         b.iter_batched(
             || frame.clone(),
             |mut f| black_box(contrast_enhance(&mut f, 1.4)),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         );
     });
     g.finish();

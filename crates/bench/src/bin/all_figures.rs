@@ -23,12 +23,12 @@ fn main() {
     let rb = tab_baselines::run(tab_s);
 
     if json {
-        let doc = serde_json::json!({
+        let doc = annolight_support::json_obj!({
             "fig03": r03, "fig04": r04, "fig05": r05, "fig06": r06,
             "fig07": r07, "fig08": r08, "fig09": r09, "fig10": r10,
             "tab_overhead": ro, "tab_baselines": rb,
         });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("results serialise"));
+        println!("{}", doc.pretty());
     } else {
         println!("{}", fig03::render(&r03));
         println!("{}", fig04::render(&r04));

@@ -15,10 +15,9 @@ use annolight_core::{Annotator, LuminanceProfile, QualityLevel, SceneDetector, S
 use annolight_display::{ControllerConfig, DeviceProfile};
 use annolight_imgproc::CompensationKind;
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One row of the scene-threshold sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdPoint {
     /// Relative max-luminance change treated as a scene cut.
     pub threshold: f64,
@@ -29,6 +28,8 @@ pub struct ThresholdPoint {
     /// Backlight switches during playback.
     pub switches: u64,
 }
+
+annolight_support::impl_json!(struct ThresholdPoint { threshold, scenes, savings, switches });
 
 /// Sweeps the scene-change threshold on `clip_name`.
 ///
@@ -63,7 +64,7 @@ pub fn scene_threshold(clip_name: &str, seconds: f64) -> Vec<ThresholdPoint> {
 }
 
 /// One row of the guard-interval sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GuardPoint {
     /// Minimum seconds between applied backlight changes.
     pub guard_s: f64,
@@ -74,6 +75,8 @@ pub struct GuardPoint {
     /// Flicker score (mean level travel per switch).
     pub flicker: f64,
 }
+
+annolight_support::impl_json!(struct GuardPoint { guard_s, switches, suppressed, flicker });
 
 /// Sweeps the client controller's guard interval (per-frame annotations,
 /// the flicker-prone mode).
@@ -105,7 +108,7 @@ pub fn guard_interval(clip_name: &str, seconds: f64) -> Vec<GuardPoint> {
 }
 
 /// One row of the per-scene vs per-frame comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModePoint {
     /// Clip name.
     pub clip: String,
@@ -118,6 +121,8 @@ pub struct ModePoint {
     /// Per-frame track bytes (after RLE).
     pub frame_bytes: usize,
 }
+
+annolight_support::impl_json!(struct ModePoint { clip, scene_savings, frame_savings, scene_bytes, frame_bytes });
 
 /// Compares annotation modes across a clip subset.
 pub fn mode_comparison(seconds: f64) -> Vec<ModePoint> {
@@ -146,7 +151,7 @@ pub fn mode_comparison(seconds: f64) -> Vec<ModePoint> {
 }
 
 /// One row of the operator comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatorPoint {
     /// Effective maximum luminance the scene was planned at.
     pub effective_max: u8,
@@ -155,6 +160,8 @@ pub struct OperatorPoint {
     /// Mean relative perceived-intensity error of brightness compensation.
     pub brightness_error: f64,
 }
+
+annolight_support::impl_json!(struct OperatorPoint { effective_max, contrast_error, brightness_error });
 
 /// Contrast enhancement vs brightness compensation (§4.1's two operators).
 pub fn operator_comparison() -> Vec<OperatorPoint> {
@@ -178,7 +185,7 @@ pub fn operator_comparison() -> Vec<OperatorPoint> {
 }
 
 /// One row of the codec rate-distortion sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RdPoint {
     /// Quantiser scale.
     pub qscale: u8,
@@ -187,6 +194,8 @@ pub struct RdPoint {
     /// Luma PSNR, dB.
     pub psnr_db: f64,
 }
+
+annolight_support::impl_json!(struct RdPoint { qscale, bytes_per_frame, psnr_db });
 
 /// Rate-distortion sweep of the codec substrate on a library frame.
 pub fn codec_rd() -> Vec<RdPoint> {

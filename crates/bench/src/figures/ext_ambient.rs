@@ -10,11 +10,10 @@
 use crate::table::Table;
 use annolight_core::plan::plan_levels_ambient;
 use annolight_display::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Savings for one device across ambient levels, at a fixed scene
 /// effective max.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmbientRow {
     /// Device name.
     pub device: String,
@@ -23,18 +22,22 @@ pub struct AmbientRow {
     pub savings: Vec<f64>,
 }
 
+annolight_support::impl_json!(struct AmbientRow { device, savings });
+
 /// The ambient illumination sweep (relative, 0 = dark room, 1 = direct
 /// sunlight on the panel).
 pub const AMBIENT_LEVELS: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
 
 /// The experiment data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtAmbient {
     /// Scene effective maximum luminance used.
     pub effective_max: u8,
     /// One row per paper device.
     pub rows: Vec<AmbientRow>,
 }
+
+annolight_support::impl_json!(struct ExtAmbient { effective_max, rows });
 
 /// Sweeps ambient light for a mid-bright scene on all paper devices.
 pub fn run(effective_max: u8) -> ExtAmbient {

@@ -11,10 +11,9 @@ use crate::table::Table;
 use annolight_core::QualityLevel;
 use annolight_stream::{run_session, SessionConfig};
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's savings across the optimisation stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackRow {
     /// Clip name.
     pub clip: String,
@@ -28,12 +27,16 @@ pub struct StackRow {
     pub all: f64,
 }
 
+annolight_support::impl_json!(struct StackRow { clip, backlight, with_dvfs, with_burst, all });
+
 /// The experiment data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtBurst {
     /// Per-clip rows.
     pub rows: Vec<StackRow>,
 }
+
+annolight_support::impl_json!(struct ExtBurst { rows });
 
 /// Runs the stack at 10 % quality over a mixed clip subset.
 pub fn run(preview_s: f64) -> ExtBurst {

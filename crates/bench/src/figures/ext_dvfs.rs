@@ -10,10 +10,9 @@ use crate::table::Table;
 use annolight_core::QualityLevel;
 use annolight_stream::{run_session, SessionConfig};
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsRow {
     /// Clip name.
     pub clip: String,
@@ -23,12 +22,16 @@ pub struct DvfsRow {
     pub with_dvfs: f64,
 }
 
+annolight_support::impl_json!(struct DvfsRow { clip, backlight_only, with_dvfs });
+
 /// The extension experiment data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtDvfs {
     /// Per-clip rows.
     pub rows: Vec<DvfsRow>,
 }
+
+annolight_support::impl_json!(struct ExtDvfs { rows });
 
 /// Runs the comparison at 10 % quality over a mixed clip subset.
 pub fn run(preview_s: f64) -> ExtDvfs {

@@ -3,10 +3,9 @@
 
 use crate::table::Table;
 use annolight_imgproc::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// The Fig. 3 quantities for one image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig03 {
     /// Mean pixel luminance ("average point").
     pub mean: f64,
@@ -19,6 +18,8 @@ pub struct Fig03 {
     /// The histogram folded into 16 buckets for display.
     pub buckets: [u64; 16],
 }
+
+annolight_support::impl_json!(struct Fig03 { mean, min, max, dynamic_range, buckets });
 
 /// Computes the figure for the news frame.
 pub fn run() -> Fig03 {

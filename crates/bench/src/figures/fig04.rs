@@ -7,10 +7,9 @@ use annolight_core::plan::plan_levels;
 use annolight_core::QualityLevel;
 use annolight_display::{BacklightLevel, DeviceProfile};
 use annolight_imgproc::contrast_enhance;
-use serde::{Deserialize, Serialize};
 
 /// The Fig. 4 experiment outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig04 {
     /// Quality level used.
     pub quality_percent: f64,
@@ -21,6 +20,8 @@ pub struct Fig04 {
     /// The camera-based comparison of the two snapshots.
     pub report: ValidationReport,
 }
+
+annolight_support::impl_json!(struct Fig04 { quality_percent, backlight, backlight_savings, report });
 
 /// Runs the experiment on the news frame at the given quality.
 pub fn run(quality: QualityLevel) -> Fig04 {

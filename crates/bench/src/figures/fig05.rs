@@ -5,10 +5,9 @@ use crate::table::Table;
 use annolight_core::plan::plan_levels;
 use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// One row of the trade-off sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipPoint {
     /// Quality level, percent.
     pub quality_percent: f64,
@@ -24,12 +23,16 @@ pub struct ClipPoint {
     pub savings: f64,
 }
 
+annolight_support::impl_json!(struct ClipPoint { quality_percent, effective_max, clipped_pixels, clipped_fraction, backlight, savings });
+
 /// The full Fig. 5 sweep on one frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig05 {
     /// One point per paper quality level.
     pub points: Vec<ClipPoint>,
 }
+
+annolight_support::impl_json!(struct Fig05 { points });
 
 /// Runs the sweep on the news frame for the iPAQ 5555.
 pub fn run() -> Fig05 {

@@ -6,10 +6,9 @@ use crate::table::Table;
 use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One sampled playback instant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimePoint {
     /// Playback time, seconds.
     pub time_s: f64,
@@ -24,8 +23,10 @@ pub struct TimePoint {
     pub power_saved: f64,
 }
 
+annolight_support::impl_json!(struct TimePoint { time_s, frame_max, scene_raw_max, scene_max, power_saved });
+
 /// The Fig. 6 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig06 {
     /// Clip the series was computed on.
     pub clip: String,
@@ -34,6 +35,8 @@ pub struct Fig06 {
     /// The sampled series.
     pub series: Vec<TimePoint>,
 }
+
+annolight_support::impl_json!(struct Fig06 { clip, scenes, series });
 
 /// Runs the experiment on the first `seconds` of `clip_name` at 10 %
 /// quality (the paper's example setting).

@@ -6,11 +6,10 @@ use crate::table::Table;
 use annolight_camera::{recover_response, DigitalCamera};
 use annolight_display::{BacklightLevel, DeviceProfile};
 use annolight_imgproc::{Frame, Rgb8};
-use serde::{Deserialize, Serialize};
 
 /// One sweep row: camera-measured brightness per device at one backlight
 /// value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The software backlight value.
     pub backlight: u8,
@@ -19,14 +18,18 @@ pub struct SweepPoint {
     pub brightness: Vec<f64>,
 }
 
+annolight_support::impl_json!(struct SweepPoint { backlight, brightness });
+
 /// The Fig. 7 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig07 {
     /// Device names, column order.
     pub devices: Vec<String>,
     /// The sweep, ascending backlight.
     pub points: Vec<SweepPoint>,
 }
+
+annolight_support::impl_json!(struct Fig07 { devices, points });
 
 /// Sweeps the backlight at a full-white screen on all three paper devices.
 ///

@@ -5,10 +5,9 @@ use crate::table::Table;
 use annolight_camera::{recover_response, DigitalCamera};
 use annolight_display::{BacklightLevel, DeviceProfile};
 use annolight_imgproc::{Frame, Rgb8};
-use serde::{Deserialize, Serialize};
 
 /// One sweep row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WhitePoint {
     /// Displayed gray level.
     pub white: u8,
@@ -18,12 +17,16 @@ pub struct WhitePoint {
     pub at_half: f64,
 }
 
+annolight_support::impl_json!(struct WhitePoint { white, at_full, at_half });
+
 /// The Fig. 8 series (iPAQ 5555, the paper's measurement device).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig08 {
     /// The sweep, ascending white level.
     pub points: Vec<WhitePoint>,
 }
+
+annolight_support::impl_json!(struct Fig08 { points });
 
 /// Sweeps the displayed gray level at two backlight settings, photographed
 /// with the consumer camera and linearised through its recovered response

@@ -8,10 +8,9 @@ use crate::table::Table;
 use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's savings across the quality sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipSavings {
     /// Clip name.
     pub clip: String,
@@ -19,14 +18,18 @@ pub struct ClipSavings {
     pub savings: [f64; 5],
 }
 
+annolight_support::impl_json!(struct ClipSavings { clip, savings });
+
 /// The Fig. 9 data set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig09 {
     /// Device the sweep was computed for.
     pub device: String,
     /// Per-clip rows in figure order.
     pub rows: Vec<ClipSavings>,
 }
+
+annolight_support::impl_json!(struct Fig09 { device, rows });
 
 /// Runs the sweep. `preview_s` truncates each clip (use `None` for the
 /// full library, as the binary does; tests pass a few seconds).

@@ -9,10 +9,9 @@ use crate::table::Table;
 use annolight_core::QualityLevel;
 use annolight_stream::{run_session, SessionConfig};
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's measured total-device savings across the quality sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipTotals {
     /// Clip name.
     pub clip: String,
@@ -22,12 +21,16 @@ pub struct ClipTotals {
     pub avg_power_w: f64,
 }
 
+annolight_support::impl_json!(struct ClipTotals { clip, savings, avg_power_w });
+
 /// The Fig. 10 data set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10 {
     /// Per-clip rows in figure order.
     pub rows: Vec<ClipTotals>,
 }
+
+annolight_support::impl_json!(struct Fig10 { rows });
 
 /// Runs the measured sweep. Each clip is truncated to `preview_s` seconds
 /// (full sessions through codec + network + power model are expensive;

@@ -10,10 +10,9 @@ use crate::table::Table;
 use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's savings per device at the 10 % quality level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRow {
     /// Clip name.
     pub clip: String,
@@ -21,14 +20,18 @@ pub struct DeviceRow {
     pub savings: Vec<f64>,
 }
 
+annolight_support::impl_json!(struct DeviceRow { clip, savings });
+
 /// The device-tailoring table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TabDevices {
     /// Device names, column order.
     pub devices: Vec<String>,
     /// Per-clip rows.
     pub rows: Vec<DeviceRow>,
 }
+
+annolight_support::impl_json!(struct TabDevices { devices, rows });
 
 /// Runs the comparison over the clip library (truncated to `preview_s`
 /// seconds if given).

@@ -9,10 +9,9 @@ use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
 use annolight_stream::{MediaServer, ServeRequest};
 use annolight_video::ClipLibrary;
-use serde::{Deserialize, Serialize};
 
 /// One clip's overhead accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadRow {
     /// Clip name.
     pub clip: String,
@@ -28,12 +27,16 @@ pub struct OverheadRow {
     pub overhead_fraction: f64,
 }
 
+annolight_support::impl_json!(struct OverheadRow { clip, stream_bytes, scene_track_bytes, frame_track_bytes, scene_entries, overhead_fraction });
+
 /// The overhead table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TabOverhead {
     /// Per-clip rows.
     pub rows: Vec<OverheadRow>,
 }
+
+annolight_support::impl_json!(struct TabOverhead { rows });
 
 /// Computes the overhead for each library clip (truncated to `preview_s`
 /// seconds if given).

@@ -1,0 +1,70 @@
+//! Golden shape-regression test for the headline Fig. 9 result.
+//!
+//! The figure's *shape* — not its exact numbers — is what the paper
+//! stakes its claim on: dark clips (`themovie` class) benefit hugely
+//! from annotation-driven backlight scaling, calibrated-bright clips
+//! (`ice_age`, `hunter_subres`) barely at all, and savings grow with
+//! the tolerated quality degradation. Any change that flips one of
+//! those orderings has broken the reproduction, however plausible the
+//! individual numbers look.
+
+use annolight_bench::figures::fig09;
+
+/// The dark, highlight-sparse clips Fig. 9 shows as the big winners.
+const DARK_CLIPS: [&str; 4] = ["themovie", "returnoftheking", "i_robot", "theincredibles-tlr2"];
+
+/// The calibrated-bright negative results (§4.2).
+const BRIGHT_CLIPS: [&str; 2] = ["ice_age", "hunter_subres"];
+
+fn savings_of(f: &fig09::Fig09, name: &str) -> [f64; 5] {
+    f.rows.iter().find(|r| r.clip == name).unwrap_or_else(|| panic!("{name} missing")).savings
+}
+
+#[test]
+fn fig9_shape_dark_dominates_bright_and_quality_is_monotone() {
+    let f = fig09::run(Some(8.0));
+
+    // 1. Savings are monotone non-decreasing in the quality sweep for
+    //    *every* clip: tolerating more clipping can never cost power.
+    for r in &f.rows {
+        for (i, w) in r.savings.windows(2).enumerate() {
+            assert!(
+                w[1] + 1e-9 >= w[0],
+                "{}: savings fell from {:.4} to {:.4} between levels {i} and {}",
+                r.clip,
+                w[0],
+                w[1],
+                i + 1
+            );
+        }
+    }
+
+    // 2. At every *lossy* quality level (5–20 %), every dark clip saves
+    //    strictly more than every bright clip. (The lossless 0 % column
+    //    is excluded by construction: there, savings depend only on each
+    //    clip's peak luminance, which the content classes do not order.)
+    for dark in DARK_CLIPS {
+        let d = savings_of(&f, dark);
+        for bright in BRIGHT_CLIPS {
+            let b = savings_of(&f, bright);
+            for q in 1..5 {
+                assert!(
+                    d[q] > b[q],
+                    "level {q}: dark {dark} ({:.4}) must beat bright {bright} ({:.4})",
+                    d[q],
+                    b[q]
+                );
+            }
+        }
+    }
+
+    // 3. The separation is material, not marginal: at the paper's 10 %
+    //    operating point dark clips clear 45 % while bright clips stay
+    //    under 40 % (Fig. 9 shows ≳60 % vs ≲30 %).
+    for dark in DARK_CLIPS {
+        assert!(savings_of(&f, dark)[2] > 0.45, "{dark}: {:?}", savings_of(&f, dark));
+    }
+    for bright in BRIGHT_CLIPS {
+        assert!(savings_of(&f, bright)[2] < 0.40, "{bright}: {:?}", savings_of(&f, bright));
+    }
+}

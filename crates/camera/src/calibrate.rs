@@ -13,14 +13,15 @@
 
 use crate::sensor::DigitalCamera;
 use annolight_imgproc::{Frame, LumaFrame};
-use serde::{Deserialize, Serialize};
 
 /// A recovered inverse response: pixel value (0–255) → relative exposure
 /// in `[0, 1]`, monotone non-decreasing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveredResponse {
     inverse: Vec<f64>, // length 256
 }
+
+annolight_support::impl_json!(struct RecoveredResponse { inverse });
 
 impl RecoveredResponse {
     /// The inverse-response table.

@@ -5,10 +5,9 @@
 //! Debevec–Malik, which the paper cites). We provide the usual parametric
 //! families; all are strictly monotone on `[0, 1]` with fixed endpoints.
 
-use serde::{Deserialize, Serialize};
 
 /// A monotone exposure→value response curve on `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum CameraResponse {
     /// Idealised linear sensor (RAW output).
@@ -27,6 +26,8 @@ pub enum CameraResponse {
         k: f64,
     },
 }
+
+annolight_support::impl_json!(enum CameraResponse { Linear, Gamma { gamma }, Sigmoid { a, k } });
 
 impl CameraResponse {
     /// Maps a relative exposure in `[0, 1]` to a relative pixel value in

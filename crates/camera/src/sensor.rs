@@ -3,16 +3,14 @@
 use crate::response::CameraResponse;
 use annolight_display::{render_perceived, BacklightLevel, DeviceProfile};
 use annolight_imgproc::{Frame, LumaFrame};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use annolight_support::rng::SmallRng;
 
 /// A simple digital camera model.
 ///
 /// The pipeline per pixel is
 /// `value = response(exposure_gain · perceived) + noise`, quantised to
 /// 8 bits. Noise is seeded, so snapshots are reproducible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DigitalCamera {
     response: CameraResponse,
     /// Linear gain applied before the response curve (shutter/ISO).
@@ -22,6 +20,8 @@ pub struct DigitalCamera {
     /// Seed for the reproducible noise stream.
     seed: u64,
 }
+
+annolight_support::impl_json!(struct DigitalCamera { response, exposure_gain, noise_sigma, seed });
 
 impl DigitalCamera {
     /// Creates a camera.

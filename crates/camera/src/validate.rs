@@ -9,10 +9,9 @@
 use crate::sensor::DigitalCamera;
 use annolight_display::{BacklightLevel, DeviceProfile};
 use annolight_imgproc::{Frame, Histogram};
-use serde::{Deserialize, Serialize};
 
 /// The outcome of comparing reference and compensated snapshots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValidationReport {
     /// Mean luminance of the reference snapshot (Fig. 4's "Avg
     /// Brightness" of the original).
@@ -35,6 +34,8 @@ pub struct ValidationReport {
     /// Structural similarity of the two snapshots (1 = identical).
     pub ssim: f64,
 }
+
+annolight_support::impl_json!(struct ValidationReport { reference_mean, compensated_mean, reference_dynamic_range, compensated_dynamic_range, histogram_intersection, histogram_emd, reference_histogram, compensated_histogram, ssim });
 
 impl ValidationReport {
     /// A single-number similarity verdict: `true` when the snapshots are

@@ -21,7 +21,7 @@ use crate::error::CodecError;
 use crate::picture;
 use crate::quant::QScale;
 use annolight_imgproc::{Frame, Yuv420Frame};
-use bytes::{BufMut, Bytes, BytesMut};
+use annolight_support::bytes::{ByteBuf, Bytes};
 
 const MAGIC: &[u8; 4] = b"ALV1";
 
@@ -191,7 +191,7 @@ impl Header {
 #[derive(Debug)]
 pub struct Encoder {
     config: EncoderConfig,
-    body: BytesMut,
+    body: ByteBuf,
     frame_count: u32,
     reference: Option<Yuv420Frame>,
     rate: Option<crate::rate::RateController>,
@@ -229,7 +229,7 @@ impl Encoder {
             }
             None => None,
         };
-        Ok(Self { config, body: BytesMut::new(), frame_count: 0, reference: None, rate })
+        Ok(Self { config, body: ByteBuf::new(), frame_count: 0, reference: None, rate })
     }
 
     /// The encoder configuration.
@@ -299,7 +299,7 @@ impl Encoder {
 
     /// Finalises and returns the stream.
     pub fn finish(self) -> EncodedStream {
-        let mut out = BytesMut::with_capacity(Header::LEN + self.body.len());
+        let mut out = ByteBuf::with_capacity(Header::LEN + self.body.len());
         out.put_slice(MAGIC);
         out.put_u16_le(self.config.width as u16);
         out.put_u16_le(self.config.height as u16);

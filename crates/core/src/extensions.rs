@@ -20,10 +20,9 @@ use crate::quality::QualityLevel;
 use crate::scenes::SceneSpan;
 use annolight_display::DeviceProfile;
 use annolight_imgproc::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// Detects credits-like scenes and caps their clipping budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CreditsGuard {
     /// Fraction of pixels that must sit in the darkest band for a scene to
     /// look like a credits background.
@@ -33,6 +32,8 @@ pub struct CreditsGuard {
     /// Maximum clipping fraction allowed in a guarded scene.
     pub max_clip_fraction: f64,
 }
+
+annolight_support::impl_json!(struct CreditsGuard { background_fraction, background_level, max_clip_fraction });
 
 impl Default for CreditsGuard {
     fn default() -> Self {
@@ -86,7 +87,7 @@ impl CreditsGuard {
 }
 
 /// XScale-style CPU frequency steps (the iPAQ 5555's PXA255 ancestry).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum CpuFrequency {
     Mhz150,
@@ -94,6 +95,8 @@ pub enum CpuFrequency {
     Mhz300,
     Mhz400,
 }
+
+annolight_support::impl_json!(enum CpuFrequency { Mhz150, Mhz200, Mhz300, Mhz400 });
 
 impl CpuFrequency {
     /// Frequency in MHz.
@@ -119,7 +122,7 @@ impl CpuFrequency {
 }
 
 /// A per-scene DVFS hint derived from profiled content complexity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsHint {
     /// The scene this hint covers.
     pub span: SceneSpan,
@@ -129,6 +132,8 @@ pub struct DvfsHint {
     /// Recommended CPU frequency for decoding the scene in real time.
     pub frequency: CpuFrequency,
 }
+
+annolight_support::impl_json!(struct DvfsHint { span, complexity, frequency });
 
 impl DvfsHint {
     /// Estimated CPU-busy fraction decoding this scene at 400 MHz: even a
@@ -189,7 +194,7 @@ pub const DVFS_MAGIC: &[u8; 4] = b"ADV1";
 /// Serialises hints for embedding as a user-data packet.
 pub fn hints_to_bytes(hints: &[DvfsHint]) -> Vec<u8> {
     let mut out = DVFS_MAGIC.to_vec();
-    out.extend(serde_json::to_vec(hints).expect("hints are always serialisable"));
+    out.extend(annolight_support::json::to_vec(hints));
     out
 }
 
@@ -203,7 +208,7 @@ pub fn hints_from_bytes(bytes: &[u8]) -> Result<Vec<DvfsHint>, crate::CoreError>
     if bytes.len() < 4 || &bytes[..4] != DVFS_MAGIC {
         return Err(crate::CoreError::MalformedTrack { reason: "not a DVFS payload".into() });
     }
-    serde_json::from_slice(&bytes[4..])
+    annolight_support::json::from_slice(&bytes[4..])
         .map_err(|e| crate::CoreError::MalformedTrack { reason: e.to_string() })
 }
 

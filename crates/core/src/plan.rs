@@ -18,10 +18,9 @@ use crate::profile::LuminanceProfile;
 use crate::quality::QualityLevel;
 use crate::scenes::SceneSpan;
 use annolight_display::{BacklightLevel, DeviceProfile};
-use serde::{Deserialize, Serialize};
 
 /// The plan for one scene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenePlan {
     /// Frame range of the scene.
     pub span: SceneSpan,
@@ -39,14 +38,18 @@ pub struct ScenePlan {
     pub power_savings: f64,
 }
 
+annolight_support::impl_json!(struct ScenePlan { span, raw_max_luma, effective_max_luma, clipped_fraction, compensation, backlight, power_savings });
+
 /// A complete per-scene plan for one clip on one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BacklightPlan {
     device_name: String,
     quality: QualityLevel,
     fps: f64,
     scenes: Vec<ScenePlan>,
 }
+
+annolight_support::impl_json!(struct BacklightPlan { device_name, quality, fps, scenes });
 
 impl BacklightPlan {
     /// Plans every scene of `profile` (split as `spans`) for `device` at

@@ -8,10 +8,9 @@
 use crate::error::CoreError;
 use annolight_imgproc::{Frame, Histogram};
 use annolight_video::Clip;
-use serde::{Deserialize, Serialize};
 
 /// Per-frame luminance statistics gathered during profiling.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameStats {
     /// Frame index within the clip.
     pub index: u32,
@@ -24,6 +23,8 @@ pub struct FrameStats {
     /// for every quality level without re-reading the frame).
     pub histogram: Histogram,
 }
+
+annolight_support::impl_json!(struct FrameStats { index, max_luma, mean_luma, histogram });
 
 impl FrameStats {
     /// Profiles a single frame.
@@ -47,11 +48,13 @@ impl FrameStats {
 /// let profile = LuminanceProfile::of_clip(&clip).unwrap();
 /// assert_eq!(profile.len() as u32, clip.frame_count());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LuminanceProfile {
     fps: f64,
     frames: Vec<FrameStats>,
 }
+
+annolight_support::impl_json!(struct LuminanceProfile { fps, frames });
 
 impl LuminanceProfile {
     /// Profiles every frame of `clip`.

@@ -6,12 +6,11 @@
 //! The experiments use 0, 5, 10, 15 and 20 % of clipped high-luminance
 //! pixels; the server offers the same five qualities to every client type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A quality degradation level: the maximum fraction of high-luminance
 /// pixels that may be clipped by the compensation step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[non_exhaustive]
 pub enum QualityLevel {
     /// Loss-less: no pixel may clip (smallest savings).
@@ -30,6 +29,8 @@ pub enum QualityLevel {
     /// paper's five levels).
     Custom(f64),
 }
+
+annolight_support::impl_json!(enum QualityLevel { Q0, Q5, Q10, Q15, Q20, Custom(value) });
 
 impl QualityLevel {
     /// The five levels used in the paper's experiments, in order.

@@ -17,10 +17,9 @@ use crate::scenes::SceneSpan;
 use annolight_display::DeviceProfile;
 use annolight_imgproc::Histogram;
 use annolight_video::Clip;
-use serde::{Deserialize, Serialize};
 
 /// A protected rectangle, in pixels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rect {
     /// Left edge.
     pub x: u32,
@@ -31,6 +30,8 @@ pub struct Rect {
     /// Height in pixels.
     pub height: u32,
 }
+
+annolight_support::impl_json!(struct Rect { x, y, width, height });
 
 impl Rect {
     /// Whether the rectangle contains pixel `(px, py)`.
@@ -45,13 +46,15 @@ impl Rect {
 }
 
 /// A user-marked region of interest over a span of frames.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionOfInterest {
     /// Frames the region applies to.
     pub span: SceneSpan,
     /// The protected rectangle.
     pub rect: Rect,
 }
+
+annolight_support::impl_json!(struct RegionOfInterest { span, rect });
 
 /// Plans one scene with an optional protected region: the clipping budget
 /// is spent only on pixels *outside* the region, and the effective maximum

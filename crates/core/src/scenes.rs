@@ -7,10 +7,9 @@
 //! experimentally set for minimizing visible spikes."
 
 use crate::profile::LuminanceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the scene-detection heuristic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneDetectorConfig {
     /// Relative max-luminance change that signals a scene boundary
     /// (paper: 10 %).
@@ -19,6 +18,8 @@ pub struct SceneDetectorConfig {
     pub min_interval_s: f64,
 }
 
+annolight_support::impl_json!(struct SceneDetectorConfig { change_threshold, min_interval_s });
+
 impl Default for SceneDetectorConfig {
     fn default() -> Self {
         Self { change_threshold: 0.10, min_interval_s: 0.5 }
@@ -26,13 +27,15 @@ impl Default for SceneDetectorConfig {
 }
 
 /// A detected scene: the frame range `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SceneSpan {
     /// First frame of the scene.
     pub start: u32,
     /// One past the last frame of the scene.
     pub end: u32,
 }
+
+annolight_support::impl_json!(struct SceneSpan { start, end });
 
 impl SceneSpan {
     /// Number of frames in the scene.

@@ -14,13 +14,12 @@ use crate::error::CoreError;
 use crate::plan::BacklightPlan;
 use crate::quality::QualityLevel;
 use annolight_display::BacklightLevel;
-use serde::{Deserialize, Serialize};
 
 /// Whether the track annotates whole scenes or individual frames.
 ///
 /// §4.3: "Sometimes, better results are obtained if we allow backlight
 /// changes for each frame (but it may introduce some flicker)."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AnnotationMode {
     /// One entry per detected scene (the paper's default).
     #[default]
@@ -29,9 +28,11 @@ pub enum AnnotationMode {
     PerFrame,
 }
 
+annolight_support::impl_json!(enum AnnotationMode { PerScene, PerFrame });
+
 /// One annotation record: the backlight setting in effect from
 /// `start_frame` until the next record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnotationEntry {
     /// First frame this entry applies to.
     pub start_frame: u32,
@@ -42,6 +43,8 @@ pub struct AnnotationEntry {
     /// Effective maximum luminance the compensation was derived from.
     pub effective_max_luma: u8,
 }
+
+annolight_support::impl_json!(struct AnnotationEntry { start_frame, backlight, compensation, effective_max_luma });
 
 impl AnnotationEntry {
     fn k_fixed(&self) -> u16 {
@@ -66,7 +69,7 @@ impl AnnotationEntry {
 }
 
 /// A complete annotation track for one clip on one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnotationTrack {
     device_name: String,
     quality: QualityLevel,
@@ -75,6 +78,8 @@ pub struct AnnotationTrack {
     frame_count: u32,
     entries: Vec<AnnotationEntry>,
 }
+
+annolight_support::impl_json!(struct AnnotationTrack { device_name, quality, mode, fps, frame_count, entries });
 
 const MAGIC: &[u8; 4] = b"ALT1";
 
@@ -313,8 +318,7 @@ impl AnnotationTrack {
     /// Returns [`CoreError::MalformedTrack`] if serialisation fails (it
     /// cannot for well-formed tracks).
     pub fn to_json(&self) -> Result<String, CoreError> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| CoreError::MalformedTrack { reason: e.to_string() })
+        Ok(annolight_support::json::to_string_pretty(self))
     }
 
     /// Parses the JSON sidecar form.
@@ -323,7 +327,7 @@ impl AnnotationTrack {
     ///
     /// Returns [`CoreError::MalformedTrack`] for invalid JSON.
     pub fn from_json(json: &str) -> Result<Self, CoreError> {
-        serde_json::from_str(json).map_err(|e| CoreError::MalformedTrack { reason: e.to_string() })
+        annolight_support::json::from_str(json).map_err(|e| CoreError::MalformedTrack { reason: e.to_string() })
     }
 
     /// Size of the compact wire form in bytes (the per-clip overhead the

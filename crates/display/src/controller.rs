@@ -12,10 +12,9 @@
 //! per-scene annotation modes.
 
 use crate::transfer::BacklightLevel;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the client-side backlight controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
     /// Minimum time between two backlight changes, in seconds. Requests
     /// arriving earlier are ignored (the paper's threshold interval).
@@ -23,6 +22,8 @@ pub struct ControllerConfig {
     /// Changes smaller than this many levels are ignored.
     pub min_step: u8,
 }
+
+annolight_support::impl_json!(struct ControllerConfig { min_switch_interval_s, min_step });
 
 impl Default for ControllerConfig {
     fn default() -> Self {
@@ -33,7 +34,7 @@ impl Default for ControllerConfig {
 }
 
 /// Statistics accumulated by a [`BacklightController`] during playback.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SwitchStats {
     /// Number of requests that actually changed the backlight.
     pub switches: u64,
@@ -44,6 +45,8 @@ pub struct SwitchStats {
     /// Largest single applied step.
     pub max_step: u8,
 }
+
+annolight_support::impl_json!(struct SwitchStats { switches, suppressed, total_travel, max_step });
 
 impl SwitchStats {
     /// A simple flicker score: level travel per switch, 0 when no switch

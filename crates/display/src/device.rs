@@ -13,10 +13,9 @@
 use crate::panel::{Panel, PanelKind};
 use crate::power::BacklightPowerModel;
 use crate::transfer::TransferFunction;
-use serde::{Deserialize, Serialize};
 
 /// Backlight lamp technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BacklightTechnology {
     /// Cold-cathode fluorescent lamp: needs a high-voltage AC inverter,
     /// suited to larger panels, poor efficiency at low drive levels.
@@ -25,13 +24,15 @@ pub enum BacklightTechnology {
     WhiteLed,
 }
 
+annolight_support::impl_json!(enum BacklightTechnology { Ccfl, WhiteLed });
+
 /// A complete display subsystem description for one handheld device.
 ///
 /// This is what the client sends to the server during the negotiation phase
 /// (§4.3) so annotations can be tailored to the device; alternatively the
 /// client keeps it and performs the final "multiplication + table look-up"
 /// locally.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     name: String,
     panel: Panel,
@@ -41,6 +42,8 @@ pub struct DeviceProfile {
     /// Native display resolution (width, height).
     resolution: (u32, u32),
 }
+
+annolight_support::impl_json!(struct DeviceProfile { name, panel, technology, transfer, backlight_power, resolution });
 
 impl DeviceProfile {
     /// Creates a custom device profile.
@@ -201,8 +204,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let dev = DeviceProfile::ipaq_5555();
-        let json = serde_json::to_string(&dev).unwrap();
-        let back: DeviceProfile = serde_json::from_str(&json).unwrap();
+        let json = annolight_support::json::to_string(&dev);
+        let back: DeviceProfile = annolight_support::json::from_str(&json).unwrap();
         assert_eq!(dev, back);
     }
 

@@ -10,10 +10,9 @@
 //! fraction of the ambient light, which is why they remain readable with a
 //! dimmed backlight outdoors.
 
-use serde::{Deserialize, Serialize};
 
 /// The three LCD construction types discussed in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PanelKind {
     /// Light passes from the backlight through the panel.
     Transmissive,
@@ -23,8 +22,10 @@ pub enum PanelKind {
     Transflective,
 }
 
+annolight_support::impl_json!(enum PanelKind { Transmissive, Reflective, Transflective });
+
 /// A parametric LCD panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Panel {
     kind: PanelKind,
     /// Transmittance `ρ` of the LCD stack, in `(0, 1]`.
@@ -35,6 +36,8 @@ pub struct Panel {
     /// shows this is near-linear; a mild gamma captures the curvature).
     white_gamma: f64,
 }
+
+annolight_support::impl_json!(struct Panel { kind, transmittance, ambient_reflectance, white_gamma });
 
 impl Panel {
     /// Creates a panel model.

@@ -10,16 +10,17 @@
 //! small constant panel term that does not scale (drive electronics).
 
 use crate::transfer::BacklightLevel;
-use serde::{Deserialize, Serialize};
 
 /// Affine power model of a backlight subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BacklightPowerModel {
     /// Power at backlight level 0 (drive electronics + panel), in watts.
     floor_w: f64,
     /// Power at backlight level 255, in watts.
     max_w: f64,
 }
+
+annolight_support::impl_json!(struct BacklightPowerModel { floor_w, max_w });
 
 impl BacklightPowerModel {
     /// Creates a power model.

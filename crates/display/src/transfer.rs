@@ -8,12 +8,13 @@
 //! different transfer characteristic"). The inverse of this function is the
 //! table look-up the client performs at runtime.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A software backlight level in `0..=255`, as exposed by the PDA driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BacklightLevel(pub u8);
+
+annolight_support::impl_json!(newtype BacklightLevel(inner));
 
 impl BacklightLevel {
     /// Backlight fully off.
@@ -49,7 +50,7 @@ impl From<u8> for BacklightLevel {
 /// All variants map level 0 to (near) 0 relative luminance and level 255 to
 /// exactly 1.0, and are strictly increasing, so the inverse look-up is well
 /// defined.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum TransferFunction {
     /// Ideal proportional response (useful as a baseline / for tests).
@@ -68,6 +69,8 @@ pub enum TransferFunction {
         gamma: f64,
     },
 }
+
+annolight_support::impl_json!(enum TransferFunction { Linear, SaturatingExp { a }, Gamma { gamma } });
 
 impl TransferFunction {
     /// Relative luminance in `[0, 1]` produced at `level`.

@@ -5,7 +5,6 @@
 //! We use the ITU-R BT.601 coefficients (`0.299`, `0.587`, `0.114`), the
 //! standard choice for the MPEG-1-era material the paper evaluates.
 
-use serde::{Deserialize, Serialize};
 
 /// BT.601 red luminance weight.
 pub const LUMA_R: f32 = 0.299;
@@ -23,7 +22,7 @@ pub const LUMA_B: f32 = 0.114;
 /// let white = Rgb8::new(255, 255, 255);
 /// assert_eq!(white.luma(), 255);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rgb8 {
     /// Red channel.
     pub r: u8,
@@ -32,6 +31,8 @@ pub struct Rgb8 {
     /// Blue channel.
     pub b: u8,
 }
+
+annolight_support::impl_json!(struct Rgb8 { r, g, b });
 
 impl Rgb8 {
     /// Creates a pixel from its three channels.
@@ -109,7 +110,7 @@ impl From<Rgb8> for [u8; 3] {
 }
 
 /// A full-range BT.601 YUV pixel (Y luminance plus offset-binary chroma).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Yuv8 {
     /// Luminance.
     pub y: u8,
@@ -118,6 +119,8 @@ pub struct Yuv8 {
     /// Red-difference chroma, offset by 128.
     pub v: u8,
 }
+
+annolight_support::impl_json!(struct Yuv8 { y, u, v });
 
 impl Yuv8 {
     /// Creates a YUV pixel from its three components.

@@ -15,10 +15,9 @@
 //! degradation the user-selected quality level bounds.
 
 use crate::frame::Frame;
-use serde::{Deserialize, Serialize};
 
 /// Which compensation operator to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompensationKind {
     /// Multiply channels by `k = L/L'` (used in the paper's evaluation).
     #[default]
@@ -27,8 +26,10 @@ pub enum CompensationKind {
     BrightnessCompensation,
 }
 
+annolight_support::impl_json!(enum CompensationKind { ContrastEnhancement, BrightnessCompensation });
+
 /// Statistics about pixels clipped by a compensation pass.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClipStats {
     /// Number of pixels in which at least one channel saturated.
     pub clipped_pixels: u64,
@@ -37,6 +38,8 @@ pub struct ClipStats {
     /// Largest per-channel overshoot beyond 255 (in pre-clamp 8-bit units).
     pub max_overshoot: f32,
 }
+
+annolight_support::impl_json!(struct ClipStats { clipped_pixels, total_pixels, max_overshoot });
 
 impl ClipStats {
     /// Fraction of pixels that clipped, in `[0, 1]`.

@@ -12,7 +12,6 @@
 //!    [`Histogram::mean`], [`Histogram::dynamic_range`] and the distance
 //!    metrics implement this.
 
-use serde::{Deserialize, Serialize};
 
 /// A 256-bin histogram of 8-bit luminance values.
 ///
@@ -29,11 +28,13 @@ use serde::{Deserialize, Serialize};
 /// // Allowing 25% of pixels to clip removes the single bright outlier.
 /// assert_eq!(h.clip_level(0.25), 20);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bins: Vec<u64>, // always length 256
     total: u64,
 }
+
+annolight_support::impl_json!(struct Histogram { bins, total });
 
 impl Default for Histogram {
     fn default() -> Self {

@@ -6,10 +6,9 @@
 //! playback per charge. The iPAQ 5555 ships a 1250 mAh / 3.7 V Li-ion
 //! pack.
 
-use serde::{Deserialize, Serialize};
 
 /// A simple energy-capacity battery model with a usable-fraction derating.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     /// Rated capacity, milliamp-hours.
     pub capacity_mah: f64,
@@ -18,6 +17,8 @@ pub struct Battery {
     /// Fraction of the rated capacity usable before shutdown, `(0, 1]`.
     pub usable_fraction: f64,
 }
+
+annolight_support::impl_json!(struct Battery { capacity_mah, voltage_v, usable_fraction });
 
 impl Battery {
     /// The iPAQ 5555's stock pack: 1250 mAh Li-ion at 3.7 V, ~92 % usable

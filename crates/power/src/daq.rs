@@ -7,10 +7,9 @@
 //! `p(t)` is converted to `(v_device, v_sense)` sample pairs and
 //! re-integrated, including the quantisation of the ADC.
 
-use serde::{Deserialize, Serialize};
 
 /// The simulated DAQ board plus sense-resistor harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DaqBoard {
     /// Sampling rate, samples per second.
     pub sample_rate_hz: f64,
@@ -21,6 +20,8 @@ pub struct DaqBoard {
     /// ADC least-significant-bit size, volts (quantisation granularity).
     pub adc_lsb_v: f64,
 }
+
+annolight_support::impl_json!(struct DaqBoard { sample_rate_hz, supply_v, sense_ohm, adc_lsb_v });
 
 impl DaqBoard {
     /// The paper's setup: 2 k samples/s; 5 V supply and a 0.1 Ω sense
@@ -82,7 +83,7 @@ impl DaqBoard {
 }
 
 /// The result of one DAQ measurement run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Wall-clock duration measured, seconds.
     pub duration_s: f64,
@@ -95,6 +96,8 @@ pub struct Measurement {
     /// The per-sample power trace, watts.
     pub samples: Vec<f64>,
 }
+
+annolight_support::impl_json!(struct Measurement { duration_s, energy_j, avg_power_w, peak_power_w, samples });
 
 impl Measurement {
     /// Fractional saving of this measurement versus a baseline one.

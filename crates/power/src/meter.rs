@@ -1,6 +1,6 @@
 //! Thread-safe energy accounting for the streaming pipeline.
 
-use parking_lot::Mutex;
+use annolight_support::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

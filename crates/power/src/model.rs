@@ -11,10 +11,9 @@
 //! full-backlight streaming session draws ≈ 3.2 W with the backlight at
 //! 26 % of the total — inside the paper's "25–30 %" statement (§4).
 
-use serde::{Deserialize, Serialize};
 
 /// Power model of everything in the device except the backlight.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemPowerModel {
     /// Always-on board power (memory, LCD logic, audio, regulators), W.
     pub base_w: f64,
@@ -27,6 +26,8 @@ pub struct SystemPowerModel {
     /// WNIC power while associated but idle, W.
     pub wnic_idle_w: f64,
 }
+
+annolight_support::impl_json!(struct SystemPowerModel { base_w, cpu_idle_w, cpu_active_w, wnic_rx_w, wnic_idle_w });
 
 impl SystemPowerModel {
     /// The iPAQ 5555 measurement target.

@@ -12,7 +12,6 @@ use annolight_codec::{CodecError, Decoder, EncodedStream};
 use annolight_core::track::AnnotationTrack;
 use annolight_display::{BacklightController, BacklightLevel, ControllerConfig, DeviceProfile, SwitchStats};
 use annolight_power::{EnergyMeter, SystemPowerModel};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -64,7 +63,7 @@ impl From<CodecError> for PlaybackError {
 }
 
 /// The result of playing one stream to completion.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlaybackReport {
     /// Number of frames decoded and displayed.
     pub frames: u32,
@@ -87,6 +86,8 @@ pub struct PlaybackReport {
     /// Mean backlight level over the session.
     pub mean_backlight: f64,
 }
+
+annolight_support::impl_json!(struct PlaybackReport { frames, duration_s, energy_j, baseline_energy_j, avg_power_w, backlight_energy_j, annotated, dvfs_applied, switches, mean_backlight });
 
 impl PlaybackReport {
     /// Fractional total-device power saving vs. full backlight — the

@@ -10,10 +10,9 @@
 use annolight_core::track::AnnotationMode;
 use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Client → server: session opening.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientHello {
     /// The clip the user asked for.
     pub clip_name: String,
@@ -29,8 +28,10 @@ pub struct ClientHello {
     pub version: u16,
 }
 
+annolight_support::impl_json!(struct ClientHello { clip_name, device, quality, mode, version });
+
 /// Server → client: the offer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerOffer {
     /// Quality levels this server pre-computes ("the server … provides a
     /// number of different video qualities … 5 in our case").
@@ -47,6 +48,8 @@ pub struct ServerOffer {
     /// Expected stream size, bytes (for client buffering decisions).
     pub stream_bytes: u64,
 }
+
+annolight_support::impl_json!(struct ServerOffer { offered_qualities, granted_quality, width, height, fps, stream_bytes });
 
 /// Protocol version implemented by this crate.
 pub const PROTOCOL_VERSION: u16 = 1;
@@ -68,7 +71,7 @@ impl ClientHello {
     ///
     /// Never panics for well-formed hellos (all fields are serialisable).
     pub fn to_wire(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("hello messages are always serialisable")
+        annolight_support::json::to_vec(self)
     }
 
     /// Parses the JSON wire form.
@@ -77,7 +80,7 @@ impl ClientHello {
     ///
     /// Returns a descriptive string for malformed input.
     pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
-        serde_json::from_slice(bytes).map_err(|e| e.to_string())
+        annolight_support::json::from_slice(bytes).map_err(|e| e.to_string())
     }
 }
 
@@ -145,8 +148,8 @@ mod tests {
             fps: 12.0,
             stream_bytes: 1_000_000,
         };
-        let json = serde_json::to_string(&offer).unwrap();
-        let back: ServerOffer = serde_json::from_str(&json).unwrap();
+        let json = annolight_support::json::to_string(&offer);
+        let back: ServerOffer = annolight_support::json::from_str(&json).unwrap();
         assert_eq!(offer, back);
     }
 }

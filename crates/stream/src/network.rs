@@ -4,10 +4,9 @@
 //! accounting we only need delivery *timing* (how long the WNIC stays in
 //! receive mode) — a fluid bandwidth + fixed latency model captures that.
 
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point channel with finite bandwidth and fixed latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WirelessChannel {
     /// Usable throughput, bits per second.
     pub bandwidth_bps: f64,
@@ -16,6 +15,8 @@ pub struct WirelessChannel {
     /// Maximum transfer unit, bytes (packetisation granularity).
     pub mtu: usize,
 }
+
+annolight_support::impl_json!(struct WirelessChannel { bandwidth_bps, latency_s, mtu });
 
 impl WirelessChannel {
     /// A typical 802.11b link of the era: ~5 Mbit/s goodput, 4 ms one-way

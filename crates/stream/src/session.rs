@@ -18,7 +18,7 @@ use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
 use annolight_power::{EnergyMeter, SystemPowerModel};
 use annolight_video::Clip;
-use crossbeam::channel;
+use annolight_support::channel;
 use std::error::Error;
 use std::fmt;
 use std::thread;
@@ -106,7 +106,7 @@ impl fmt::Display for SessionError {
 impl Error for SessionError {}
 
 /// The outcome of a whole streaming session.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SessionReport {
     /// The quality level the negotiation granted (closest offered level
     /// not exceeding the request).
@@ -126,6 +126,8 @@ pub struct SessionReport {
     /// Per-component energy breakdown.
     pub energy_breakdown: std::collections::BTreeMap<String, f64>,
 }
+
+annolight_support::impl_json!(struct SessionReport { granted_quality, stream_bytes, annotation_bytes, packets, transfer_time_s, real_time, playback, energy_breakdown });
 
 /// Runs one complete session.
 ///
@@ -332,8 +334,8 @@ mod tests {
     #[test]
     fn session_report_serialises_for_tooling() {
         let report = run_session(config(QualityLevel::Q5)).unwrap();
-        let json = serde_json::to_string(&report).unwrap();
-        let back: SessionReport = serde_json::from_str(&json).unwrap();
+        let json = annolight_support::json::to_string(&report);
+        let back: SessionReport = annolight_support::json::from_str(&json).unwrap();
         assert_eq!(back.stream_bytes, report.stream_bytes);
         assert!((back.playback.energy_j - report.playback.energy_j).abs() < 1e-12);
     }

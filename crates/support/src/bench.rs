@@ -1,0 +1,337 @@
+//! A minimal wall-clock benchmark harness with a criterion-shaped API,
+//! so the `crates/bench/benches` files keep their structure:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotation, `iter`/`iter_batched`.
+//!
+//! Methodology: an adaptive warmup sizes the per-sample iteration batch
+//! to a wall-clock target, then [`SAMPLES`] timed samples are taken and
+//! the **median** per-iteration time reported (median resists scheduler
+//! noise far better than the mean on shared CI boxes). At process exit
+//! `criterion_main!` prints a machine-readable JSON report of every
+//! group so figures and regressions can be scripted without scraping
+//! the human-readable lines.
+//!
+//! Environment knobs: `ANNOLIGHT_BENCH_SAMPLES` (default 15) and
+//! `ANNOLIGHT_BENCH_TARGET_MS` (per-sample batch target, default 20).
+
+use crate::json::{Json, ToJson};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+pub const SAMPLES: usize = 15;
+
+/// Default wall-clock target for one sample batch, milliseconds.
+pub const TARGET_MS: u64 = 20;
+
+/// Throughput annotation: per-iteration element or byte counts turn the
+/// time report into a rate report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; only the small-input variant is
+/// needed (and the distinction barely matters at our scales).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; batch freely.
+    SmallInput,
+    /// Larger per-iteration state; semantically identical here.
+    LargeInput,
+}
+
+/// One measured benchmark, as recorded into the JSON report.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median per-iteration wall-clock time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum observed sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Maximum observed sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Optional throughput rate, units per second.
+    pub rate: Option<(f64, &'static str)>,
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("median_ns".to_string(), Json::Float(self.median_ns)),
+            ("min_ns".to_string(), Json::Float(self.min_ns)),
+            ("max_ns".to_string(), Json::Float(self.max_ns)),
+            ("iters_per_sample".to_string(), Json::Int(i128::from(self.iters_per_sample))),
+            ("samples".to_string(), Json::Int(self.samples as i128)),
+        ];
+        if let Some((rate, unit)) = self.rate {
+            pairs.push(("rate".to_string(), Json::Float(rate)));
+            pairs.push(("rate_unit".to_string(), Json::Str(unit.to_string())));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Top-level harness state; the analogue of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Fresh harness.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { harness: self, name: name.into(), throughput: None }
+    }
+
+    /// All measurements so far.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// The whole run as a JSON document.
+    #[must_use]
+    pub fn report_json(&self) -> Json {
+        Json::Obj(vec![
+            ("harness".to_string(), Json::Str("annolight-support/bench".to_string())),
+            (
+                "benchmarks".to_string(),
+                Json::Arr(self.results.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent functions.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measures one function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 0 };
+        f(&mut b);
+        let id = format!("{}/{name}", self.name);
+        let m = b.finish(id, self.throughput);
+        eprintln!(
+            "bench {:<44} median {:>12}  min {:>12}{}",
+            m.id,
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            m.rate.map_or_else(String::new, |(r, u)| format!("  {} {u}/s", fmt_rate(r))),
+        );
+        self.harness.results.push(m);
+    }
+
+    /// Ends the group (kept for criterion API parity; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+fn samples_count() -> usize {
+    std::env::var("ANNOLIGHT_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(SAMPLES)
+}
+
+fn target_batch() -> Duration {
+    let ms = std::env::var("ANNOLIGHT_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(TARGET_MS);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Times `routine`, called in adaptively-sized batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup doubles the batch until one batch crosses the target.
+        let target = target_batch();
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            // Jump close to the target in one step once we have signal.
+            let scale = target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters.saturating_mul(scale.ceil() as u64)).clamp(iters + 1, 1 << 24);
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..samples_count() {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration, with
+    /// setup excluded from the timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let target = target_batch();
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            let scale = target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters.saturating_mul(scale.ceil() as u64)).clamp(iters + 1, 1 << 20);
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..samples_count() {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn finish(self, id: String, throughput: Option<Throughput>) -> Measurement {
+        assert!(!self.samples.is_empty(), "bench `{id}` never called iter()");
+        let iters = self.iters_per_sample.max(1);
+        let mut per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() * 1e9 / iters as f64).collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 / (median * 1e-9), "elem"),
+            Throughput::Bytes(n) => (n as f64 / (median * 1e-9), "B"),
+        });
+        Measurement {
+            id,
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters_per_sample: iters,
+            samples: per_iter.len(),
+            rate,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines
+/// `fn benches(c: &mut Criterion)` running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::bench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups and printing the JSON
+/// report at the end.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::new();
+            $($group(&mut c);)+
+            println!("{}", c.report_json().pretty());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        // Keep it fast: tiny batch target, few samples.
+        std::env::set_var("ANNOLIGHT_BENCH_SAMPLES", "3");
+        std::env::set_var("ANNOLIGHT_BENCH_TARGET_MS", "1");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("unit");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| u64::from(x)).sum::<u64>(),
+                BatchSize::SmallInput);
+        });
+        g.finish();
+        std::env::remove_var("ANNOLIGHT_BENCH_SAMPLES");
+        std::env::remove_var("ANNOLIGHT_BENCH_TARGET_MS");
+        assert_eq!(c.results().len(), 2);
+        let m = &c.results()[0];
+        assert_eq!(m.id, "unit/sum");
+        assert!(m.median_ns > 0.0 && m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.rate.unwrap().0 > 0.0);
+        let doc = c.report_json().to_string();
+        assert!(doc.contains("unit/sum") && doc.contains("rate"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Bounded/unbounded channels with a crossbeam-shaped API, backed by
+//! `std::sync::mpsc`. The stream session model only needs SPSC delivery
+//! with backpressure; `mpsc::sync_channel` provides exactly that.
+
+use std::sync::mpsc;
+
+/// Sending half of a channel. Cloneable; dropping every sender closes
+/// the channel.
+#[derive(Debug, Clone)]
+pub struct Sender<T> {
+    inner: SenderKind<T>,
+}
+
+#[derive(Debug)]
+enum SenderKind<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for SenderKind<T> {
+    fn clone(&self) -> Self {
+        match self {
+            SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+            SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+        }
+    }
+}
+
+/// Error returned when the receiving side has hung up; carries the
+/// undelivered message back, like crossbeam/mpsc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a closed channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on a closed channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl<T> Sender<T> {
+    /// Delivers `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] with the value if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            SenderKind::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// Receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and closed.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive; `None` when empty or closed.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.try_recv().ok()
+    }
+
+    /// A blocking iterator that ends when the channel closes.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.inner.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// A channel that blocks senders once `capacity` messages are queued
+/// (capacity 0 gives rendezvous semantics, like crossbeam).
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(capacity);
+    (Sender { inner: SenderKind::Bounded(tx) }, Receiver { inner: rx })
+}
+
+/// A channel with an unbounded queue.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: SenderKind::Unbounded(tx) }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_delivers_in_order_across_threads() {
+        let (tx, rx) = bounded::<u32>(4);
+        let sender = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        sender.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors_with_value() {
+        let (tx, rx) = bounded::<&'static str>(1);
+        drop(rx);
+        assert_eq!(tx.send("lost"), Err(SendError("lost")));
+    }
+
+    #[test]
+    fn unbounded_does_not_block_sender() {
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10_000);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cloned_senders_keep_channel_open() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Some(9));
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+}

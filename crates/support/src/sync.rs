@@ -1,0 +1,72 @@
+//! A `parking_lot`-flavoured [`Mutex`]: `lock()` returns the guard
+//! directly instead of a `Result`. A panic while a std mutex is held
+//! poisons it; the energy-meter counters this protects are plain `f64`
+//! accumulators that stay internally consistent under any interleaving,
+//! so the poison flag is noise — we take the guard anyway, exactly as
+//! `parking_lot` semantics did.
+
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// A mutual-exclusion lock whose `lock()` never returns `Err`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Self { inner: StdMutex::new(value) }
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counts_correctly_under_contention() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8_000);
+    }
+
+    #[test]
+    fn survives_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+}

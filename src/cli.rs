@@ -274,10 +274,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 run_session(SessionConfig::new(clip, QualityLevel::from_percent(*quality)))
                     .map_err(|e| CliError(e.to_string()))?;
             if *json {
-                out.push_str(
-                    &serde_json::to_string_pretty(&report)
-                        .map_err(|e| CliError(e.to_string()))?,
-                );
+                out.push_str(&annolight_support::json::to_string_pretty(&report));
                 out.push('\n');
                 return Ok(out);
             }
@@ -446,7 +443,7 @@ mod tests {
             json: true,
         })
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let v = annolight_support::json::Json::parse(&out).unwrap();
         assert!(v.get("playback").is_some());
         assert!(v.get("stream_bytes").is_some());
     }

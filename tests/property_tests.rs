@@ -1,89 +1,81 @@
-//! Property-based tests (proptest) over the workspace's core invariants.
+//! Property-based tests over the workspace's core invariants, running on
+//! the in-tree `annolight_support::check` harness (seeded, deterministic,
+//! replayable — see `crates/support/src/check.rs`).
 
 use annolight::core::plan::plan_levels;
 use annolight::core::track::{AnnotationEntry, AnnotationMode, AnnotationTrack};
 use annolight::core::QualityLevel;
 use annolight::display::{BacklightLevel, DeviceProfile, TransferFunction};
 use annolight::imgproc::{contrast_enhance, Frame, Histogram};
-use proptest::prelude::*;
 
-proptest! {
+annolight_support::check! {
     /// The clipping budget is never exceeded, for any histogram and any
     /// quality fraction.
-    #[test]
-    fn clip_level_respects_budget(
-        samples in proptest::collection::vec(any::<u8>(), 1..512),
-        quality in 0.0f64..=0.5,
-    ) {
+    fn clip_level_respects_budget(g) {
+        let samples = g.vec(1..512usize, |g| g.any::<u8>());
+        let quality: f64 = g.draw(0.0f64..=0.5);
         let hist = Histogram::from_samples(samples.iter().copied());
         let level = hist.clip_level(quality);
-        prop_assert!(hist.fraction_above(level) <= quality + 1e-12);
+        assert!(hist.fraction_above(level) <= quality + 1e-12);
         // And one level lower would clip more than `level` does (tightness
         // in the sense that the chosen level is the smallest admissible).
         if level > 0 {
             let lower = level - 1;
             let budget = (quality * hist.total() as f64).floor() as u64;
-            prop_assert!(hist.count_above(lower) > budget);
+            assert!(hist.count_above(lower) > budget);
         }
     }
 
     /// Histogram totals and means are consistent under merge.
-    #[test]
-    fn histogram_merge_consistency(
-        a in proptest::collection::vec(any::<u8>(), 1..256),
-        b in proptest::collection::vec(any::<u8>(), 1..256),
-    ) {
+    fn histogram_merge_consistency(g) {
+        let a = g.vec(1..256usize, |g| g.any::<u8>());
+        let b = g.vec(1..256usize, |g| g.any::<u8>());
         let ha = Histogram::from_samples(a.iter().copied());
         let hb = Histogram::from_samples(b.iter().copied());
         let mut merged = ha.clone();
         merged.merge(&hb);
-        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        assert_eq!(merged.total(), ha.total() + hb.total());
         let expected_mean = (ha.mean() * ha.total() as f64 + hb.mean() * hb.total() as f64)
             / merged.total() as f64;
-        prop_assert!((merged.mean() - expected_mean).abs() < 1e-9);
+        assert!((merged.mean() - expected_mean).abs() < 1e-9);
     }
 
     /// Contrast enhancement with k ≥ 1 never lowers any channel, and the
     /// clipped-pixel count matches a direct recount.
-    #[test]
-    fn contrast_enhancement_monotone(
-        pixels in proptest::collection::vec(any::<[u8; 3]>(), 16..64),
-        k in 1.0f32..4.0,
-    ) {
+    fn contrast_enhancement_monotone(g) {
+        let pixels = g.vec(16..64usize, |g| g.any::<[u8; 3]>());
+        let k: f32 = g.draw(1.0f32..4.0);
         let w = pixels.len() as u32;
         let frame = Frame::from_rgb_buffer(w, 1, pixels.iter().flatten().copied().collect()).unwrap();
         let mut scaled = frame.clone();
         let stats = contrast_enhance(&mut scaled, k);
         let mut recount = 0u64;
         for (a, b) in frame.pixels().zip(scaled.pixels()) {
-            prop_assert!(b.r >= a.r && b.g >= a.g && b.b >= a.b);
+            assert!(b.r >= a.r && b.g >= a.g && b.b >= a.b);
             let clips = [a.r, a.g, a.b].iter().any(|&c| f32::from(c) * k > 255.0);
             if clips { recount += 1; }
         }
-        prop_assert_eq!(stats.clipped_pixels, recount);
+        assert_eq!(stats.clipped_pixels, recount);
     }
 
     /// The transfer-function inverse never under-drives, for arbitrary
     /// curve parameters and targets.
-    #[test]
-    fn transfer_inverse_never_underdrives(
-        a in 0.2f64..6.0,
-        gamma in 0.4f64..3.0,
-        target in 0.0f64..=1.0,
-    ) {
+    fn transfer_inverse_never_underdrives(g) {
+        let a: f64 = g.draw(0.2f64..6.0);
+        let gamma: f64 = g.draw(0.4f64..3.0);
+        let target: f64 = g.draw(0.0f64..=1.0);
         for f in [TransferFunction::SaturatingExp { a }, TransferFunction::Gamma { gamma }] {
             let level = f.level_for_luminance(target);
-            prop_assert!(f.luminance(level) + 1e-12 >= target, "{f:?} target {target}");
+            assert!(f.luminance(level) + 1e-12 >= target, "{f:?} target {target}");
         }
     }
 
     /// Annotation tracks round-trip through the RLE wire format: the
     /// per-frame level sequence is preserved exactly.
-    #[test]
-    fn track_wire_roundtrip(
-        raw_entries in proptest::collection::vec(
-            (1u32..40, any::<u8>(), 1.0f32..4.0, any::<u8>()), 1..24),
-    ) {
+    fn track_wire_roundtrip(g) {
+        let raw_entries = g.vec(1..24usize, |g| {
+            (g.draw(1u32..40), g.any::<u8>(), g.draw(1.0f32..4.0), g.any::<u8>())
+        });
         // Build strictly increasing start frames from the gaps.
         let mut start = 0u32;
         let mut entries = Vec::new();
@@ -101,34 +93,35 @@ proptest! {
             "dev", QualityLevel::Q10, AnnotationMode::PerScene, 12.0, frame_count, entries,
         ).unwrap();
         let decoded = AnnotationTrack::from_rle_bytes(&track.to_rle_bytes()).unwrap();
-        prop_assert_eq!(decoded.frame_count(), track.frame_count());
+        assert_eq!(decoded.frame_count(), track.frame_count());
         for f in 0..frame_count {
             let a = track.entry_at(f).unwrap();
             let b = decoded.entry_at(f).unwrap();
-            prop_assert_eq!(a.backlight, b.backlight, "frame {}", f);
-            prop_assert_eq!(a.effective_max_luma, b.effective_max_luma);
-            prop_assert!((a.compensation - b.compensation).abs() <= 1.0 / 256.0 + 1e-6);
+            assert_eq!(a.backlight, b.backlight, "frame {f}");
+            assert_eq!(a.effective_max_luma, b.effective_max_luma);
+            assert!((a.compensation - b.compensation).abs() <= 1.0 / 256.0 + 1e-6);
         }
     }
 
     /// Planning is sane for every device and effective max: k ≥ 1, savings
     /// in [0, 1), and brighter scenes never get dimmer backlight.
-    #[test]
-    fn planning_monotone_in_effective_max(e1 in 1u8..255, e2 in 1u8..255) {
+    fn planning_monotone_in_effective_max(g) {
+        let e1: u8 = g.draw(1u8..255);
+        let e2: u8 = g.draw(1u8..255);
         let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
         for device in DeviceProfile::paper_devices() {
             let (k_lo, b_lo) = plan_levels(&device, lo);
             let (k_hi, b_hi) = plan_levels(&device, hi);
-            prop_assert!(k_lo >= 1.0 && k_hi >= 1.0);
-            prop_assert!(b_lo <= b_hi, "{}: {lo}→{b_lo:?} vs {hi}→{b_hi:?}", device.name());
-            prop_assert!(k_lo + 1e-6 >= k_hi, "darker scenes need more compensation");
+            assert!(k_lo >= 1.0 && k_hi >= 1.0);
+            assert!(b_lo <= b_hi, "{}: {lo}→{b_lo:?} vs {hi}→{b_hi:?}", device.name());
+            assert!(k_lo + 1e-6 >= k_hi, "darker scenes need more compensation");
         }
     }
 
     /// Exp-Golomb bit I/O round-trips arbitrary interleaved values.
-    #[test]
-    fn bitio_roundtrip(values in proptest::collection::vec(any::<i32>(), 0..64)) {
+    fn bitio_roundtrip(g) {
         use annolight::codec::bitio::{BitReader, BitWriter};
+        let values = g.vec(0..64usize, |g| g.any::<i32>());
         let mut w = BitWriter::new();
         for &v in &values {
             // keep magnitudes in the sane coding range
@@ -139,15 +132,15 @@ proptest! {
         let mut r = BitReader::new(&bytes);
         for &v in &values {
             let v = v % 100_000;
-            prop_assert_eq!(r.get_se().unwrap(), v);
+            assert_eq!(r.get_se().unwrap(), v);
         }
     }
 
     /// Intra coding round-trips arbitrary frames within a PSNR floor.
-    #[test]
-    fn intra_coding_psnr_floor(seed in any::<u64>()) {
+    fn intra_coding_psnr_floor(g) {
         use annolight::codec::picture::{decode_intra, encode_intra};
         use annolight::codec::quant::QScale;
+        let seed = g.any::<u64>();
         // A deterministic pseudo-random smooth-ish frame from the seed.
         let frame = Frame::from_fn(32, 32, |x, y| {
             let h = seed
@@ -160,6 +153,6 @@ proptest! {
         let coded = encode_intra(&yuv, QScale::new(4));
         let decoded = decode_intra(&coded.bytes, 32, 32).unwrap();
         let p = annolight::codec::psnr_luma(&yuv, &decoded);
-        prop_assert!(p > 24.0, "PSNR {}", p);
+        assert!(p > 24.0, "PSNR {p}");
     }
 }

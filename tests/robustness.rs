@@ -8,25 +8,24 @@ use annolight::display::DeviceProfile;
 use annolight::power::SystemPowerModel;
 use annolight::stream::PlaybackClient;
 use annolight::video::ClipLibrary;
-use proptest::prelude::*;
 
-proptest! {
+annolight_support::check! {
     /// The container parser never panics on arbitrary bytes.
-    #[test]
-    fn decoder_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
-        let _ = Decoder::from_bytes(&bytes); // Err or Ok, never panic
+    fn decoder_survives_arbitrary_bytes(g) {
+        let bytes = g.vec(0..2048usize, |g| g.any::<u8>());
+        let _ = Decoder::from_bytes(&bytes[..]); // Err or Ok, never panic
     }
 
     /// The annotation-track parser never panics on arbitrary bytes.
-    #[test]
-    fn track_parser_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn track_parser_survives_arbitrary_bytes(g) {
+        let bytes = g.vec(0..512usize, |g| g.any::<u8>());
         let _ = AnnotationTrack::from_rle_bytes(&bytes);
     }
 
     /// A valid header followed by garbage packets must be rejected, not
     /// mis-decoded.
-    #[test]
-    fn garbage_after_header_rejected(bytes in proptest::collection::vec(any::<u8>(), 1..256)) {
+    fn garbage_after_header_rejected(g) {
+        let bytes = g.vec(1..256usize, |g| g.any::<u8>());
         let mut stream = Vec::new();
         stream.extend_from_slice(b"ALV1");
         stream.extend_from_slice(&32u16.to_le_bytes());
@@ -35,7 +34,7 @@ proptest! {
         stream.extend_from_slice(&1u32.to_le_bytes()); // promises 1 picture
         stream.push(4); // gop
         stream.extend_from_slice(&bytes);
-        if let Ok(mut dec) = Decoder::from_bytes(&stream) {
+        if let Ok(mut dec) = Decoder::from_bytes(&stream[..]) {
             // If the packet table happened to parse, decoding the picture
             // payload must still fail or produce a frame — never panic.
             let _ = dec.decode_next();
@@ -43,8 +42,8 @@ proptest! {
     }
 
     /// Intra picture decode never panics on arbitrary payloads.
-    #[test]
-    fn intra_decode_survives_arbitrary_payload(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn intra_decode_survives_arbitrary_payload(g) {
+        let bytes = g.vec(0..256usize, |g| g.any::<u8>());
         let _ = annolight::codec::picture::decode_intra(&bytes, 16, 16);
     }
 }
@@ -99,7 +98,7 @@ fn bitflips_in_picture_payloads_do_not_panic() {
     for pos in (17..original.len()).step_by(step) {
         let mut corrupted = original.clone();
         corrupted[pos] ^= 0xA5;
-        if let Ok(mut dec) = Decoder::from_bytes(&corrupted) {
+        if let Ok(mut dec) = Decoder::from_bytes(&corrupted[..]) {
             let _ = dec.decode_all(); // may Err, may decode garbage; no panic
         }
     }
@@ -132,7 +131,7 @@ fn client_rejects_stream_with_corrupted_track() {
 
 #[test]
 fn empty_and_header_only_streams() {
-    assert!(Decoder::from_bytes(&[]).is_err());
+    assert!(Decoder::from_bytes(&[][..]).is_err());
     let enc = Encoder::new(EncoderConfig::default()).unwrap();
     let empty = enc.finish();
     let mut dec = Decoder::new(&empty).unwrap();
