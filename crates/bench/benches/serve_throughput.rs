@@ -1,0 +1,86 @@
+//! Wall-clock benches (annolight-support harness, criterion-shaped) for
+//! the annotation service: cold profile+annotate vs warm content-addressed
+//! cache hit, plus the submission fast path.
+//!
+//! The headline contract (asserted in `figures::tab_serve` tests and
+//! visible here in nanoseconds): a warm hit must be at least an order of
+//! magnitude faster than a cold profile, because it skips luminance
+//! profiling and backlight planning entirely.
+
+use annolight_core::track::AnnotationMode;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use annolight_serve::{AnnotationRequest, AnnotationService, Service, ServiceConfig};
+use annolight_support::bench::{BatchSize, Criterion, Throughput};
+use annolight_support::{criterion_group, criterion_main};
+use annolight_video::{Clip, ClipLibrary};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn clip() -> Clip {
+    ClipLibrary::paper_clip("themovie").unwrap().preview(4.0)
+}
+
+fn request() -> AnnotationRequest {
+    AnnotationRequest {
+        tenant: "bench".into(),
+        clip: "themovie".into(),
+        device: DeviceProfile::ipaq_5555(),
+        quality: QualityLevel::Q10,
+        mode: AnnotationMode::PerScene,
+    }
+}
+
+fn fresh_service() -> Arc<AnnotationService> {
+    let svc = AnnotationService::new(ServiceConfig { workers: 0, ..ServiceConfig::default() });
+    svc.register_clip(clip());
+    svc
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let frames = u64::from(clip().frame_count());
+    let mut g = c.benchmark_group("serve");
+    g.throughput(Throughput::Elements(frames));
+
+    // Cold: a fresh service per iteration, so every call profiles and
+    // plans from scratch (setup excluded from timing).
+    g.bench_function("cold_profile", |b| {
+        b.iter_batched(
+            fresh_service,
+            |svc| black_box(svc.call(request()).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Warm: one pre-warmed service; every call is a cache hit.
+    let warm = fresh_service();
+    assert!(!warm.call(request()).unwrap().cache_hit, "first call must be cold");
+    g.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            let resp = warm.call(request()).unwrap();
+            debug_assert!(resp.cache_hit);
+            black_box(resp)
+        });
+    });
+    g.finish();
+}
+
+fn bench_submission_fast_path(c: &mut Criterion) {
+    // Submission of an already-cached key answers at admission time
+    // (Ticket::Ready) without touching the pool.
+    let svc = fresh_service();
+    svc.call(request()).unwrap();
+    let mut g = c.benchmark_group("serve_submit");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ready_ticket", |b| {
+        b.iter(|| {
+            let ticket = svc.submit(request()).unwrap();
+            debug_assert!(ticket.is_ready());
+            black_box(ticket.wait().unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_submission_fast_path);
+criterion_main!(benches);

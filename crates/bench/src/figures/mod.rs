@@ -19,6 +19,7 @@ pub mod fig10;
 pub mod tab_baselines;
 pub mod tab_devices;
 pub mod tab_overhead;
+pub mod tab_serve;
 
 /// The five quality levels of the paper's sweeps, as display labels.
 pub const QUALITY_LABELS: [&str; 5] = ["0%", "5%", "10%", "15%", "20%"];

@@ -75,7 +75,7 @@ pub fn run(preview_s: Option<f64>) -> TabOverhead {
                 stream_bytes: scene.stream.len(),
                 scene_track_bytes: scene.annotation_bytes,
                 frame_track_bytes: frame.annotation_bytes,
-                scene_entries: scene.annotated.track().entries().len(),
+                scene_entries: scene.track.entries().len(),
                 overhead_fraction: scene.annotation_bytes as f64 / scene.stream.len() as f64,
             }
         })

@@ -1,0 +1,195 @@
+//! Cheap content digests for content-addressed annotation caching.
+//!
+//! The serving tier (`annolight-serve`) keys its annotation cache on
+//! *what the pixels are*, not on catalogue names: two tenants requesting
+//! the same content for the same device/quality must share one cached
+//! track, and a renamed or re-registered clip must never serve a stale
+//! track computed for different content.
+//!
+//! A full-stream hash would defeat the point of server-side profiling
+//! (it reads every pixel, which is what profiling itself costs), so
+//! [`clip_digest`] samples instead: clip geometry and timing are mixed
+//! in exactly, and a bounded number of frames ([`DIGEST_FRAMES`]) are
+//! rendered and strided-sampled. For the synthetic, deterministic clips
+//! this workspace generates, identical specs give identical digests and
+//! any content edit shows up in the sampled frames with overwhelming
+//! probability. The hash is FNV-1a/64 — deterministic across runs and
+//! platforms (unlike `DefaultHasher`, whose algorithm is unspecified).
+
+use annolight_video::Clip;
+
+/// Frames sampled (evenly spaced, always including first and last) by
+/// [`clip_digest`].
+pub const DIGEST_FRAMES: u32 = 5;
+
+/// Pixels sampled per digested frame (strided across the RGB buffer).
+pub const DIGEST_PIXELS_PER_FRAME: usize = 256;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a/64 over a byte slice: the workspace's deterministic,
+/// dependency-free hash for cache addressing.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a/64 hasher for mixing heterogeneous fields.
+#[derive(Debug, Clone)]
+pub struct Digester {
+    state: u64,
+}
+
+impl Default for Digester {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digester {
+    /// Fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Mixes raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mixes a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Mixes a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Mixes an `f64` by its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write(&v.to_bits().to_le_bytes())
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A cheap, deterministic content digest of a clip.
+///
+/// Mixes exact geometry/timing (dimensions, fps bits, frame count) with
+/// strided pixel samples from [`DIGEST_FRAMES`] evenly spaced frames.
+/// Cost is bounded regardless of clip length — rendering a handful of
+/// frames — which is orders of magnitude cheaper than profiling the
+/// whole clip, the operation the digest exists to deduplicate.
+///
+/// ```
+/// use annolight_core::digest::clip_digest;
+/// use annolight_video::ClipLibrary;
+///
+/// let a = ClipLibrary::paper_clip("themovie").unwrap().preview(2.0);
+/// let b = ClipLibrary::paper_clip("themovie").unwrap().preview(2.0);
+/// assert_eq!(clip_digest(&a), clip_digest(&b));
+/// let other = ClipLibrary::paper_clip("catwoman").unwrap().preview(2.0);
+/// assert_ne!(clip_digest(&a), clip_digest(&other));
+/// ```
+#[must_use]
+pub fn clip_digest(clip: &Clip) -> u64 {
+    let (w, h) = clip.dimensions();
+    let frames = clip.frame_count();
+    let mut d = Digester::new();
+    d.write_u32(w).write_u32(h).write_u32(frames).write_f64(clip.fps());
+    // Evenly spaced frame indices, first and last inclusive.
+    let n = DIGEST_FRAMES.min(frames).max(1);
+    for i in 0..n {
+        let idx = if n == 1 { 0 } else { (u64::from(i) * u64::from(frames - 1) / u64::from(n - 1)) as u32 };
+        let frame = clip.frame(idx);
+        let bytes = frame.as_bytes();
+        let stride = (bytes.len() / DIGEST_PIXELS_PER_FRAME.saturating_mul(3)).max(1) * 3;
+        d.write_u32(idx);
+        let mut pos = 0;
+        while pos + 2 < bytes.len() {
+            d.write(&bytes[pos..pos + 3]);
+            pos += stride;
+        }
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annolight_video::{Clip, ClipSpec, ContentKind, SceneSpec};
+
+    fn clip(seed: u64, base: u8) -> Clip {
+        Clip::new(ClipSpec {
+            name: "d".into(),
+            width: 32,
+            height: 32,
+            fps: 10.0,
+            seed,
+            scenes: vec![
+                SceneSpec::new(
+                    ContentKind::Dark { base, spread: 10, highlight_fraction: 0.01, highlight: 230 },
+                    1.0,
+                ),
+                SceneSpec::new(ContentKind::Bright { base: 200, spread: 20 }, 1.0),
+            ],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(clip_digest(&clip(7, 40)), clip_digest(&clip(7, 40)));
+    }
+
+    #[test]
+    fn digest_separates_content() {
+        let base = clip_digest(&clip(7, 40));
+        assert_ne!(base, clip_digest(&clip(8, 40)), "different seed, different pixels");
+        assert_ne!(base, clip_digest(&clip(7, 90)), "different luminance base");
+    }
+
+    #[test]
+    fn digest_ignores_name() {
+        // Content addressing: the catalogue name must not influence the key.
+        let a = clip(7, 40);
+        let mut spec = a.spec().clone();
+        spec.name = "renamed".into();
+        let b = Clip::new(spec).unwrap();
+        assert_eq!(clip_digest(&a), clip_digest(&b));
+    }
+
+    #[test]
+    fn digester_mixes_field_order() {
+        let mut a = Digester::new();
+        a.write_u32(1).write_u32(2);
+        let mut b = Digester::new();
+        b.write_u32(2).write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

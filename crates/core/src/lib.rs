@@ -45,6 +45,7 @@
 
 pub mod annotate;
 pub mod apply;
+pub mod digest;
 pub mod error;
 pub mod extensions;
 pub mod online;
@@ -57,6 +58,7 @@ pub mod track;
 
 pub use annotate::{AnnotatedClip, Annotator};
 pub use apply::{apply_annotation, client_side_levels, compensate_frame};
+pub use digest::clip_digest;
 pub use error::CoreError;
 pub use online::OnlineAnnotator;
 pub use plan::{plan_levels_ambient, BacklightPlan, ScenePlan};

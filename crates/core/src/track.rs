@@ -335,6 +335,19 @@ impl AnnotationTrack {
     pub fn overhead_bytes(&self) -> usize {
         self.to_rle_bytes().len()
     }
+
+    /// Resident in-memory size of this track in bytes: the struct itself
+    /// plus its heap allocations (device-name string and entry vector).
+    ///
+    /// This is the byte-budget unit of the serving tier's annotation
+    /// cache: evicting a track frees exactly this much, so a cache's
+    /// accounted total must always equal the sum of `resident_bytes()`
+    /// over its resident entries (a property the serve crate tests).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.device_name.capacity()
+            + self.entries.capacity() * std::mem::size_of::<AnnotationEntry>()
+    }
 }
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -555,6 +568,26 @@ mod tests {
         let mut bytes = demo_track().to_rle_bytes();
         bytes.truncate(bytes.len() - 1);
         assert!(AnnotationTrack::from_rle_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_tracks_entry_count() {
+        let t = demo_track();
+        let n = t.resident_bytes();
+        assert!(n >= std::mem::size_of::<AnnotationTrack>() + 3 * std::mem::size_of::<AnnotationEntry>());
+        // A longer track occupies strictly more memory.
+        let entries: Vec<AnnotationEntry> =
+            (0..64).map(|i| entry(i * 2, (i % 250) as u8, 1.2, 150)).collect();
+        let long = AnnotationTrack::new(
+            "ipaq-5555",
+            QualityLevel::Q10,
+            AnnotationMode::PerScene,
+            12.0,
+            200,
+            entries,
+        )
+        .unwrap();
+        assert!(long.resident_bytes() > n);
     }
 
     #[test]

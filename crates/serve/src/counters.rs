@@ -1,0 +1,239 @@
+//! Service observability: hit/miss/overload counters and a profiling
+//! latency histogram, exportable as a JSON report via
+//! [`annolight_support::json`].
+//!
+//! The counters are lock-free (relaxed atomics): they sit on the serve
+//! hot path and must never serialise workers. Exactness still holds —
+//! every increment is unconditional, so in deterministic single-thread
+//! mode the report matches the observed hit/miss sequence bit-for-bit
+//! (an acceptance test of this crate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), and the last bucket is
+/// open-ended.
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, duration: std::time::Duration) {
+        let us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the histogram for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<u64>, Vec<u64>) {
+        let uppers = (0..LATENCY_BUCKETS as u32).map(|i| 1u64 << i).collect();
+        let counts = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        (uppers, counts)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Maximum recorded latency in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+}
+
+/// The service's live counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests answered from the annotation cache.
+    pub hits: AtomicU64,
+    /// Requests that had to compute a fresh track.
+    pub misses: AtomicU64,
+    /// Requests rejected with `ServeError::Overloaded`.
+    pub overloaded: AtomicU64,
+    /// Requests fully completed (hit or computed).
+    pub completed: AtomicU64,
+    /// Luminance profiles actually computed (single-flight: at most one
+    /// per content digest, however many keys request the clip).
+    pub clip_profiles: AtomicU64,
+    /// Cold profile+annotate latency distribution.
+    pub profile_latency: LatencyHistogram,
+}
+
+impl Counters {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed-increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    #[must_use]
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time, serialisable service report. Build one with
+/// [`crate::AnnotationService::report`]; serialise with
+/// [`CountersReport::to_json_string`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountersReport {
+    /// Requests answered from cache.
+    pub hits: u64,
+    /// Requests that computed a fresh track.
+    pub misses: u64,
+    /// Requests rejected at admission.
+    pub overloaded: u64,
+    /// Requests completed (hits + misses that finished).
+    pub completed: u64,
+    /// Requests sitting in tenant queues right now.
+    pub queue_depth: usize,
+    /// Cache evictions since construction.
+    pub evictions: u64,
+    /// Tracks resident in the cache.
+    pub resident_entries: usize,
+    /// Bytes resident in the cache.
+    pub resident_bytes: usize,
+    /// Cold profiles measured.
+    pub profile_count: u64,
+    /// Luminance profiles computed (≤ distinct clips ever requested,
+    /// thanks to the single-flight memo).
+    pub clip_profiles: u64,
+    /// Mean cold-profile latency, µs.
+    pub profile_latency_mean_us: f64,
+    /// Max cold-profile latency, µs.
+    pub profile_latency_max_us: u64,
+    /// Upper bound (µs) of each latency bucket, ascending powers of two.
+    pub latency_bucket_upper_us: Vec<u64>,
+    /// Sample count per latency bucket.
+    pub latency_bucket_counts: Vec<u64>,
+}
+
+annolight_support::impl_json!(struct CountersReport {
+    hits, misses, overloaded, completed, queue_depth, evictions,
+    resident_entries, resident_bytes, profile_count, clip_profiles,
+    profile_latency_mean_us, profile_latency_max_us,
+    latency_bucket_upper_us, latency_bucket_counts
+});
+
+impl CountersReport {
+    /// The report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        annolight_support::json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON (round-trip tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error message for malformed input.
+    pub fn from_json_string(json: &str) -> Result<Self, String> {
+        annolight_support::json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when nothing completed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(0)); // bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1: [1, 2)
+        h.record(Duration::from_micros(3)); // bucket 2: [2, 4)
+        h.record(Duration::from_micros(1000)); // bucket 10: [512, 1024)
+        let (uppers, counts) = h.snapshot();
+        assert_eq!(uppers[0], 1);
+        assert_eq!(uppers[1], 2);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[10], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_us(), 1000);
+        assert!((h.mean_us() - 251.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_samples_into_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3600));
+        let (_, counts) = h.snapshot();
+        assert_eq!(counts[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = CountersReport {
+            hits: 10,
+            misses: 3,
+            overloaded: 2,
+            completed: 13,
+            queue_depth: 0,
+            evictions: 1,
+            resident_entries: 3,
+            resident_bytes: 4096,
+            profile_count: 3,
+            clip_profiles: 2,
+            profile_latency_mean_us: 812.5,
+            profile_latency_max_us: 2000,
+            latency_bucket_upper_us: vec![1, 2, 4],
+            latency_bucket_counts: vec![0, 1, 2],
+        };
+        let json = report.to_json_string();
+        let back = CountersReport::from_json_string(&json).unwrap();
+        assert_eq!(back, report);
+        assert!((back.hit_rate() - 10.0 / 13.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,391 @@
+//! A work-stealing worker pool for server-side profiling jobs.
+//!
+//! The paper pushes all profiling/annotation work to the server or proxy
+//! tier (Fig. 1) precisely so it can be amortised across many thin
+//! clients; this pool is that tier's execution engine. Design:
+//!
+//! * **Per-worker deques.** Submitted jobs are distributed round-robin
+//!   over per-worker deques; a worker pops from the *front* of its own
+//!   deque (FIFO for fairness of admission order) and, when empty,
+//!   steals from the *back* of a sibling's deque — the classic
+//!   Arora/Blumofe/Plaxton shape, built entirely on the in-tree
+//!   [`annolight_support::sync`] primitives (hermetic: no registry
+//!   dependencies).
+//! * **Deterministic single-thread mode.** A pool created with
+//!   `threads == 0` spawns nothing; jobs queue in submission order and
+//!   [`WorkerPool::run_until_idle`] executes them inline, FIFO. Two
+//!   identical request traces then execute in identical order — the
+//!   mode every determinism test in this crate uses.
+//! * **Graceful drain.** Dropping the pool (or calling
+//!   [`WorkerPool::shutdown`]) lets workers finish every queued job
+//!   before exiting; no job is ever silently discarded.
+
+use annolight_support::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing pool activity (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs fully executed.
+    pub executed: u64,
+    /// Jobs a worker took from a sibling's deque rather than its own.
+    pub stolen: u64,
+    /// Jobs currently queued (not yet started).
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Jobs pushed but not yet popped, across all deques.
+    queued: usize,
+    /// Jobs currently executing on some worker.
+    active: usize,
+    /// Monotonic count of completed jobs.
+    executed: u64,
+    /// Monotonic count of cross-deque steals.
+    stolen: u64,
+    /// Set once; workers drain remaining work, then exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    /// One deque per worker (exactly one in deterministic mode).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    state: Mutex<State>,
+    /// Workers park here when every deque is empty.
+    work: Condvar,
+    /// `wait_idle` callers park here.
+    idle: Condvar,
+}
+
+impl Shared {
+    /// Pops `worker`'s own deque front, else steals the back of the
+    /// nearest non-empty sibling. Returns the job and whether it was
+    /// stolen.
+    fn take(&self, worker: usize) -> Option<(Job, bool)> {
+        if let Some(job) = self.deques[worker].lock().pop_front() {
+            return Some((job, false));
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(job) = self.deques[victim].lock().pop_back() {
+                return Some((job, true));
+            }
+        }
+        None
+    }
+}
+
+/// The work-stealing pool. See the module docs for the design.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Round-robin cursor for distributing submissions over deques.
+    next: AtomicUsize,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers. `threads == 0` selects the
+    /// deterministic single-thread mode: one deque, no OS threads, jobs
+    /// run inline via [`WorkerPool::run_until_idle`].
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let deques = (0..threads.max(1)).map(|_| Mutex::new(VecDeque::new())).collect();
+        let shared = Arc::new(Shared {
+            deques,
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("annolight-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Self { shared, handles, next: AtomicUsize::new(0), threads }
+    }
+
+    /// Number of OS worker threads (0 in deterministic mode).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs jobs inline and in deterministic FIFO order.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.threads == 0
+    }
+
+    /// Submits a job, distributing round-robin over worker deques.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        self.spawn_pinned(slot, job);
+    }
+
+    /// Submits a job onto a specific worker's deque (siblings may still
+    /// steal it). Useful for tests and for callers with placement hints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn spawn_pinned(&self, worker: usize, job: impl FnOnce() + Send + 'static) {
+        assert!(worker < self.shared.deques.len(), "worker {worker} out of range");
+        // Count first, then publish: a worker that observes `queued > 0`
+        // may scan before the push lands and simply re-scan, whereas the
+        // reverse order could underflow the count.
+        self.shared.state.lock().queued += 1;
+        self.shared.deques[worker].lock().push_back(Box::new(job));
+        self.shared.work.notify_one();
+    }
+
+    /// Runs queued jobs inline, FIFO, until none remain (including jobs
+    /// spawned by the jobs themselves). This is the execution step of
+    /// deterministic mode; on a threaded pool it is equivalent to
+    /// [`WorkerPool::wait_idle`].
+    pub fn run_until_idle(&self) {
+        if self.threads > 0 {
+            self.wait_idle();
+            return;
+        }
+        loop {
+            let Some(job) = self.shared.deques[0].lock().pop_front() else { break };
+            {
+                let mut st = self.shared.state.lock();
+                st.queued -= 1;
+                st.active += 1;
+            }
+            job();
+            let mut st = self.shared.state.lock();
+            st.active -= 1;
+            st.executed += 1;
+        }
+    }
+
+    /// Blocks until no job is queued or executing. In deterministic mode
+    /// this drains the queue inline first.
+    pub fn wait_idle(&self) {
+        if self.threads == 0 {
+            self.run_until_idle();
+            return;
+        }
+        let guard = self.shared.state.lock();
+        let _guard = self.shared.idle.wait_while(guard, |st| st.queued > 0 || st.active > 0);
+    }
+
+    /// Current pool counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let st = self.shared.state.lock();
+        PoolStats { executed: st.executed, stolen: st.stolen, queued: st.queued, active: st.active }
+    }
+
+    /// Drains all queued work, then stops and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.threads == 0 {
+            self.run_until_idle();
+            return;
+        }
+        self.shared.state.lock().shutdown = true;
+        self.shared.work.notify_all();
+        let me = thread::current().id();
+        for h in self.handles.drain(..) {
+            if h.thread().id() == me {
+                // A worker can run this drop itself when a job closure
+                // held the last owner of the pool (e.g. the service Arc a
+                // dispatch captured). Joining the current thread would
+                // EDEADLK; detach it instead — it has already finished
+                // its job and will observe `shutdown` and exit.
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        match shared.take(worker) {
+            Some((job, stolen)) => {
+                {
+                    let mut st = shared.state.lock();
+                    st.queued -= 1;
+                    st.active += 1;
+                    if stolen {
+                        st.stolen += 1;
+                    }
+                }
+                job();
+                let mut st = shared.state.lock();
+                st.active -= 1;
+                st.executed += 1;
+                if st.queued == 0 && st.active == 0 {
+                    shared.idle.notify_all();
+                }
+            }
+            None => {
+                let mut st = shared.state.lock();
+                // Re-check under the lock: a push may have raced our scan.
+                if st.queued > 0 {
+                    continue;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st);
+                drop(st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn threaded_pool_runs_every_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..200 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        let stats = pool.stats();
+        assert_eq!(stats.executed, 200);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn pinned_imbalance_forces_steals() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        // Everything lands on worker 0's deque; with slow-ish jobs the
+        // other three workers can only make progress by stealing.
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            pool.spawn_pinned(0, move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert!(pool.stats().stolen > 0, "expected cross-deque steals, got {:?}", pool.stats());
+    }
+
+    #[test]
+    fn deterministic_mode_is_fifo_and_inline() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.is_deterministic());
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        for i in 0..10 {
+            let o = Arc::clone(&order);
+            pool.spawn(move || o.lock().unwrap().push(i));
+        }
+        assert!(order.lock().unwrap().is_empty(), "nothing runs before the drain");
+        pool.run_until_idle();
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.stats().executed, 10);
+    }
+
+    #[test]
+    fn jobs_may_spawn_jobs() {
+        let pool = Arc::new(WorkerPool::new(0));
+        let counter = Arc::new(AtomicU64::new(0));
+        let (p2, c2) = (Arc::clone(&pool), Arc::clone(&counter));
+        pool.spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+            let c3 = Arc::clone(&c2);
+            p2.spawn(move || {
+                c3.fetch_add(10, Ordering::Relaxed);
+            });
+        });
+        pool.run_until_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new(2);
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown(); // must not discard queued jobs
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn worker_holding_last_pool_reference_shuts_down_cleanly() {
+        // Regression: if a job closure owns the last Arc to the pool, the
+        // worker thread itself runs the pool's Drop. Joining its own
+        // handle there would EDEADLK ("Resource deadlock avoided").
+        let pool = Arc::new(WorkerPool::new(2));
+        let done = Arc::new(AtomicU64::new(0));
+        let (p2, d2) = (Arc::clone(&pool), Arc::clone(&done));
+        pool.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            d2.fetch_add(1, Ordering::Relaxed);
+            drop(p2); // often the last owner by now
+        });
+        drop(pool);
+        for _ in 0..200 {
+            if done.load(Ordering::Relaxed) == 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("job never completed after pool handle was dropped");
+    }
+
+    #[test]
+    fn wait_idle_on_fresh_pool_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.stats().executed, 0);
+    }
+}

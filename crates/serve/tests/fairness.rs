@@ -1,0 +1,155 @@
+//! Fairness acceptance tests: a flooding tenant only ever hurts itself.
+//! Its overflow is rejected with [`ServeError::Overloaded`], while a
+//! trickling tenant is admitted and served every time.
+
+use annolight_core::track::AnnotationMode;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use annolight_serve::{
+    AnnotationRequest, AnnotationService, ServeError, ServiceConfig, Ticket,
+};
+use annolight_video::clip::{Clip, ClipSpec, SceneSpec};
+use annolight_video::content::ContentKind;
+use std::sync::Arc;
+
+fn test_clip(name: &str, seed: u64) -> Clip {
+    Clip::new(ClipSpec {
+        name: name.to_owned(),
+        width: 48,
+        height: 32,
+        fps: 12.0,
+        seed,
+        scenes: vec![
+            SceneSpec::new(
+                ContentKind::Dark { base: 40, spread: 10, highlight_fraction: 0.01, highlight: 240 },
+                1.0,
+            ),
+            SceneSpec::new(ContentKind::Bright { base: 200, spread: 20 }, 1.0),
+        ],
+    })
+    .unwrap()
+}
+
+/// A request made unique (uncacheable) by a custom quality fraction, so
+/// every admitted job really occupies the pool.
+fn unique_request(tenant: &str, clip: &str, n: u32) -> AnnotationRequest {
+    AnnotationRequest {
+        tenant: tenant.to_owned(),
+        clip: clip.to_owned(),
+        device: DeviceProfile::ipaq_5555(),
+        quality: QualityLevel::Custom(0.01 + f64::from(n % 400) * 0.002),
+        mode: AnnotationMode::PerScene,
+    }
+}
+
+#[test]
+fn flooding_tenant_rejections_never_touch_trickler() {
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 2,
+        cache_shards: 4,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 4,
+    });
+    svc.register_clip(test_clip("flood-clip", 77));
+    svc.register_clip(test_clip("trickle-clip", 88));
+
+    let mut flood_tickets: Vec<Ticket> = Vec::new();
+    let mut flood_rejected = 0u32;
+    let mut trickle_served = 0u32;
+    let mut n = 0u32;
+    // Ten trickle rounds; between each, the flooder slams 20 requests.
+    for round in 0..10 {
+        for _ in 0..20 {
+            n += 1;
+            match svc.submit(unique_request("flooder", "flood-clip", n)) {
+                Ok(t) => flood_tickets.push(t),
+                Err(ServeError::Overloaded { tenant }) => {
+                    assert_eq!(tenant, "flooder", "only the flooder may be rejected");
+                    flood_rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        // The trickler asks once per round and must always be admitted:
+        // its own queue is empty.
+        let ticket = svc
+            .submit(unique_request("trickler", "trickle-clip", 1000 + round))
+            .unwrap_or_else(|e| panic!("trickler rejected in round {round}: {e}"));
+        ticket.wait().expect("trickler request completes");
+        trickle_served += 1;
+    }
+    svc.run_until_idle();
+    for t in flood_tickets {
+        t.wait().expect("admitted flood requests still complete");
+    }
+    assert_eq!(trickle_served, 10, "trickler served every round");
+    let report = svc.report();
+    assert_eq!(report.overloaded, u64::from(flood_rejected));
+    assert_eq!(report.queue_depth, 0, "everything drains");
+}
+
+#[test]
+fn queue_bound_overflow_is_exact_in_deterministic_mode() {
+    // With an inline pool nothing drains between submits, so admission
+    // arithmetic is exact: depth 4 admits 4 of 20, rejects 16 — every
+    // round, bit-for-bit.
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 0,
+        cache_shards: 4,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 4,
+    });
+    svc.register_clip(test_clip("flood-clip", 77));
+    svc.register_clip(test_clip("trickle-clip", 88));
+    let mut n = 0u32;
+    for round in 0..3u32 {
+        let mut admitted = Vec::new();
+        let mut rejected = 0u32;
+        for _ in 0..20 {
+            n += 1;
+            match svc.submit(unique_request("flooder", "flood-clip", n)) {
+                Ok(t) => admitted.push(t),
+                Err(ServeError::Overloaded { tenant }) => {
+                    assert_eq!(tenant, "flooder");
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!((admitted.len(), rejected), (4, 16), "round {round}");
+        // The flooder's full queue does not block the trickler.
+        let t = svc.submit(unique_request("trickler", "trickle-clip", 500 + round)).unwrap();
+        svc.run_until_idle();
+        t.wait().unwrap();
+        for a in admitted {
+            a.wait().unwrap();
+        }
+    }
+    assert_eq!(svc.report().overloaded, 48);
+}
+
+#[test]
+fn round_robin_interleaves_two_queued_tenants() {
+    // Deterministic pool: queue both tenants' jobs first, then drain and
+    // check the service's round-robin alternated between them.
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 0,
+        cache_shards: 2,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 16,
+    });
+    svc.register_clip(test_clip("a", 1));
+    let mut tickets = Vec::new();
+    for i in 0..4u32 {
+        tickets.push(("even", svc.submit(unique_request("even", "a", i * 2)).unwrap()));
+        tickets.push(("odd", svc.submit(unique_request("odd", "a", i * 2 + 1)).unwrap()));
+    }
+    assert_eq!(svc.queue_depth(), 8);
+    svc.run_until_idle();
+    assert_eq!(svc.queue_depth(), 0);
+    for (tenant, t) in tickets {
+        let resp = t.wait().unwrap_or_else(|e| panic!("{tenant} job failed: {e}"));
+        assert!(!resp.cache_hit, "all 8 requests are unique qualities");
+    }
+    assert_eq!(svc.report().misses, 8);
+}

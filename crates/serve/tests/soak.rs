@@ -1,0 +1,109 @@
+//! Bounded soak test: 64 simulated tenants hammer a threaded service
+//! with a fixed-seed request trace. Run by `scripts/ci.sh` via
+//! `cargo test -q -p annolight-serve --release -- soak`.
+//!
+//! The assertions are conservation laws, valid under any thread
+//! interleaving: every accepted request completes, every rejection is
+//! counted, and `hits + misses == completed`.
+
+use annolight_core::track::AnnotationMode;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use annolight_serve::{
+    AnnotationRequest, AnnotationService, ServeError, ServiceConfig, Ticket,
+};
+use annolight_video::clip::{Clip, ClipSpec, SceneSpec};
+use annolight_video::content::ContentKind;
+
+const TENANTS: u64 = 64;
+const REQUESTS: usize = 600;
+const SEED: u64 = 0xA550_11FE_DCBA_0042;
+
+fn soak_clip(name: &str, seed: u64) -> Clip {
+    Clip::new(ClipSpec {
+        name: name.to_owned(),
+        width: 48,
+        height: 32,
+        fps: 12.0,
+        seed,
+        scenes: vec![
+            SceneSpec::new(
+                ContentKind::Dark { base: 40, spread: 12, highlight_fraction: 0.01, highlight: 240 },
+                1.0,
+            ),
+            SceneSpec::new(ContentKind::Bright { base: 190, spread: 25 }, 1.0),
+        ],
+    })
+    .unwrap()
+}
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound
+    }
+}
+
+#[test]
+fn soak_64_tenants_fixed_seed() {
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 4,
+        cache_shards: 8,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 4,
+    });
+    let clips = ["soak-a", "soak-b", "soak-c", "soak-d"];
+    for (i, name) in clips.iter().enumerate() {
+        svc.register_clip(soak_clip(name, 100 + i as u64));
+    }
+    let devices =
+        [DeviceProfile::ipaq_5555(), DeviceProfile::ipaq_3650(), DeviceProfile::zaurus_sl5600()];
+    let qualities = [QualityLevel::Q5, QualityLevel::Q10, QualityLevel::Q15, QualityLevel::Q20];
+
+    let mut rng = Lcg(SEED);
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..REQUESTS {
+        let req = AnnotationRequest {
+            tenant: format!("tenant-{:02}", rng.next(TENANTS)),
+            clip: clips[rng.next(4) as usize].to_owned(),
+            device: devices[rng.next(3) as usize].clone(),
+            quality: qualities[rng.next(4) as usize],
+            mode: if rng.next(4) == 0 { AnnotationMode::PerFrame } else { AnnotationMode::PerScene },
+        };
+        match svc.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(other) => panic!("soak trace must only see Overloaded, got {other}"),
+        }
+    }
+    svc.run_until_idle();
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        let resp = t.wait().expect("every accepted request completes");
+        assert!(resp.track.frame_count() > 0);
+    }
+    let report = svc.report();
+    assert_eq!(accepted + rejected, REQUESTS as u64, "every request accounted for");
+    assert_eq!(report.completed, accepted, "every accepted request completed");
+    assert_eq!(report.hits + report.misses, report.completed, "hit/miss conservation");
+    assert_eq!(report.overloaded, rejected);
+    assert_eq!(report.queue_depth, 0, "nothing left queued after drain");
+    // 96 distinct keys exist (4 clips x 3 devices x 4 qualities x 2
+    // modes); concurrent dispatches of the same cold key may each miss,
+    // so allow modest overshoot but not unbounded recomputation.
+    assert!(report.misses >= 1, "a fresh cache must miss");
+    assert!(report.misses <= 96 * 4, "misses explode past the keyspace: {}", report.misses);
+    assert_eq!(report.profile_count, report.misses, "every miss times exactly one profile");
+    assert!(
+        report.clip_profiles <= clips.len() as u64,
+        "single-flight memo must profile each clip at most once, got {}",
+        report.clip_profiles
+    );
+    assert!(report.resident_entries > 0);
+    // The report must serialise and round-trip even at soak scale.
+    let back =
+        annolight_serve::CountersReport::from_json_string(&report.to_json_string()).unwrap();
+    assert_eq!(back, report);
+}

@@ -32,5 +32,8 @@ pub use client::{PlaybackClient, PlaybackReport};
 pub use message::{grant_quality, ClientHello, ServerOffer};
 pub use network::WirelessChannel;
 pub use proxy::Proxy;
-pub use server::{MediaServer, ServeRequest};
-pub use session::{run_session, run_shared_sessions, SessionConfig, SessionReport};
+pub use server::{MediaServer, ServeError, ServeRequest, ServedStream};
+pub use session::{
+    run_session, run_session_with_server, run_shared_sessions, SessionConfig, SessionError,
+    SessionReport, SharedSessionOptions,
+};

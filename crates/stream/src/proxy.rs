@@ -11,13 +11,24 @@
 //! annotates for the negotiated device/quality, compensates, and
 //! re-encodes — producing exactly what the annotation-aware server would
 //! have sent, with no change for the client.
+//!
+//! Annotation itself is delegated to an [`AnnotationService`]
+//! ([`annolight_serve`]): the proxy content-addresses the incoming byte
+//! stream (FNV digest of the encoded input) and asks the service for the
+//! track, so repeated transcodes of the same stream for the same device
+//! class hit the shared cache instead of re-annotating. A proxy built
+//! with [`Proxy::with_service`] can share that cache with a
+//! [`crate::server::MediaServer`].
 
 use annolight_codec::{CodecError, Decoder, EncodedStream, Encoder, EncoderConfig};
-use annolight_core::{apply::compensate_frame, Annotator, CoreError, LuminanceProfile, QualityLevel};
-use annolight_core::track::AnnotationMode;
+use annolight_core::digest::Digester;
+use annolight_core::track::{AnnotationMode, AnnotationTrack};
+use annolight_core::{apply::compensate_frame, CoreError, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
+use annolight_serve::{AnnotationService, ServiceConfig};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors during proxy transcoding.
 #[derive(Debug)]
@@ -27,6 +38,8 @@ pub enum ProxyError {
     Codec(CodecError),
     /// Annotation failed.
     Core(CoreError),
+    /// The annotation service refused or failed the request.
+    Serve(annolight_serve::ServeError),
 }
 
 impl fmt::Display for ProxyError {
@@ -34,6 +47,7 @@ impl fmt::Display for ProxyError {
         match self {
             ProxyError::Codec(e) => write!(f, "proxy decode/encode failed: {e}"),
             ProxyError::Core(e) => write!(f, "proxy annotation failed: {e}"),
+            ProxyError::Serve(e) => write!(f, "proxy annotation service failed: {e}"),
         }
     }
 }
@@ -56,12 +70,50 @@ impl From<CoreError> for ProxyError {
 #[derive(Debug, Clone)]
 pub struct Proxy {
     encoder_template: EncoderConfig,
+    service: Arc<AnnotationService>,
 }
 
 impl Proxy {
-    /// Creates a proxy that re-encodes with the given settings.
+    /// Creates a proxy that re-encodes with the given settings, backed by
+    /// a private deterministic [`AnnotationService`].
     pub fn new(encoder_template: EncoderConfig) -> Self {
-        Self { encoder_template }
+        Self::with_service(encoder_template, AnnotationService::new(ServiceConfig::default()))
+    }
+
+    /// Creates a proxy sharing `service` (and its annotation cache) with
+    /// other proxies/servers.
+    pub fn with_service(encoder_template: EncoderConfig, service: Arc<AnnotationService>) -> Self {
+        Self { encoder_template, service }
+    }
+
+    /// The backing annotation service (e.g. for counter reports).
+    pub fn service(&self) -> &Arc<AnnotationService> {
+        &self.service
+    }
+
+    /// Content digest of an incoming encoded stream; `variant` tags
+    /// derived framings (0 = as-is, 1 = downscaled 2×) so their tracks
+    /// never alias.
+    fn stream_digest(input: &EncodedStream, variant: u32) -> u64 {
+        let mut d = Digester::new();
+        d.write(input.as_bytes()).write_u32(variant);
+        d.finish()
+    }
+
+    /// Fetches the annotation track for decoded content through the
+    /// service cache.
+    fn annotate(
+        &self,
+        digest: u64,
+        profile: &LuminanceProfile,
+        device: &DeviceProfile,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+    ) -> Result<Arc<AnnotationTrack>, ProxyError> {
+        self.service
+            .annotate_profile(digest, profile, device, quality, mode)
+            .map(|resp| resp.track)
+            .map_err(ProxyError::Serve)
     }
 
     /// Transcodes `input` into an annotated, compensated stream for
@@ -81,7 +133,8 @@ impl Proxy {
         let mut dec = Decoder::new(input)?;
         let frames = dec.decode_all()?;
         let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
-        let annotated = Annotator::new(device.clone(), quality).with_mode(mode).annotate_profile(&profile)?;
+        let track =
+            self.annotate(Self::stream_digest(input, 0), &profile, device, quality, mode)?;
 
         let mut enc = Encoder::new(EncoderConfig {
             width: input.width(),
@@ -89,11 +142,10 @@ impl Proxy {
             fps: input.fps(),
             ..self.encoder_template
         })?;
-        enc.push_user_data(&annotated.track().to_rle_bytes());
+        enc.push_user_data(&track.to_rle_bytes());
         for (i, frame) in frames.into_iter().enumerate() {
             let mut frame = frame;
-            compensate_frame(&mut frame, annotated.track(), i as u32)
-                .map_err(ProxyError::Core)?;
+            compensate_frame(&mut frame, &track, i as u32).map_err(ProxyError::Core)?;
             enc.push_frame(&frame)?;
         }
         Ok(enc.finish())
@@ -123,18 +175,18 @@ impl Proxy {
             );
         }
         let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
-        let annotated =
-            Annotator::new(device.clone(), quality).with_mode(mode).annotate_profile(&profile)?;
+        let track =
+            self.annotate(Self::stream_digest(input, 1), &profile, device, quality, mode)?;
         let mut enc = Encoder::new(EncoderConfig {
             width: input.width() / 2,
             height: input.height() / 2,
             fps: input.fps(),
             ..self.encoder_template
         })?;
-        enc.push_user_data(&annotated.track().to_rle_bytes());
+        enc.push_user_data(&track.to_rle_bytes());
         for (i, frame) in frames.into_iter().enumerate() {
             let mut frame = frame;
-            compensate_frame(&mut frame, annotated.track(), i as u32).map_err(ProxyError::Core)?;
+            compensate_frame(&mut frame, &track, i as u32).map_err(ProxyError::Core)?;
             enc.push_frame(&frame)?;
         }
         Ok(enc.finish())
@@ -205,6 +257,28 @@ mod tests {
         let report = client.play(&out, None).unwrap();
         assert!(report.annotated);
         assert!(report.total_savings() > 0.02);
+    }
+
+    #[test]
+    fn repeat_transcodes_hit_the_shared_annotation_cache() {
+        let input = raw_stream();
+        let proxy = Proxy::new(EncoderConfig::default());
+        let a = proxy
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        let b = proxy
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes(), "cached track yields identical output");
+        let report = proxy.service().report();
+        assert_eq!(report.misses, 1, "one annotation pass");
+        assert_eq!(report.hits, 1, "second transcode hits the cache");
+        // The downscaled variant is different content: never aliases.
+        let down = proxy
+            .transcode_downscaled(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        assert_eq!(down.width(), input.width() / 2);
+        assert_eq!(proxy.service().report().misses, 2);
     }
 
     #[test]

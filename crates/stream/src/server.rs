@@ -1,20 +1,32 @@
 //! The media server.
 //!
 //! "The server stores media content and streams videos to clients upon
-//! user requests." Our server stores *clips* (synthetic sources), profiles
-//! them once, and serves per-request streams: annotated for the
-//! negotiated device and quality, frames compensated server-side, and the
-//! RLE annotation track embedded as a user-data packet ahead of the
-//! pictures.
+//! user requests." Our server stores *clips* (synthetic sources) and
+//! serves per-request streams: annotated for the negotiated device and
+//! quality, frames compensated server-side, and the RLE annotation track
+//! embedded as a user-data packet ahead of the pictures.
+//!
+//! Since the serve-tier refactor, the expensive work — profiling and
+//! annotation — is delegated to an [`AnnotationService`]
+//! ([`annolight_serve`]): a sharded, content-addressed cache in front of
+//! a work-stealing profiling pool. A server created with
+//! [`MediaServer::new`] owns a private deterministic service; servers
+//! created with [`MediaServer::with_service`] share one service (and
+//! therefore one cache) with other servers and proxies, which is how one
+//! profile pass is amortised across every client of the same content.
 
+use crate::message::{grant_quality, ClientHello, ServerOffer};
 use annolight_codec::{Encoder, EncoderConfig};
-use annolight_core::{apply::compensate_frame, AnnotatedClip, Annotator, LuminanceProfile, QualityLevel};
-use annolight_core::track::AnnotationMode;
+use annolight_core::track::AnnotationTrack;
+use annolight_core::{apply::compensate_frame, QualityLevel, SceneSpan};
 use annolight_display::DeviceProfile;
+use annolight_serve::{AnnotationRequest, AnnotationService, Service, ServiceConfig};
 use annolight_video::Clip;
+use annolight_core::track::AnnotationMode;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// A client's request, as negotiated at session start (§4.3: "client
 /// characteristics are sent during the initial negotiation phase").
@@ -64,6 +76,12 @@ impl ServeRequest {
 pub enum ServeError {
     /// The requested clip is not in the server's catalogue.
     UnknownClip(String),
+    /// The annotation service rejected the request at admission — the
+    /// tenant's queue is full. Back off and retry.
+    Overloaded {
+        /// The tenant whose queue bound was hit.
+        tenant: String,
+    },
     /// Annotation or encoding failed.
     Internal(String),
 }
@@ -72,6 +90,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownClip(name) => write!(f, "unknown clip {name:?}"),
+            ServeError::Overloaded { tenant } => {
+                write!(f, "service overloaded for tenant {tenant:?}")
+            }
             ServeError::Internal(reason) => write!(f, "serve failed: {reason}"),
         }
     }
@@ -79,13 +100,25 @@ impl fmt::Display for ServeError {
 
 impl Error for ServeError {}
 
+impl From<annolight_serve::ServeError> for ServeError {
+    fn from(e: annolight_serve::ServeError) -> Self {
+        match e {
+            annolight_serve::ServeError::UnknownClip(name) => ServeError::UnknownClip(name),
+            annolight_serve::ServeError::Overloaded { tenant } => ServeError::Overloaded { tenant },
+            annolight_serve::ServeError::Internal(msg) => ServeError::Internal(msg),
+        }
+    }
+}
+
 /// The outcome of serving: the encoded stream plus server-side metadata.
 #[derive(Debug, Clone)]
 pub struct ServedStream {
     /// The encoded, annotated, compensated stream.
     pub stream: annolight_codec::EncodedStream,
-    /// The annotation the server computed (for reports/analysis).
-    pub annotated: AnnotatedClip,
+    /// The annotation track the service returned (shared with its cache).
+    pub track: Arc<AnnotationTrack>,
+    /// Whether the track came from the service's cache (no profiling).
+    pub cache_hit: bool,
     /// Size of the embedded annotation track, bytes.
     pub annotation_bytes: usize,
     /// Total pixels clipped by server-side compensation.
@@ -94,31 +127,61 @@ pub struct ServedStream {
     pub total_pixels: u64,
 }
 
+/// Scene spans reconstructed from a track's entry boundaries. For
+/// per-scene tracks this is exactly the plan's scene list
+/// ([`AnnotationTrack::from_plan`] maps scenes 1:1 onto entries).
+fn entry_spans(track: &AnnotationTrack) -> Vec<SceneSpan> {
+    let entries = track.entries();
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| SceneSpan {
+            start: e.start_frame,
+            end: entries.get(i + 1).map_or(track.frame_count(), |n| n.start_frame),
+        })
+        .collect()
+}
+
 /// The multimedia server of Fig. 1.
 #[derive(Debug)]
 pub struct MediaServer {
     clips: HashMap<String, Clip>,
-    profiles: HashMap<String, LuminanceProfile>,
+    service: Arc<AnnotationService>,
     encoder_template: EncoderConfig,
 }
 
 impl MediaServer {
     /// Creates an empty server with the given encoder settings (dimensions
-    /// are taken per clip; fps/gop/qscale from the template).
+    /// are taken per clip; fps/gop/qscale from the template) and a private
+    /// deterministic [`AnnotationService`].
     pub fn new(encoder_template: EncoderConfig) -> Self {
-        Self { clips: HashMap::new(), profiles: HashMap::new(), encoder_template }
+        Self::with_service(encoder_template, AnnotationService::new(ServiceConfig::default()))
     }
 
-    /// Adds a clip to the catalogue, profiling it immediately ("the video
-    /// clips available for streaming at the servers are first profiled").
+    /// Creates a server backed by a shared annotation service: several
+    /// servers (and proxies) pointed at the same service share one
+    /// content-addressed track cache and one profiling pool.
+    pub fn with_service(encoder_template: EncoderConfig, service: Arc<AnnotationService>) -> Self {
+        Self { clips: HashMap::new(), service, encoder_template }
+    }
+
+    /// The backing annotation service (e.g. for counter reports).
+    pub fn service(&self) -> &Arc<AnnotationService> {
+        &self.service
+    }
+
+    /// Adds a clip to the catalogue, registering it with the annotation
+    /// service and profiling it eagerly ("the video clips available for
+    /// streaming at the servers are first profiled").
     ///
     /// # Panics
     ///
     /// Panics if the clip has no frames (library clips never do).
     pub fn add_clip(&mut self, clip: Clip) {
-        let profile = LuminanceProfile::of_clip(&clip).expect("clips have at least one frame");
-        self.profiles.insert(clip.name().to_owned(), profile);
-        self.clips.insert(clip.name().to_owned(), clip);
+        let name = clip.name().to_owned();
+        self.service.register_clip(clip.clone());
+        self.service.profile_for(&name).expect("clips have at least one frame");
+        self.clips.insert(name, clip);
     }
 
     /// Names of the stored clips (unordered).
@@ -126,26 +189,63 @@ impl MediaServer {
         self.clips.keys().map(String::as_str).collect()
     }
 
-    /// Serves a request: annotate for the negotiated device/quality,
-    /// compensate every frame, encode, and embed the annotation track as
-    /// user data *before* the pictures.
+    /// Answers a [`ClientHello`] with this server's offer: the paper's
+    /// quality ladder, the granted (closest, never-exceeding) quality and
+    /// the stream geometry. Unknown clip names are a *typed* negotiation
+    /// failure — the session layer forwards them to the client instead of
+    /// panicking.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::UnknownClip`] for an unknown name and
+    /// Returns [`ServeError::UnknownClip`] if the clip is not stored.
+    pub fn negotiate(&self, hello: &ClientHello) -> Result<ServerOffer, ServeError> {
+        let clip = self
+            .clips
+            .get(&hello.clip_name)
+            .ok_or_else(|| ServeError::UnknownClip(hello.clip_name.clone()))?;
+        let (w, h) = clip.dimensions();
+        Ok(ServerOffer {
+            offered_qualities: QualityLevel::PAPER_LEVELS.to_vec(),
+            granted_quality: grant_quality(&QualityLevel::PAPER_LEVELS, hello.quality),
+            width: w,
+            height: h,
+            fps: clip.fps(),
+            // Coarse upper-bound estimate for client buffering: the
+            // codec's worst case is near one byte per subsampled pixel.
+            stream_bytes: u64::from(clip.frame_count()) * u64::from(w) * u64::from(h) * 3 / 2,
+        })
+    }
+
+    /// Serves a request: obtain the annotation track from the service
+    /// (cache hit or freshly profiled on the pool), compensate every
+    /// frame, encode, and embed the track as user data *before* the
+    /// pictures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownClip`] for an unknown name,
+    /// [`ServeError::Overloaded`] when the service sheds load, and
     /// [`ServeError::Internal`] for annotation/encode failures.
     pub fn serve(&self, req: &ServeRequest) -> Result<ServedStream, ServeError> {
         let clip = self
             .clips
             .get(&req.clip_name)
             .ok_or_else(|| ServeError::UnknownClip(req.clip_name.clone()))?;
-        let profile = &self.profiles[&req.clip_name];
 
-        let annotator = Annotator::new(req.device.clone(), req.quality).with_mode(req.mode);
-        let annotated = annotator
-            .annotate_profile(profile)
-            .map_err(|e| ServeError::Internal(e.to_string()))?;
-        let track_bytes = annotated.track().to_rle_bytes();
+        // The fairness domain is the requesting device class: every
+        // device model shares one queue at the service.
+        let response = self
+            .service
+            .call(AnnotationRequest {
+                tenant: req.device.name().to_owned(),
+                clip: req.clip_name.clone(),
+                device: req.device.clone(),
+                quality: req.quality,
+                mode: req.mode,
+            })
+            .map_err(ServeError::from)?;
+        let track = response.track;
+        let track_bytes = track.to_rle_bytes();
 
         let (w, h) = clip.dimensions();
         let mut enc = Encoder::new(EncoderConfig {
@@ -157,8 +257,11 @@ impl MediaServer {
         .map_err(|e| ServeError::Internal(e.to_string()))?;
         enc.push_user_data(&track_bytes);
         if req.dvfs {
-            let spans: Vec<_> = annotated.plan().scenes().iter().map(|s| s.span).collect();
-            let hints = annolight_core::extensions::dvfs_hints(profile, &spans);
+            // DVFS hints need the luminance profile; the service memoises
+            // it, so this is a lookup, not a re-profile.
+            let profile = self.service.profile_for(&req.clip_name).map_err(ServeError::from)?;
+            let spans = entry_spans(&track);
+            let hints = annolight_core::extensions::dvfs_hints(&profile, &spans);
             enc.push_user_data(&annolight_core::extensions::hints_to_bytes(&hints));
         }
 
@@ -166,7 +269,7 @@ impl MediaServer {
         let mut total = 0u64;
         for i in 0..clip.frame_count() {
             let mut frame = clip.frame(i);
-            let stats = compensate_frame(&mut frame, annotated.track(), i)
+            let stats = compensate_frame(&mut frame, &track, i)
                 .map_err(|e| ServeError::Internal(e.to_string()))?;
             clipped += stats.clipped_pixels;
             total += stats.total_pixels;
@@ -175,7 +278,8 @@ impl MediaServer {
         Ok(ServedStream {
             stream: enc.finish(),
             annotation_bytes: track_bytes.len(),
-            annotated,
+            track,
+            cache_hit: response.cache_hit,
             clipped_pixels: clipped,
             total_pixels: total,
         })
@@ -186,7 +290,6 @@ impl MediaServer {
 mod tests {
     use super::*;
     use annolight_codec::Decoder;
-    use annolight_core::track::AnnotationTrack;
     use annolight_video::ClipLibrary;
 
     fn server_with(name: &str, seconds: f64) -> (MediaServer, String) {
@@ -267,5 +370,69 @@ mod tests {
     fn catalogue_lists_clips() {
         let (server, name) = server_with("shrek2", 2.0);
         assert_eq!(server.catalogue(), vec![name.as_str()]);
+    }
+
+    #[test]
+    fn repeat_serves_hit_the_annotation_cache() {
+        let (server, name) = server_with("themovie", 2.0);
+        let cold = server.serve(&request(&name)).unwrap();
+        let warm = server.serve(&request(&name)).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert!(Arc::ptr_eq(&cold.track, &warm.track), "one resident track serves both");
+        let report = server.service().report();
+        assert_eq!((report.hits, report.misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_service_amortises_across_servers() {
+        let service = AnnotationService::new(ServiceConfig::default());
+        let clip = ClipLibrary::paper_clip("officexp").unwrap().preview(2.0);
+        let mut a = MediaServer::with_service(EncoderConfig::default(), Arc::clone(&service));
+        let mut b = MediaServer::with_service(EncoderConfig::default(), Arc::clone(&service));
+        a.add_clip(clip.clone());
+        b.add_clip(clip); // same bytes => same content digest
+        let first = a.serve(&request("officexp")).unwrap();
+        let second = b.serve(&request("officexp")).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit, "server B reuses server A's profiling work");
+        assert_eq!(service.report().misses, 1);
+    }
+
+    #[test]
+    fn negotiate_offers_paper_ladder_and_typed_unknown_clip() {
+        let (server, name) = server_with("themovie", 2.0);
+        let hello = ClientHello::new(
+            name.clone(),
+            DeviceProfile::ipaq_5555(),
+            QualityLevel::Custom(0.12),
+            AnnotationMode::PerScene,
+        );
+        let offer = server.negotiate(&hello).unwrap();
+        assert_eq!(offer.granted_quality, QualityLevel::Q10);
+        assert_eq!(offer.offered_qualities, QualityLevel::PAPER_LEVELS.to_vec());
+        assert!(offer.width > 0 && offer.fps > 0.0 && offer.stream_bytes > 0);
+
+        let bad = ClientHello::new(
+            "missing",
+            DeviceProfile::ipaq_5555(),
+            QualityLevel::Q10,
+            AnnotationMode::PerScene,
+        );
+        assert_eq!(
+            server.negotiate(&bad).unwrap_err(),
+            ServeError::UnknownClip("missing".into())
+        );
+    }
+
+    #[test]
+    fn dvfs_hints_survive_the_service_refactor() {
+        let (server, name) = server_with("spiderman2", 3.0);
+        let served = server.serve(&request(&name).with_dvfs()).unwrap();
+        let dec = Decoder::new(&served.stream).unwrap();
+        assert_eq!(dec.user_data().len(), 2, "track + DVFS hints");
+        let hints =
+            annolight_core::extensions::hints_from_bytes(&dec.user_data()[1]).unwrap();
+        assert_eq!(hints.len(), served.track.entries().len());
     }
 }

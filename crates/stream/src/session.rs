@@ -82,6 +82,12 @@ impl SessionConfig {
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum SessionError {
+    /// Negotiation failed before any media moved: the server answered
+    /// the client's hello with a typed refusal (e.g. an unknown clip
+    /// name). This is the client-visible form of
+    /// [`crate::server::ServeError::UnknownClip`] — a protocol outcome,
+    /// not a panic.
+    Negotiation(ServeError),
     /// The server refused the request.
     Serve(ServeError),
     /// The proxy failed to transcode.
@@ -95,6 +101,7 @@ pub enum SessionError {
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SessionError::Negotiation(e) => write!(f, "negotiation failed: {e}"),
             SessionError::Serve(e) => write!(f, "server error: {e}"),
             SessionError::Proxy(e) => write!(f, "proxy error: {e}"),
             SessionError::Playback(e) => write!(f, "client error: {e}"),
@@ -137,8 +144,12 @@ annolight_support::impl_json!(struct SessionReport { granted_quality, stream_byt
 pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError> {
     let clip_name = config.clip.name().to_owned();
 
+    // --- Server-side preparation (Fig. 1, wired segment) ----------------
+    let mut server = MediaServer::new(config.encoder);
+    server.add_clip(config.clip.clone());
+
     // --- Negotiation (§4.3): the client sends its device profile and ---
-    // --- requested quality; the server grants the closest offered one --
+    // --- requested quality; the server answers with a typed offer ------
     let hello = crate::message::ClientHello::new(
         clip_name.clone(),
         config.device.clone(),
@@ -147,12 +158,9 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
     );
     let hello = crate::message::ClientHello::from_wire(&hello.to_wire())
         .map_err(SessionError::Pipeline)?;
-    let granted = crate::message::grant_quality(&QualityLevel::PAPER_LEVELS, hello.quality);
+    let offer = server.negotiate(&hello).map_err(SessionError::Negotiation)?;
+    let granted = offer.granted_quality;
     let config = SessionConfig { quality: granted, device: hello.device, ..config };
-
-    // --- Server-side preparation (Fig. 1, wired segment) ----------------
-    let mut server = MediaServer::new(config.encoder);
-    server.add_clip(config.clip.clone());
 
     let (stream, annotation_bytes) = match config.site {
         AnnotationSite::Server => {
@@ -193,9 +201,99 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
         }
     };
 
-    // --- Wireless delivery: server thread chunks the stream, client ----
-    // --- thread reassembles (crossbeam channels as the air interface) --
-    let mtu = config.channel.mtu;
+    deliver_and_play(
+        &stream,
+        annotation_bytes,
+        granted,
+        config.device,
+        config.system,
+        &config.channel,
+        config.burst_prefetch,
+    )
+}
+
+/// Client-side knobs for [`run_session_with_server`]: what the clip and
+/// device do *not* determine (the hop model, the power model, and the
+/// optional §3 extensions).
+#[derive(Debug, Clone)]
+pub struct SharedSessionOptions {
+    /// The wireless hop model.
+    pub channel: WirelessChannel,
+    /// The client's system power model.
+    pub system: SystemPowerModel,
+    /// Embed DVFS hints.
+    pub dvfs: bool,
+    /// Burst-prefetch the stream (see [`SessionConfig::burst_prefetch`]).
+    pub burst_prefetch: bool,
+}
+
+impl Default for SharedSessionOptions {
+    /// 802.11b to an iPAQ 5555, no extensions.
+    fn default() -> Self {
+        Self {
+            channel: WirelessChannel::wifi_80211b(),
+            system: SystemPowerModel::ipaq_5555(),
+            dvfs: false,
+            burst_prefetch: false,
+        }
+    }
+}
+
+/// Runs a session against an existing (possibly shared) server
+/// catalogue. Unlike [`run_session`], which builds a private server
+/// around one clip, this entry negotiates by *name*: a hello for a clip
+/// the server does not store comes back as
+/// [`SessionError::Negotiation`]`(`[`ServeError::UnknownClip`]`)` — the
+/// typed, client-visible failure — rather than a panic or a silent
+/// empty stream.
+///
+/// # Errors
+///
+/// Returns [`SessionError::Negotiation`] when the hello is refused and
+/// the usual [`SessionError`] variants for downstream failures.
+pub fn run_session_with_server(
+    server: &MediaServer,
+    hello: &crate::message::ClientHello,
+    options: &SharedSessionOptions,
+) -> Result<SessionReport, SessionError> {
+    // Wire round-trip: the server sees exactly what crossed the network.
+    let hello = crate::message::ClientHello::from_wire(&hello.to_wire())
+        .map_err(SessionError::Pipeline)?;
+    let offer = server.negotiate(&hello).map_err(SessionError::Negotiation)?;
+    let granted = offer.granted_quality;
+    let served = server
+        .serve(&ServeRequest {
+            clip_name: hello.clip_name.clone(),
+            device: hello.device.clone(),
+            quality: granted,
+            mode: hello.mode,
+            dvfs: options.dvfs,
+        })
+        .map_err(SessionError::Serve)?;
+    deliver_and_play(
+        &served.stream,
+        served.annotation_bytes,
+        granted,
+        hello.device,
+        options.system.clone(),
+        &options.channel,
+        options.burst_prefetch,
+    )
+}
+
+/// The shared tail of every session: chunked wireless delivery over a
+/// sender/receiver thread pair, reassembly, then client playback with
+/// energy accounting.
+fn deliver_and_play(
+    stream: &EncodedStream,
+    annotation_bytes: usize,
+    granted: QualityLevel,
+    device: DeviceProfile,
+    system: SystemPowerModel,
+    wireless: &WirelessChannel,
+    burst_prefetch: bool,
+) -> Result<SessionReport, SessionError> {
+    let mtu = wireless.mtu;
     let bytes = stream.as_bytes().to_vec();
     let total = bytes.len();
     let (tx, rx) = channel::bounded::<Vec<u8>>(64);
@@ -225,10 +323,10 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
         .map_err(|e| SessionError::Pipeline(format!("reassembly failed: {e}")))?;
 
     // --- Client playback with energy accounting ------------------------
-    let transfer_time = config.channel.transfer_time_s(total);
+    let transfer_time = wireless.transfer_time_s(total);
     let meter = EnergyMeter::new();
-    let mut client = PlaybackClient::new(config.device, config.system);
-    if config.burst_prefetch && delivered.frame_count() > 0 {
+    let mut client = PlaybackClient::new(device, system);
+    if burst_prefetch && delivered.frame_count() > 0 {
         // With annotations the client knows the stream layout up front and
         // can fetch it in bursts: the radio only needs to receive for the
         // fraction of playback the transfer actually takes.
@@ -359,6 +457,42 @@ mod tests {
             // The energy result is unchanged — contention affects
             // delivery, not the playback power.
             assert!((r.playback.energy_j - solo.playback.energy_j).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_server_session_and_typed_unknown_clip() {
+        use crate::message::ClientHello;
+        let mut server = MediaServer::new(EncoderConfig::default());
+        server.add_clip(ClipLibrary::paper_clip("themovie").unwrap().preview(2.0));
+        let options = SharedSessionOptions::default();
+
+        // Happy path: two clients, second rides the annotation cache.
+        let hello = ClientHello::new(
+            "themovie",
+            DeviceProfile::ipaq_5555(),
+            QualityLevel::Q10,
+            AnnotationMode::PerScene,
+        );
+        let a = run_session_with_server(&server, &hello, &options).unwrap();
+        let b = run_session_with_server(&server, &hello, &options).unwrap();
+        assert!(a.playback.annotated && b.playback.annotated);
+        let report = server.service().report();
+        assert_eq!(report.misses, 1, "one profile pass serves both sessions");
+        assert!(report.hits >= 1);
+
+        // Unknown clip: a typed negotiation failure reaches the client.
+        let bad = ClientHello::new(
+            "not-in-catalogue",
+            DeviceProfile::ipaq_5555(),
+            QualityLevel::Q10,
+            AnnotationMode::PerScene,
+        );
+        match run_session_with_server(&server, &bad, &options) {
+            Err(SessionError::Negotiation(ServeError::UnknownClip(name))) => {
+                assert_eq!(name, "not-in-catalogue");
+            }
+            other => panic!("expected typed negotiation failure, got {other:?}"),
         }
     }
 

@@ -51,6 +51,29 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Receiver::try_recv`], distinguishing an empty
+/// channel from a disconnected one — the crossbeam shape. (The earlier
+/// `Option<T>` return collapsed the two, which made "queue drained" and
+/// "peer gone" indistinguishable to pollers.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued; senders still exist.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => write!(f, "receiving on a closed channel"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
 impl<T> Sender<T> {
     /// Delivers `value`, blocking while a bounded channel is full.
     ///
@@ -81,9 +104,18 @@ impl<T> Receiver<T> {
         self.inner.recv().map_err(|_| RecvError)
     }
 
-    /// Non-blocking receive; `None` when empty or closed.
-    pub fn try_recv(&self) -> Option<T> {
-        self.inner.try_recv().ok()
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued and
+    /// [`TryRecvError::Disconnected`] once the channel is empty *and*
+    /// every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
     }
 
     /// A blocking iterator that ends when the channel closes.
@@ -157,8 +189,73 @@ mod tests {
         let tx2 = tx.clone();
         drop(tx);
         tx2.send(9).unwrap();
-        assert_eq!(rx.try_recv(), Some(9));
+        assert_eq!(rx.try_recv(), Ok(9));
         drop(tx2);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_after_all_receivers_dropped_returns_value_bounded_and_unbounded() {
+        // Documented crossbeam behaviour: a send on a channel whose
+        // receiver is gone fails immediately (even on a full-capacity
+        // bounded channel it must not block) and hands the value back.
+        let (tx, rx) = bounded::<u32>(0); // rendezvous
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(8), Err(SendError(8)));
+        // The value is recoverable from the error, crossbeam-style.
+        let SendError(v) = tx.send(9).unwrap_err();
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn recv_after_all_senders_dropped_drains_then_disconnects() {
+        // Messages queued before the last sender died must still be
+        // delivered; only afterwards does the channel report closure.
+        let (tx, rx) = bounded::<u8>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn iter_ends_exactly_at_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn blocked_bounded_sender_unblocks_on_receiver_drop() {
+        // A sender parked on a full bounded channel must wake with an
+        // error when the receiver disappears, not deadlock.
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap(); // fill capacity
+        let sender = thread::spawn(move || tx.send(2));
+        thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
     }
 }

@@ -15,7 +15,7 @@
 //! | [`json`] | `serde`/`serde_json` | `Json` value model, parser, [`impl_json!`] |
 //! | [`bytes`] | `bytes` | [`bytes::Bytes`], [`bytes::ByteBuf`], cursor reads |
 //! | [`channel`] | `crossbeam::channel` | bounded/unbounded mpsc-backed channels |
-//! | [`sync`] | `parking_lot` | poison-ignoring [`sync::Mutex`] |
+//! | [`sync`] | `parking_lot` | poison-ignoring [`sync::Mutex`] + [`sync::Condvar`] |
 //! | [`check`] | `proptest` | deterministic property runner, [`check!`] |
 //! | [`bench`] | `criterion` | wall-clock median-of-N harness |
 //!

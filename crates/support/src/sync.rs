@@ -1,11 +1,13 @@
-//! A `parking_lot`-flavoured [`Mutex`]: `lock()` returns the guard
-//! directly instead of a `Result`. A panic while a std mutex is held
-//! poisons it; the energy-meter counters this protects are plain `f64`
-//! accumulators that stay internally consistent under any interleaving,
-//! so the poison flag is noise — we take the guard anyway, exactly as
-//! `parking_lot` semantics did.
+//! `parking_lot`-flavoured synchronisation primitives: a [`Mutex`] whose
+//! `lock()` returns the guard directly instead of a `Result`, and a
+//! matching [`Condvar`] whose waits never surface poison either. A panic
+//! while a std mutex is held poisons it; the state these protect (meter
+//! counters, work queues) stays internally consistent under any
+//! interleaving, so the poison flag is noise — we take the guard anyway,
+//! exactly as `parking_lot` semantics did.
 
-use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` never returns `Err`.
 #[derive(Debug, Default)]
@@ -28,6 +30,58 @@ impl<T> Mutex<T> {
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`]: every wait ignores
+/// poisoning, mirroring `parking_lot::Condvar`. Use it with the guard
+/// returned by [`Mutex::lock`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a fresh condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until notified, releasing `guard` while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks while `condition` holds (spurious-wakeup safe).
+    pub fn wait_while<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        condition: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        self.inner.wait_while(guard, condition).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns the guard and
+    /// whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) =
+            self.inner.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner);
+        (guard, res.timed_out())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -68,5 +122,47 @@ mod tests {
         // parking_lot semantics: the lock is still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let guard = cv.wait_while(m.lock(), |ready| !*ready);
+            *guard
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_guard, timed_out) =
+            cv.wait_timeout(m.lock(), std::time::Duration::from_millis(5));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn condvar_survives_poisoned_mutex() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let _ = thread::spawn(move || {
+            let _guard = p2.0.lock();
+            panic!("poison the pair");
+        })
+        .join();
+        // The condvar still times out cleanly on the poisoned mutex.
+        let (guard, timed_out) =
+            pair.1.wait_timeout(pair.0.lock(), std::time::Duration::from_millis(1));
+        assert!(timed_out);
+        assert_eq!(*guard, 0);
     }
 }

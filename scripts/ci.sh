@@ -14,4 +14,7 @@ cargo test -q --offline --workspace
 echo "== benches compile (offline) =="
 cargo bench --offline --workspace --no-run
 
+echo "== serve soak (offline, fixed seed, 64 tenants) =="
+cargo test -q -p annolight-serve --release --offline -- soak
+
 echo "CI green."

@@ -17,6 +17,7 @@
 //! | [`power`] | `annolight-power` | DAQ simulation + whole-device power model |
 //! | [`core`] | `annolight-core` | **the paper's contribution**: profiling, scene detection, annotation, backlight planning |
 //! | [`stream`] | `annolight-stream` | server → proxy → client session model (Fig. 1) |
+//! | [`serve`] | `annolight-serve` | multi-tenant annotation service: sharded cache, work-stealing pool, admission control |
 //! | [`baselines`] | `annolight-baselines` | comparison policies (history prediction, oracle, static) |
 //!
 //! # Quickstart
@@ -48,5 +49,6 @@ pub use annolight_core as core;
 pub use annolight_display as display;
 pub use annolight_imgproc as imgproc;
 pub use annolight_power as power;
+pub use annolight_serve as serve;
 pub use annolight_stream as stream;
 pub use annolight_video as video;

@@ -60,7 +60,7 @@ fn annotations_survive_the_whole_pipeline_byte_exact() {
         dvfs: false,
         })
         .unwrap();
-    let sent = served.annotated.track().to_rle_bytes();
+    let sent = served.track.to_rle_bytes();
 
     let roundtripped =
         annolight::codec::EncodedStream::from_bytes(served.stream.as_bytes().to_vec()).unwrap();
