@@ -1,0 +1,6 @@
+//! Regenerates the loss-sweep robustness table (fault-injected sessions:
+//! retransmission load, hint loss, graceful degradation, net savings).
+fn main() {
+    let t = annolight_bench::figures::tab_loss::run(8.0, 42);
+    print!("{}", annolight_bench::figures::tab_loss::render(&t));
+}

@@ -18,6 +18,7 @@ pub mod ext_dvfs;
 pub mod fig10;
 pub mod tab_baselines;
 pub mod tab_devices;
+pub mod tab_loss;
 pub mod tab_overhead;
 pub mod tab_serve;
 

@@ -1,0 +1,212 @@
+//! Loss-sweep robustness table — what the wireless hop's packet loss
+//! costs the annotation system, end to end.
+//!
+//! The paper's streaming model (Fig. 1) sends annotations "with no
+//! changes for the client" over a real wireless hop; this table
+//! quantifies how gracefully the implementation holds up when that hop
+//! drops, duplicates and reorders packets. For each loss rate we run a
+//! full fault-injected session ([`run_session_faulty`]) and report:
+//!
+//! * the retransmission load (picture packets are reliable) and its
+//!   WNIC energy cost;
+//! * how many annotation hints were lost or late (hints are lossy — a
+//!   hint is only worth retrying until its scene starts);
+//! * how many frames played degraded (hold-then-ramp toward full
+//!   backlight) and the mean perceived-intensity error that caused;
+//! * the net total-device saving *including* the retransmit energy, so
+//!   the row answers "is the optimization still worth it at this loss
+//!   rate?".
+//!
+//! Everything is seeded: the same `seed` reproduces every row bit for
+//! bit.
+
+use crate::table::Table;
+use annolight_core::QualityLevel;
+use annolight_stream::{run_session_faulty, FaultConfig, SessionConfig};
+use annolight_video::ClipLibrary;
+
+/// One loss-rate measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Independent per-packet drop probability, percent.
+    pub loss_pct: f64,
+    /// Packets dropped on first transmission.
+    pub dropped: u64,
+    /// Retransmission attempts the reliable picture path needed.
+    pub retransmits: u64,
+    /// Annotation hints that never arrived.
+    pub deltas_lost: u64,
+    /// Annotation hints that arrived after their scene started.
+    pub deltas_late: u64,
+    /// Frames played without their annotation available.
+    pub degraded_frames: u32,
+    /// Mean perceived-intensity error vs. the annotated schedule.
+    pub perceived_error: f64,
+    /// WNIC energy spent on retransmissions, joules.
+    pub retransmit_energy_j: f64,
+    /// Total-device saving with retransmit energy charged against it.
+    pub net_savings: f64,
+}
+
+annolight_support::impl_json!(struct LossRow { loss_pct, dropped, retransmits, deltas_lost, deltas_late, degraded_frames, perceived_error, retransmit_energy_j, net_savings });
+
+/// The loss-sweep table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabLoss {
+    /// Clip the sweep ran on.
+    pub clip: String,
+    /// Fault seed (rows replay exactly from it).
+    pub seed: u64,
+    /// One row per loss rate, ascending.
+    pub rows: Vec<LossRow>,
+}
+
+annolight_support::impl_json!(struct TabLoss { clip, seed, rows });
+
+/// The loss rates of the sweep, percent.
+pub const LOSS_RATES_PCT: [f64; 4] = [0.0, 5.0, 10.0, 20.0];
+
+/// Runs the sweep on the first library clip truncated to `preview_s`
+/// seconds, at the 10 % quality level, fault seed `seed`.
+pub fn run(preview_s: f64, seed: u64) -> TabLoss {
+    let clip = ClipLibrary::paper_clips()
+        .into_iter()
+        .next()
+        .expect("paper clip library is non-empty")
+        .preview(preview_s);
+    let name = clip.name().to_owned();
+
+    let rows = LOSS_RATES_PCT
+        .iter()
+        .map(|&loss_pct| {
+            let mut config = SessionConfig::new(clip.clone(), QualityLevel::Q10);
+            config.faults = if loss_pct == 0.0 {
+                FaultConfig::lossless(seed)
+            } else {
+                FaultConfig::lossy(seed, loss_pct / 100.0)
+            };
+            let report = run_session_faulty(config).expect("faulty session never stalls");
+            let playback = &report.session.playback;
+            // Charge the retransmission energy against the saving: the
+            // playback energy integrates the power model, the retransmit
+            // energy rides on top (see `run_session_faulty`).
+            let net_savings = if playback.baseline_energy_j > 0.0 {
+                1.0 - (playback.energy_j + report.faults.retransmit_energy_j)
+                    / playback.baseline_energy_j
+            } else {
+                0.0
+            };
+            LossRow {
+                loss_pct,
+                dropped: report.faults.channel.dropped,
+                retransmits: report.faults.channel.retransmits,
+                deltas_lost: report.faults.deltas_lost,
+                deltas_late: report.faults.deltas_late,
+                degraded_frames: report.degraded_frames,
+                perceived_error: report.perceived_error,
+                retransmit_energy_j: report.faults.retransmit_energy_j,
+                net_savings,
+            }
+        })
+        .collect();
+    TabLoss { clip: name, seed, rows }
+}
+
+/// Renders the table as text.
+pub fn render(t: &TabLoss) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Robustness under packet loss — clip {:?}, seed {} (iPAQ 5555, 802.11b)\n\n",
+        t.clip, t.seed
+    ));
+    let mut tbl = Table::new([
+        "loss",
+        "dropped",
+        "rexmit",
+        "hints lost",
+        "hints late",
+        "degraded frames",
+        "perceived err",
+        "rexmit J",
+        "net saving",
+    ]);
+    for r in &t.rows {
+        tbl.row([
+            format!("{:.0}%", r.loss_pct),
+            r.dropped.to_string(),
+            r.retransmits.to_string(),
+            r.deltas_lost.to_string(),
+            r.deltas_late.to_string(),
+            r.degraded_frames.to_string(),
+            format!("{:.3}", r.perceived_error),
+            format!("{:.4}", r.retransmit_energy_j),
+            format!("{:.1}%", r.net_savings * 100.0),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push_str(
+        "\nhints are lossy (retried only until their scene starts); pictures are reliable.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> &'static TabLoss {
+        static T: std::sync::OnceLock<TabLoss> = std::sync::OnceLock::new();
+        T.get_or_init(|| run(4.0, 42))
+    }
+
+    #[test]
+    fn zero_loss_row_is_clean() {
+        let t = quick();
+        let r = &t.rows[0];
+        assert_eq!(r.loss_pct, 0.0);
+        assert_eq!(
+            (r.dropped, r.retransmits, r.deltas_lost, r.deltas_late, r.degraded_frames),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(r.perceived_error, 0.0);
+        assert_eq!(r.retransmit_energy_j, 0.0);
+    }
+
+    #[test]
+    fn loss_costs_grow_but_savings_survive() {
+        let t = quick();
+        // Retransmissions (reliable pictures) grow with the loss rate…
+        assert!(t.rows[3].retransmits > t.rows[1].retransmits);
+        // …and their energy is charged, shrinking the net saving.
+        for w in t.rows.windows(2) {
+            assert!(
+                w[1].retransmit_energy_j >= w[0].retransmit_energy_j,
+                "retransmit energy is monotone in loss"
+            );
+        }
+        // Even at 20% loss the optimization still pays: positive net
+        // savings, bounded perceived error.
+        let worst = &t.rows[3];
+        assert!(worst.net_savings > 0.0, "net saving at 20% loss: {}", worst.net_savings);
+        assert!(worst.perceived_error <= 0.25, "perceived error: {}", worst.perceived_error);
+    }
+
+    #[test]
+    fn sweep_replays_exactly_from_its_seed() {
+        let a = run(2.0, 7);
+        let b = run(2.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(
+            annolight_support::json::to_string_pretty(&a),
+            annolight_support::json::to_string_pretty(&b)
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = run(2.0, 1);
+        let json = annolight_support::json::to_string_pretty(&t);
+        let back: TabLoss = annolight_support::json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

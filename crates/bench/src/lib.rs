@@ -17,6 +17,7 @@
 //! | Fig. 10 total savings (measured) | [`figures::fig10`] | `fig10_total_power` |
 //! | Annotation overhead (§4.3 claim) | [`figures::tab_overhead`] | `tab_overhead` |
 //! | Baseline comparison (§2 claims) | [`figures::tab_baselines`] | `tab_baselines` |
+//! | Loss-sweep robustness (Fig. 1 hop under faults) | [`figures::tab_loss`] | `tab_loss` |
 //!
 //! Run everything with `cargo run --release -p annolight-bench --bin
 //! all_figures`. Criterion performance benches live under `benches/`.

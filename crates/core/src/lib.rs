@@ -45,6 +45,7 @@
 
 pub mod annotate;
 pub mod apply;
+pub mod delta;
 pub mod digest;
 pub mod error;
 pub mod extensions;
@@ -57,6 +58,7 @@ pub mod scenes;
 pub mod track;
 
 pub use annotate::{AnnotatedClip, Annotator};
+pub use delta::{AnnotationDelta, DeltaStatus, DeltaTracker};
 pub use apply::{apply_annotation, client_side_levels, compensate_frame};
 pub use digest::clip_digest;
 pub use error::CoreError;

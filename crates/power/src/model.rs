@@ -25,11 +25,18 @@ pub struct SystemPowerModel {
     pub wnic_rx_w: f64,
     /// WNIC power while associated but idle, W.
     pub wnic_idle_w: f64,
+    /// WNIC power while transmitting (ACK/NACK and retransmit requests),
+    /// W. 802.11b CF cards draw more on tx than rx.
+    pub wnic_tx_w: f64,
 }
 
-annolight_support::impl_json!(struct SystemPowerModel { base_w, cpu_idle_w, cpu_active_w, wnic_rx_w, wnic_idle_w });
+annolight_support::impl_json!(struct SystemPowerModel { base_w, cpu_idle_w, cpu_active_w, wnic_rx_w, wnic_idle_w, wnic_tx_w });
 
 impl SystemPowerModel {
+    /// Fraction of a data-packet airtime slot a NACK/retransmit request
+    /// occupies on the uplink (control frames are tiny).
+    const NACK_AIRTIME_FRAC: f64 = 0.10;
+
     /// The iPAQ 5555 measurement target.
     pub fn ipaq_5555() -> Self {
         Self {
@@ -38,7 +45,29 @@ impl SystemPowerModel {
             cpu_active_w: 1.05,
             wnic_rx_w: 0.60,
             wnic_idle_w: 0.10,
+            wnic_tx_w: 0.75,
         }
+    }
+
+    /// Energy cost of `retransmits` link-layer retransmissions, joules:
+    /// each one keeps the radio in receive mode for an extra packet
+    /// airtime (`airtime_per_packet_s`) *and* transmits a short NACK /
+    /// retransmit request. Both are charged as the increment over
+    /// associated-idle, because the baseline session already accounts
+    /// the idle draw.
+    ///
+    /// This is the WNIC half of the loss-rate energy story: lost packets
+    /// cost energy even when playback degrades gracefully, which is why
+    /// the loss-sweep tables report savings *vs. loss rate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `airtime_per_packet_s` is negative.
+    pub fn retransmit_energy_j(&self, retransmits: u64, airtime_per_packet_s: f64) -> f64 {
+        assert!(airtime_per_packet_s >= 0.0, "airtime {airtime_per_packet_s} negative");
+        let rx = airtime_per_packet_s * (self.wnic_rx_w - self.wnic_idle_w);
+        let tx = Self::NACK_AIRTIME_FRAC * airtime_per_packet_s * (self.wnic_tx_w - self.wnic_idle_w);
+        retransmits as f64 * (rx + tx)
     }
 
     /// Total device power, in watts.
@@ -184,6 +213,26 @@ mod tests {
     #[should_panic(expected = "relative power")]
     fn dvfs_rejects_bad_relative_power() {
         SystemPowerModel::ipaq_5555().power_w_dvfs(0.5, 1.5, true, 0.0);
+    }
+
+    #[test]
+    fn retransmit_energy_scales_linearly_and_is_zero_at_zero() {
+        let m = SystemPowerModel::ipaq_5555();
+        let slot = 1500.0 * 8.0 / 5_000_000.0; // one MTU at 5 Mbit/s
+        assert_eq!(m.retransmit_energy_j(0, slot), 0.0);
+        let one = m.retransmit_energy_j(1, slot);
+        assert!(one > 0.0);
+        assert!((m.retransmit_energy_j(10, slot) - 10.0 * one).abs() < 1e-12);
+        // Each retransmit costs more than pure rx airtime (the NACK tx).
+        assert!(one > slot * (m.wnic_rx_w - m.wnic_idle_w));
+        // ... but stays the same order of magnitude.
+        assert!(one < 2.0 * slot * (m.wnic_rx_w - m.wnic_idle_w));
+    }
+
+    #[test]
+    fn tx_draws_more_than_rx() {
+        let m = SystemPowerModel::ipaq_5555();
+        assert!(m.wnic_tx_w > m.wnic_rx_w);
     }
 
     #[test]

@@ -31,6 +31,8 @@ use annolight_core::track::{AnnotationMode, AnnotationTrack};
 use annolight_core::{clip_digest, Annotator, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_support::channel::{self, Receiver, Sender};
+use annolight_support::retry::RetryPolicy;
+use annolight_support::rng::SmallRng;
 use annolight_support::sync::{Condvar, Mutex};
 use annolight_video::clip::Clip;
 use std::collections::{HashMap, VecDeque};
@@ -44,7 +46,12 @@ use std::time::Instant;
 pub enum ServeError {
     /// The requested clip name is not in the service catalogue.
     UnknownClip(String),
-    /// The tenant's queue is full; retry later (backpressure).
+    /// The tenant's queue is full; retry later (backpressure). The
+    /// blessed retry schedule is
+    /// [`RetryPolicy::service`](annolight_support::retry::RetryPolicy::service)
+    /// — truncated exponential backoff with jitter, implemented by
+    /// [`AnnotationService::call_with_retry`] — so rejected tenants
+    /// spread their retries instead of stampeding in lock-step.
     Overloaded {
         /// The tenant whose queue bound was hit.
         tenant: String,
@@ -547,6 +554,54 @@ impl AnnotationService {
             latency_bucket_counts: counts,
         }
     }
+
+    /// [`Service::call`] with the blessed backpressure response: on
+    /// [`ServeError::Overloaded`], back off per `policy` (normally
+    /// [`RetryPolicy::service`](annolight_support::retry::RetryPolicy::service)
+    /// — truncated exponential with jitter) and try again, giving the
+    /// service a chance to drain between attempts.
+    ///
+    /// Backoff time is *accounted*, not slept: the simulated elapsed
+    /// time feeds `policy.next_delay_s`, so deterministic tests replay
+    /// the exact schedule without wall-clock sleeps. In deterministic
+    /// mode each retry drains the inline pool first, mirroring what a
+    /// real deployment's workers would do during the backoff window.
+    ///
+    /// Returns the accumulated simulated backoff alongside the
+    /// response so callers (e.g. the energy accounting in
+    /// `annolight-stream`) can charge the waiting time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] once the policy's retry budget is
+    /// exhausted; any non-backpressure error is returned immediately
+    /// without retrying.
+    pub fn call_with_retry(
+        self: &Arc<Self>,
+        req: AnnotationRequest,
+        policy: &RetryPolicy,
+        rng: &mut SmallRng,
+    ) -> Result<(AnnotationResponse, f64), ServeError> {
+        let mut elapsed = 0.0f64;
+        let mut attempt = 0u32;
+        loop {
+            match self.call(req.clone()) {
+                Err(ServeError::Overloaded { tenant }) => {
+                    let Some(delay) = policy.next_delay_s(attempt, elapsed, rng) else {
+                        return Err(ServeError::Overloaded { tenant });
+                    };
+                    elapsed += delay;
+                    attempt += 1;
+                    // A real deployment's workers drain queues during the
+                    // backoff window; in deterministic mode we do that
+                    // draining explicitly so the retry can succeed.
+                    self.run_until_idle();
+                }
+                Err(other) => return Err(other),
+                Ok(resp) => return Ok((resp, elapsed)),
+            }
+        }
+    }
 }
 
 impl Service for Arc<AnnotationService> {
@@ -663,6 +718,58 @@ mod tests {
             t.wait().unwrap();
         }
         assert_eq!(svc.report().overloaded, 3);
+    }
+
+    #[test]
+    fn call_with_retry_backs_off_then_succeeds() {
+        let svc = AnnotationService::new(ServiceConfig {
+            tenant_queue_depth: 2,
+            ..ServiceConfig::default()
+        });
+        svc.register_clip(test_clip("a", 7));
+        // Fill the tenant's queue without draining the inline pool.
+        let mut tickets = Vec::new();
+        for i in 0..2 {
+            let mut req = request("flood", "a");
+            req.quality = QualityLevel::Custom(0.01 + f64::from(i) * 0.02);
+            tickets.push(svc.submit(req).unwrap());
+        }
+        // A bare call is rejected outright…
+        let err = svc.call(request("flood", "a")).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { tenant: "flood".into() });
+        // …while call_with_retry backs off, lets the pool drain, and lands.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (resp, backoff_s) = svc
+            .call_with_retry(request("flood", "a"), &RetryPolicy::service(), &mut rng)
+            .expect("retry succeeds after the queue drains");
+        assert!(backoff_s > 0.0, "at least one backoff interval was charged");
+        assert_eq!(resp.track.device_name(), DeviceProfile::ipaq_5555().name());
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn call_with_retry_exhausts_cleanly_and_skips_non_backpressure_errors() {
+        let svc = AnnotationService::new(ServiceConfig::default());
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Non-backpressure errors are returned immediately, never retried.
+        let err = svc
+            .call_with_retry(request("t0", "nope"), &RetryPolicy::service(), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownClip("nope".into()));
+        // A zero-retry policy surfaces Overloaded after one attempt.
+        let svc = AnnotationService::new(ServiceConfig {
+            tenant_queue_depth: 1,
+            ..ServiceConfig::default()
+        });
+        svc.register_clip(test_clip("a", 7));
+        let _held = svc.submit(request("flood", "a")).unwrap();
+        let none = RetryPolicy { max_retries: 0, ..RetryPolicy::service() };
+        let err = svc
+            .call_with_retry(request("flood", "a"), &none, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { tenant: "flood".into() });
     }
 
     #[test]

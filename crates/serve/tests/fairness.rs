@@ -6,11 +6,10 @@ use annolight_core::track::AnnotationMode;
 use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
 use annolight_serve::{
-    AnnotationRequest, AnnotationService, ServeError, ServiceConfig, Ticket,
+    AnnotationRequest, AnnotationService, ServeError, Service, ServiceConfig, Ticket,
 };
 use annolight_video::clip::{Clip, ClipSpec, SceneSpec};
 use annolight_video::content::ContentKind;
-use std::sync::Arc;
 
 fn test_clip(name: &str, seed: u64) -> Clip {
     Clip::new(ClipSpec {
@@ -126,6 +125,67 @@ fn queue_bound_overflow_is_exact_in_deterministic_mode() {
         }
     }
     assert_eq!(svc.report().overloaded, 48);
+}
+
+#[test]
+fn retrying_flooder_cannot_starve_trickler() {
+    // Regression: the blessed Overloaded response is to retry through
+    // `call_with_retry` (RetryPolicy::service). A flooder that does so
+    // must still not starve a trickling tenant — backoff only ever
+    // reschedules the flooder's *own* work.
+    use annolight_support::retry::RetryPolicy;
+    use annolight_support::rng::SmallRng;
+
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 0,
+        cache_shards: 4,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 2,
+    });
+    svc.register_clip(test_clip("flood-clip", 77));
+    svc.register_clip(test_clip("trickle-clip", 88));
+
+    let mut rng = SmallRng::stream(0xFA17, 6);
+    let policy = RetryPolicy::service();
+    let mut n = 0u32;
+    let mut flood_served = 0u32;
+    let mut flood_backoff_s = 0.0f64;
+    for round in 0..5u32 {
+        // Fill the flooder's queue to its bound without draining, then
+        // push one more through with retry: the first attempt is
+        // rejected, the backoff window drains the queue, the retry lands.
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            n += 1;
+            held.push(svc.submit(unique_request("flooder", "flood-clip", n)).unwrap());
+        }
+        n += 1;
+        let (_resp, backoff) = svc
+            .call_with_retry(unique_request("flooder", "flood-clip", n), &policy, &mut rng)
+            .unwrap_or_else(|e| panic!("flooder retry exhausted in round {round}: {e}"));
+        assert!(backoff > 0.0, "round {round}: the retry path actually fired");
+        flood_backoff_s += backoff;
+        for t in held {
+            t.wait().unwrap_or_else(|e| panic!("queued flood job failed: {e}"));
+        }
+        flood_served += 3;
+        // The trickler's bare call is admitted first time, no retries:
+        // its queue is independent of the flooder's backlog and backoff.
+        let resp = svc
+            .call(unique_request("trickler", "trickle-clip", 1000 + round))
+            .unwrap_or_else(|e| panic!("trickler rejected in round {round}: {e}"));
+        assert!(!resp.cache_hit, "each trickle request is unique");
+    }
+    assert_eq!(flood_served, 15, "every flood request eventually lands");
+    let report = svc.report();
+    assert_eq!(report.queue_depth, 0, "everything drains");
+    assert_eq!(
+        report.completed,
+        u64::from(flood_served) + 5,
+        "all flood + trickle jobs completed"
+    );
+    assert_eq!(report.overloaded, 5, "exactly one rejection per round, all flooder's");
+    assert!(flood_backoff_s > 0.0, "backoff time was accounted (got {flood_backoff_s})");
 }
 
 #[test]

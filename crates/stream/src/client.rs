@@ -8,6 +8,9 @@
 //! device + system power models — producing the measured numbers behind
 //! Fig. 10.
 
+use crate::faults::{
+    AnnotationArrivals, DegradationConfig, DegradationEvent, DegradationKind, DegradedPlayback,
+};
 use annolight_codec::{CodecError, Decoder, EncodedStream};
 use annolight_core::track::AnnotationTrack;
 use annolight_display::{BacklightController, BacklightLevel, ControllerConfig, DeviceProfile, SwitchStats};
@@ -157,7 +160,25 @@ impl PlaybackClient {
         stream: &EncodedStream,
         meter: Option<&EnergyMeter>,
     ) -> Result<PlaybackReport, PlaybackError> {
-        let mut dec = Decoder::new(stream)?;
+        self.play_loop(stream, meter, |frame, _now, track| match track {
+            Some(t) => Ok(t
+                .entry_at(frame.min(t.frame_count().saturating_sub(1)))
+                .map_err(|e| PlaybackError::BadTrack(e.to_string()))?
+                .backlight),
+            None => Ok(BacklightLevel::MAX),
+        })
+    }
+
+    /// Scans the stream's user data for the annotation track and DVFS
+    /// hints, validating the track against this client's device.
+    #[allow(clippy::type_complexity)]
+    fn scan_user_data(
+        &self,
+        dec: &Decoder,
+    ) -> Result<
+        (Option<AnnotationTrack>, Option<Vec<annolight_core::extensions::DvfsHint>>),
+        PlaybackError,
+    > {
         // Annotations are available before any picture is decoded (§3).
         // User-data payloads are distinguished by magic: `ALT1` is the
         // backlight track, `ADV1` a DVFS hint packet.
@@ -181,6 +202,23 @@ impl PlaybackClient {
                 track = Some(t);
             }
         }
+        Ok((track, hints))
+    }
+
+    /// The shared playback loop. `desired` picks the backlight level to
+    /// *request* for each frame (given the frame index, the playback time
+    /// and the embedded track); everything else — decoding, the
+    /// controller, the power integration — is identical between the
+    /// lossless and degraded paths, which is what makes their reports
+    /// byte-identical when every annotation arrives on time.
+    fn play_loop(
+        &self,
+        stream: &EncodedStream,
+        meter: Option<&EnergyMeter>,
+        mut desired: impl FnMut(u32, f64, Option<&AnnotationTrack>) -> Result<BacklightLevel, PlaybackError>,
+    ) -> Result<PlaybackReport, PlaybackError> {
+        let mut dec = Decoder::new(stream)?;
+        let (track, hints) = self.scan_user_data(&dec)?;
 
         let fps = dec.fps().max(f64::EPSILON);
         let dt = 1.0 / fps;
@@ -193,15 +231,8 @@ impl PlaybackClient {
 
         while dec.decode_next()?.is_some() {
             let now = f64::from(frames) * dt;
-            let level = match &track {
-                Some(t) => {
-                    let entry = t
-                        .entry_at(frames.min(t.frame_count().saturating_sub(1)))
-                        .map_err(|e| PlaybackError::BadTrack(e.to_string()))?;
-                    controller.request(now, entry.backlight)
-                }
-                None => controller.request(now, BacklightLevel::MAX),
-            };
+            let want = desired(frames, now, track.as_ref())?;
+            let level = controller.request(now, want);
             let backlight_w = self.device.backlight_power().power_w(level);
             let full_w = self.device.backlight_power().power_w(BacklightLevel::MAX);
             let switch_cost = SWITCH_CPU_COST * controller.stats().switches as f64;
@@ -251,6 +282,123 @@ impl PlaybackClient {
             switches: controller.stats(),
             mean_backlight: if frames > 0 { level_sum / f64::from(frames) } else { 255.0 },
         })
+    }
+
+    /// Plays a stream whose annotation hints crossed a lossy hop.
+    ///
+    /// `arrivals` records when each scene's hint reached the client (see
+    /// [`crate::faults::deliver_lossy`]). A scene whose hint is present by
+    /// the time its first frame displays plays exactly as [`Self::play`]
+    /// would; a missing hint triggers the graceful-degradation policy in
+    /// `degradation` — hold the last annotated level for a few frames,
+    /// then slew gently toward full backlight (always-safe brightness,
+    /// bounded step size, so no flicker) — and a hint that lands mid-scene
+    /// is applied from that frame on. Every transition is recorded as a
+    /// [`DegradationEvent`]; identical seeds produce byte-identical logs.
+    ///
+    /// With every hint on time the returned report is *byte-identical* to
+    /// [`Self::play`] — the two paths share one playback loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaybackError`] for the same conditions as
+    /// [`Self::play`].
+    pub fn play_degraded(
+        &self,
+        stream: &EncodedStream,
+        arrivals: &AnnotationArrivals,
+        degradation: DegradationConfig,
+        meter: Option<&EnergyMeter>,
+    ) -> Result<DegradedPlayback, PlaybackError> {
+        let mut events: Vec<DegradationEvent> = Vec::new();
+        let mut degraded_frames = 0u32;
+        let mut error_sum = 0.0f64;
+        let mut last_good = BacklightLevel::MAX;
+        let mut degraded_since: Option<u32> = None;
+        let mut missing_seq: Option<u32> = None;
+
+        let report = self.play_loop(stream, meter, |frame, now, track| {
+            let Some(t) = track else { return Ok(BacklightLevel::MAX) };
+            let entries = t.entries();
+            let f = frame.min(t.frame_count().saturating_sub(1));
+            let idx = match entries.binary_search_by_key(&f, |e| e.start_frame) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let annotated = entries[idx].backlight;
+            if arrivals.arrived_by(idx, now) {
+                if missing_seq.take() == Some(idx as u32) {
+                    // The hint landed mid-scene: recover from this frame.
+                    events.push(DegradationEvent {
+                        frame,
+                        seq: idx as u32,
+                        kind: DegradationKind::Recovered,
+                        level: annotated.0,
+                    });
+                }
+                degraded_since = None;
+                last_good = annotated;
+                return Ok(annotated);
+            }
+            if missing_seq != Some(idx as u32) {
+                missing_seq = Some(idx as u32);
+                degraded_since = Some(frame);
+                events.push(DegradationEvent {
+                    frame,
+                    seq: idx as u32,
+                    kind: DegradationKind::Missed,
+                    level: last_good.0,
+                });
+            }
+            let held = frame - degraded_since.unwrap_or(frame);
+            let level = if held < degradation.hold_frames {
+                // Hold: the last annotated level stays a good guess for a
+                // short while (scenes change slowly).
+                last_good
+            } else {
+                // Slew toward full backlight — always legible, and the
+                // bounded step keeps the ramp invisible.
+                let ramp = u32::from(degradation.ramp_step_per_frame)
+                    * (held - degradation.hold_frames + 1);
+                BacklightLevel((u32::from(last_good.0) + ramp).min(255) as u8)
+            };
+            degraded_frames += 1;
+            error_sum += f64::from(level.0.abs_diff(annotated.0));
+            Ok(level)
+        })?;
+
+        // Post-hoc: hints that arrived only after their whole scene had
+        // played (useless arrivals — the scene degraded start to finish).
+        if report.annotated && !arrivals.is_empty() {
+            let dec = Decoder::new(stream)?;
+            if let (Some(t), _) = self.scan_user_data(&dec)? {
+                let fps = stream.fps().max(f64::EPSILON);
+                let entries = t.entries();
+                for (i, e) in entries.iter().enumerate() {
+                    let end_frame =
+                        entries.get(i + 1).map_or(t.frame_count(), |n| n.start_frame);
+                    let last_frame_s = f64::from(end_frame.saturating_sub(1)) / fps;
+                    if let Some(a) = arrivals.arrival_s(i) {
+                        if a > arrivals.startup_s() + last_frame_s {
+                            events.push(DegradationEvent {
+                                frame: end_frame.saturating_sub(1).min(report.frames.saturating_sub(1)),
+                                seq: i as u32,
+                                kind: DegradationKind::Late,
+                                level: e.backlight.0,
+                            });
+                        }
+                    }
+                }
+            }
+            events.sort_by_key(|e| (e.frame, e.seq));
+        }
+
+        let perceived_error = if report.frames > 0 {
+            error_sum / (255.0 * f64::from(report.frames))
+        } else {
+            0.0
+        };
+        Ok(DegradedPlayback { report, events, degraded_frames, perceived_error })
     }
 }
 
@@ -360,6 +508,73 @@ mod tests {
         let sum = meter.total_j();
         assert!((sum - report.energy_j).abs() < 1e-6, "meter {sum} vs report {}", report.energy_j);
         assert!(meter.component_j("backlight") > 0.0);
+    }
+
+    #[test]
+    fn degraded_with_punctual_arrivals_matches_plain_play() {
+        let stream = served(QualityLevel::Q10);
+        let c = client();
+        let plain = c.play(&stream, None).unwrap();
+        let deg = c
+            .play_degraded(
+                &stream,
+                &AnnotationArrivals::punctual(64),
+                DegradationConfig::default(),
+                None,
+            )
+            .unwrap();
+        // Byte-identical: the two paths share one playback loop.
+        assert_eq!(deg.report, plain);
+        assert!(deg.events.is_empty());
+        assert_eq!(deg.degraded_frames, 0);
+        assert_eq!(deg.perceived_error, 0.0);
+    }
+
+    #[test]
+    fn missing_hints_hold_then_ramp_to_full() {
+        let stream = served(QualityLevel::Q20);
+        let c = client();
+        let none = AnnotationArrivals::new(0.0, 12.0, vec![0.0; 64], vec![None; 64]);
+        let deg = c
+            .play_degraded(
+                &stream,
+                &none,
+                DegradationConfig { hold_frames: 2, ramp_step_per_frame: 50 },
+                None,
+            )
+            .unwrap();
+        assert!(deg.degraded_frames > 0);
+        assert!(deg.perceived_error > 0.0);
+        assert!(deg.events.iter().any(|e| e.kind == DegradationKind::Missed));
+        // The ramp heads toward full backlight: never darker than the
+        // annotated schedule would have been on average.
+        let plain = c.play(&stream, None).unwrap();
+        assert!(deg.report.mean_backlight >= plain.mean_backlight);
+    }
+
+    #[test]
+    fn late_hint_triggers_missed_then_recovered() {
+        let stream = served(QualityLevel::Q10);
+        let fps = stream.fps();
+        let mut arr = vec![Some(0.0); 64];
+        arr[0] = Some(5.5 / fps); // scene 0's hint lands ~6 frames late
+        let arrivals = AnnotationArrivals::new(0.0, fps, vec![0.0; 64], arr);
+        let c = client();
+        let deg = c
+            .play_degraded(&stream, &arrivals, DegradationConfig::default(), None)
+            .unwrap();
+        let kinds: Vec<_> = deg.events.iter().map(|e| (e.seq, e.kind)).collect();
+        assert!(kinds.contains(&(0, DegradationKind::Missed)));
+        assert!(kinds.contains(&(0, DegradationKind::Recovered)));
+        assert!(deg.degraded_frames >= 5);
+        // Identical inputs replay to a byte-identical event log.
+        let again = c
+            .play_degraded(&stream, &arrivals, DegradationConfig::default(), None)
+            .unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&deg.events),
+            annolight_support::json::to_string(&again.events)
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   backlight controller, and accounts energy with the device power
 //!   model;
 //! * [`network`] — a bandwidth/latency channel model for the wireless hop;
+//! * [`faults`] — seeded fault injection on that hop (burst loss,
+//!   duplication, reordering, jitter), retry/backoff retransmission, and
+//!   the client's graceful-degradation policy for lost annotation hints;
 //! * [`session`] — end-to-end orchestration (threaded server → client
 //!   delivery over crossbeam channels), producing the measurements behind
 //!   Fig. 10.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod message;
 pub mod network;
 pub mod proxy;
@@ -29,11 +33,16 @@ pub mod server;
 pub mod session;
 
 pub use client::{PlaybackClient, PlaybackReport};
-pub use message::{grant_quality, ClientHello, ServerOffer};
+pub use faults::{
+    deliver_lossy, AnnotationArrivals, ChannelStats, DegradationConfig, DegradationEvent,
+    DegradationKind, DegradedPlayback, FaultConfig, FaultReport, FaultyChannel, LossyDelivery,
+    RetryOutcome,
+};
+pub use message::{grant_quality, ClientHello, PacketKind, ServerOffer, StreamPacket};
 pub use network::WirelessChannel;
 pub use proxy::Proxy;
 pub use server::{MediaServer, ServeError, ServeRequest, ServedStream};
 pub use session::{
-    run_session, run_session_with_server, run_shared_sessions, SessionConfig, SessionError,
-    SessionReport, SharedSessionOptions,
+    run_session, run_session_faulty, run_session_with_server, run_shared_sessions,
+    FaultySessionReport, SessionConfig, SessionError, SessionReport, SharedSessionOptions,
 };

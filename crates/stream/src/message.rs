@@ -84,6 +84,95 @@ impl ClientHello {
     }
 }
 
+/// What a [`StreamPacket`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// An MTU-sized slice of the encoded picture stream.
+    Picture,
+    /// One incremental annotation update
+    /// ([`annolight_core::delta::AnnotationDelta`] wire bytes).
+    Delta,
+}
+
+annolight_support::impl_json!(enum PacketKind { Picture, Delta });
+
+/// One packet of the media session as it crosses the lossy hop: a
+/// session-global sequence number (so the receiver can detect gaps and
+/// request retransmission), a kind tag, and the payload bytes.
+///
+/// Annotation packets are *hints*: a receiver that cannot recover one
+/// keeps playing and degrades gracefully (see
+/// [`crate::faults`]). Picture packets are retransmitted reliably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamPacket {
+    /// Session-global send sequence number.
+    pub seq: u32,
+    /// Payload discriminator.
+    pub kind: PacketKind,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Wire magic for stream packets (`AP1`: AnnoLight Packet v1).
+const PACKET_MAGIC: &[u8; 3] = b"AP1";
+
+impl StreamPacket {
+    /// Frames a picture slice.
+    #[must_use]
+    pub fn picture(seq: u32, payload: Vec<u8>) -> Self {
+        Self { seq, kind: PacketKind::Picture, payload }
+    }
+
+    /// Frames an annotation delta.
+    #[must_use]
+    pub fn delta(seq: u32, payload: Vec<u8>) -> Self {
+        Self { seq, kind: PacketKind::Delta, payload }
+    }
+
+    /// Serialises to the binary wire form:
+    /// `magic ∥ kind ∥ seq(le) ∥ len(le) ∥ payload`.
+    #[must_use]
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.payload.len());
+        out.extend_from_slice(PACKET_MAGIC);
+        out.push(match self.kind {
+            PacketKind::Picture => 0,
+            PacketKind::Delta => 1,
+        });
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string for truncated, mistagged, or
+    /// length-inconsistent input — a corrupt packet is treated like a
+    /// lost one by the session layer, never trusted.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 12 {
+            return Err(format!("stream packet truncated: {} bytes", bytes.len()));
+        }
+        if &bytes[0..3] != PACKET_MAGIC {
+            return Err("bad stream packet magic".into());
+        }
+        let kind = match bytes[3] {
+            0 => PacketKind::Picture,
+            1 => PacketKind::Delta,
+            k => return Err(format!("unknown stream packet kind {k}")),
+        };
+        let seq = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        if bytes.len() != 12 + len {
+            return Err(format!("stream packet length mismatch: header {len}, body {}", bytes.len() - 12));
+        }
+        Ok(Self { seq, kind, payload: bytes[12..].to_vec() })
+    }
+}
+
 /// Picks the offered quality closest to (and not exceeding) the request —
 /// the server never degrades more than the user agreed to.
 pub fn grant_quality(offered: &[QualityLevel], requested: QualityLevel) -> QualityLevel {
@@ -136,6 +225,42 @@ mod tests {
     #[test]
     fn grant_defaults_to_lossless() {
         assert_eq!(grant_quality(&[], QualityLevel::Q20), QualityLevel::Q0);
+    }
+
+    #[test]
+    fn packet_wire_roundtrip() {
+        let p = StreamPacket::picture(7, vec![1, 2, 3, 4, 5]);
+        let wire = p.to_wire();
+        assert_eq!(wire.len(), 12 + 5);
+        let back = StreamPacket::from_wire(&wire).unwrap();
+        assert_eq!(back, p);
+
+        let d = StreamPacket::delta(0xDEAD_BEEF, vec![]);
+        let back = StreamPacket::from_wire(&d.to_wire()).unwrap();
+        assert_eq!(back.kind, PacketKind::Delta);
+        assert_eq!(back.seq, 0xDEAD_BEEF);
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn malformed_packet_rejected() {
+        // Truncated.
+        assert!(StreamPacket::from_wire(b"AP1").is_err());
+        // Bad magic.
+        let mut wire = StreamPacket::picture(1, vec![9]).to_wire();
+        wire[0] = b'X';
+        assert!(StreamPacket::from_wire(&wire).is_err());
+        // Unknown kind tag.
+        let mut wire = StreamPacket::picture(1, vec![9]).to_wire();
+        wire[3] = 9;
+        assert!(StreamPacket::from_wire(&wire).is_err());
+        // Length mismatch (truncated payload).
+        let wire = StreamPacket::picture(1, vec![1, 2, 3]).to_wire();
+        assert!(StreamPacket::from_wire(&wire[..wire.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut wire = StreamPacket::picture(1, vec![1, 2, 3]).to_wire();
+        wire.push(0);
+        assert!(StreamPacket::from_wire(&wire).is_err());
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub enum ServeError {
     /// The requested clip is not in the server's catalogue.
     UnknownClip(String),
     /// The annotation service rejected the request at admission — the
-    /// tenant's queue is full. Back off and retry.
+    /// tenant's queue is full. Back off and retry with
+    /// [`crate::faults::retry::RetryPolicy::service`] (truncated
+    /// exponential backoff with jitter), which
+    /// `annolight_serve::AnnotationService::call_with_retry` implements.
     Overloaded {
         /// The tenant whose queue bound was hit.
         tenant: String,

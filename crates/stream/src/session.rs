@@ -9,6 +9,7 @@
 //! deterministic.
 
 use crate::client::{PlaybackClient, PlaybackError, PlaybackReport};
+use crate::faults::{deliver_lossy, DegradationConfig, DegradationEvent, FaultConfig, FaultReport};
 use crate::network::WirelessChannel;
 use crate::proxy::Proxy;
 use crate::server::{MediaServer, ServeError, ServeRequest};
@@ -57,6 +58,9 @@ pub struct SessionConfig {
     /// "network packet optimizations", enabled by annotations being
     /// available ahead of the data).
     pub burst_prefetch: bool,
+    /// Fault injection on the wireless hop. The default is lossless;
+    /// [`run_session`] ignores it, [`run_session_faulty`] honours it.
+    pub faults: FaultConfig,
 }
 
 impl SessionConfig {
@@ -74,6 +78,7 @@ impl SessionConfig {
             encoder: EncoderConfig::default(),
             dvfs: false,
             burst_prefetch: false,
+            faults: FaultConfig::lossless(0),
         }
     }
 }
@@ -142,6 +147,24 @@ annolight_support::impl_json!(struct SessionReport { granted_quality, stream_byt
 ///
 /// Returns [`SessionError`] for failures anywhere in the pipeline.
 pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError> {
+    let (stream, annotation_bytes, granted, device, config) = negotiate_and_serve(config)?;
+    deliver_and_play(
+        &stream,
+        annotation_bytes,
+        granted,
+        device,
+        config.system,
+        &config.channel,
+        config.burst_prefetch,
+    )
+}
+
+/// The wired half of every session — negotiation, then serving or proxy
+/// transcoding — shared by the lossless and fault-injected paths.
+#[allow(clippy::type_complexity)]
+fn negotiate_and_serve(
+    config: SessionConfig,
+) -> Result<(EncodedStream, usize, QualityLevel, DeviceProfile, SessionConfig), SessionError> {
     let clip_name = config.clip.name().to_owned();
 
     // --- Server-side preparation (Fig. 1, wired segment) ----------------
@@ -200,16 +223,87 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
             (out, annotation)
         }
     };
+    let device = config.device.clone();
+    Ok((stream, annotation_bytes, granted, device, config))
+}
 
-    deliver_and_play(
-        &stream,
-        annotation_bytes,
-        granted,
-        config.device,
-        config.system,
-        &config.channel,
-        config.burst_prefetch,
-    )
+/// The outcome of a fault-injected session ([`run_session_faulty`]).
+#[derive(Debug, Clone)]
+pub struct FaultySessionReport {
+    /// The usual session measurements. With a lossless
+    /// [`SessionConfig::faults`] this is byte-for-byte what
+    /// [`run_session`] reports.
+    pub session: SessionReport,
+    /// Channel/retransmission/hint-loss summary, including the WNIC
+    /// energy the retransmissions cost.
+    pub faults: FaultReport,
+    /// The client's degradation log (deterministic per seed).
+    pub events: Vec<DegradationEvent>,
+    /// Frames played without their annotation available.
+    pub degraded_frames: u32,
+    /// Mean perceived-intensity error vs. the annotated schedule.
+    pub perceived_error: f64,
+}
+
+annolight_support::impl_json!(struct FaultySessionReport { session, faults, events, degraded_frames, perceived_error });
+
+/// Runs one complete session over the fault-injected wireless hop in
+/// [`SessionConfig::faults`]: annotation hints are streamed as lossy
+/// per-scene deltas (retried only until their scene starts), pictures are
+/// retransmitted reliably, and the client degrades gracefully — playback
+/// never stalls on a lost hint. Retransmission energy is charged to the
+/// meter as `wnic_retransmit` on top of the playback breakdown.
+///
+/// # Errors
+///
+/// Returns [`SessionError`] for failures anywhere in the pipeline.
+pub fn run_session_faulty(config: SessionConfig) -> Result<FaultySessionReport, SessionError> {
+    let (stream, annotation_bytes, granted, device, config) = negotiate_and_serve(config)?;
+    let lossy = deliver_lossy(&stream, &config.channel, &config.faults)
+        .map_err(SessionError::Pipeline)?;
+
+    let total = stream.as_bytes().len();
+    let transfer_time = config.channel.transfer_time_s(total);
+    let meter = EnergyMeter::new();
+    let mut client = PlaybackClient::new(device, config.system);
+    if config.burst_prefetch && lossy.stream.frame_count() > 0 {
+        let duration =
+            f64::from(lossy.stream.frame_count()) / lossy.stream.fps().max(f64::EPSILON);
+        let duty = (transfer_time / duration).clamp(0.0, 1.0);
+        client = client.with_wnic_duty(duty);
+    }
+    let degraded = client
+        .play_degraded(&lossy.stream, &lossy.arrivals, DegradationConfig::default(), Some(&meter))
+        .map_err(SessionError::Playback)?;
+
+    let mut faults = lossy.report;
+    if faults.channel.retransmits > 0 {
+        // Each retransmission keeps the radio receiving for one extra
+        // packet airtime and transmits a NACK — charged above the
+        // baseline the playback already accounts.
+        let slot = (config.channel.mtu as f64 * 8.0) / config.channel.bandwidth_bps;
+        faults.retransmit_energy_j =
+            config.system.retransmit_energy_j(faults.channel.retransmits, slot);
+        meter.add("wnic_retransmit", faults.retransmit_energy_j);
+    }
+
+    let playback = degraded.report;
+    Ok(FaultySessionReport {
+        session: SessionReport {
+            granted_quality: granted,
+            stream_bytes: total,
+            annotation_bytes,
+            packets: lossy.picture_packets,
+            transfer_time_s: transfer_time,
+            real_time: transfer_time <= playback.duration_s,
+            playback,
+            energy_breakdown: meter.breakdown(),
+        },
+        faults,
+        events: degraded.events,
+        degraded_frames: degraded.degraded_frames,
+        perceived_error: degraded.perceived_error,
+    })
 }
 
 /// Client-side knobs for [`run_session_with_server`]: what the clip and
@@ -494,6 +588,58 @@ mod tests {
             }
             other => panic!("expected typed negotiation failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn faulty_session_lossless_matches_plain_byte_for_byte() {
+        let plain = run_session(config(QualityLevel::Q10)).unwrap();
+        let faulty = run_session_faulty(config(QualityLevel::Q10)).unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&plain),
+            annolight_support::json::to_string(&faulty.session),
+            "zero-fault session must reproduce the lossless trace exactly"
+        );
+        assert!(faulty.events.is_empty());
+        assert_eq!(faulty.degraded_frames, 0);
+        assert_eq!(faulty.perceived_error, 0.0);
+        assert_eq!(faulty.faults.channel.dropped, 0);
+        assert_eq!(faulty.faults.deltas_lost, 0);
+    }
+
+    #[test]
+    fn lossy_session_degrades_but_never_stalls() {
+        let mut cfg = config(QualityLevel::Q10);
+        cfg.faults = FaultConfig::lossy(42, 0.2);
+        let r = run_session_faulty(cfg).unwrap();
+        // Every frame still plays — annotation loss degrades, never stalls.
+        assert_eq!(r.session.playback.frames, 36);
+        assert!(r.faults.channel.dropped > 0, "20 % loss must drop packets");
+        assert!(r.perceived_error <= 0.25, "error {}", r.perceived_error);
+        assert!(r.faults.channel.retransmits > 0);
+        assert!(r.faults.retransmit_energy_j > 0.0);
+        assert!(r.session.energy_breakdown.contains_key("wnic_retransmit"));
+    }
+
+    #[test]
+    fn proxy_annotated_session_survives_burst_loss() {
+        let mut cfg = config(QualityLevel::Q10);
+        cfg.site = AnnotationSite::Proxy;
+        cfg.faults = FaultConfig::bursty(7);
+        let r = run_session_faulty(cfg).unwrap();
+        assert!(r.session.playback.annotated);
+        assert_eq!(r.session.playback.frames, 36);
+    }
+
+    #[test]
+    fn faulty_report_serialises_for_tooling() {
+        let mut cfg = config(QualityLevel::Q5);
+        cfg.faults = FaultConfig::lossy(1, 0.1);
+        let r = run_session_faulty(cfg).unwrap();
+        let json = annolight_support::json::to_string(&r);
+        let back: FaultySessionReport = annolight_support::json::from_str(&json).unwrap();
+        assert_eq!(back.session.stream_bytes, r.session.stream_bytes);
+        assert_eq!(back.faults.channel.dropped, r.faults.channel.dropped);
+        assert_eq!(back.events.len(), r.events.len());
     }
 
     #[test]

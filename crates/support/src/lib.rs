@@ -17,6 +17,7 @@
 //! | [`channel`] | `crossbeam::channel` | bounded/unbounded mpsc-backed channels |
 //! | [`sync`] | `parking_lot` | poison-ignoring [`sync::Mutex`] + [`sync::Condvar`] |
 //! | [`check`] | `proptest` | deterministic property runner, [`check!`] |
+//! | [`retry`] | `backoff`/`retry` | deadline-aware [`retry::RetryPolicy`] |
 //! | [`bench`] | `criterion` | wall-clock median-of-N harness |
 //!
 //! All modules are `std`-only. Determinism is a design goal throughout:
@@ -28,5 +29,6 @@ pub mod bytes;
 pub mod channel;
 pub mod check;
 pub mod json;
+pub mod retry;
 pub mod rng;
 pub mod sync;

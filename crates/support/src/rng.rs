@@ -115,6 +115,36 @@ impl SmallRng {
         self.gen_f64() < p
     }
 
+    /// Derives an independent child generator by consuming one draw
+    /// from `self` (splittable-PRNG style). Children are well-mixed via
+    /// the splitmix64 seeding path and their streams do not correlate
+    /// with the parent's subsequent output in any way our consumers can
+    /// observe.
+    ///
+    /// This is how multi-concern simulations (e.g. the stream tier's
+    /// fault injector) give every concern — drop, duplication,
+    /// reordering, jitter, retry — its *own* stream from one user seed:
+    /// enabling or tuning one concern never shifts the draws any other
+    /// concern sees, so fault scenarios stay independently reproducible.
+    #[must_use]
+    pub fn split(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.next_u64())
+    }
+
+    /// A generator for stream `stream_id` of `seed`, without consuming
+    /// state anywhere: `stream(seed, i)` is a pure function, so
+    /// distributed components can agree on per-concern streams by index
+    /// alone. Distinct `(seed, stream_id)` pairs yield uncorrelated
+    /// streams; `stream(seed, id)` never equals `seed_from_u64(seed)`'s
+    /// stream for the ids we use (the golden-ratio multiply decouples
+    /// them).
+    #[must_use]
+    pub fn stream(seed: u64, stream_id: u64) -> SmallRng {
+        let mut s = seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let derived = splitmix64(&mut s) ^ splitmix64(&mut s).rotate_left(32);
+        SmallRng::seed_from_u64(derived)
+    }
+
     /// A uniform `u64` below `bound` (widening-multiply method; the tiny
     /// modulo bias of the naive approach is avoided without rejection
     /// loops, keeping draws O(1) and deterministic in count).
@@ -270,6 +300,39 @@ mod tests {
         assert!(lo <= hi);
         let zero: u32 = (7u32..1000).sample(&mut SmallRng::from_raw_word(0));
         assert_eq!(zero, 7, "word 0 must give the range minimum");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_reproducible() {
+        let mut parent_a = SmallRng::seed_from_u64(5);
+        let mut parent_b = SmallRng::seed_from_u64(5);
+        let mut child_a = parent_a.split();
+        let mut child_b = parent_b.split();
+        for _ in 0..64 {
+            assert_eq!(child_a.next_u64(), child_b.next_u64(), "same seed, same child stream");
+        }
+        // The child differs from the parent's continuing stream.
+        let mut parent = SmallRng::seed_from_u64(5);
+        let mut child = parent.split();
+        let overlap = (0..64).filter(|_| parent.next_u64() == child.next_u64()).count();
+        assert_eq!(overlap, 0, "child stream must not track the parent");
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct_and_pure() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..32u64 {
+            let mut s = SmallRng::stream(1234, id);
+            assert!(seen.insert(s.next_u64()), "stream {id} collides");
+            // Pure function: same (seed, id) rebuilds the same stream.
+            let mut again = SmallRng::stream(1234, id);
+            assert_eq!(SmallRng::stream(1234, id).next_u64(), again.next_u64());
+        }
+        // Stream id 0 is not the raw seed stream.
+        assert_ne!(
+            SmallRng::stream(42, 0).next_u64(),
+            SmallRng::seed_from_u64(42).next_u64()
+        );
     }
 
     #[test]

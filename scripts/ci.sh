@@ -17,4 +17,19 @@ cargo bench --offline --workspace --no-run
 echo "== serve soak (offline, fixed seed, 64 tenants) =="
 cargo test -q -p annolight-serve --release --offline -- soak
 
+echo "== stream crate in isolation (offline) =="
+cargo test -q -p annolight-stream --offline
+
+echo "== fault-injection determinism guard (same seed twice, diff logs) =="
+FAULT_LOG_A="$(mktemp)"
+FAULT_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B"' EXIT
+ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
+  cargo test -q --release --offline --test fault_injection
+ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
+  cargo test -q --release --offline --test fault_injection
+test -s "$FAULT_LOG_A" || { echo "fault event log was not written"; exit 1; }
+cmp "$FAULT_LOG_A" "$FAULT_LOG_B" \
+  || { echo "fault event logs diverged between identical runs"; exit 1; }
+
 echo "CI green."
