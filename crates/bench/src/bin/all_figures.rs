@@ -22,12 +22,14 @@ fn main() {
     let ro = tab_overhead::run(overhead_s);
     let rb = tab_baselines::run(tab_s);
     let rl = tab_loss::run(if quick { 4.0 } else { 8.0 }, 42);
+    let rpt = pipeline_throughput::run(if quick { 1.0 } else { 8.0 }, if quick { 1 } else { 3 });
 
     if json {
         let doc = annolight_support::json_obj!({
             "fig03": r03, "fig04": r04, "fig05": r05, "fig06": r06,
             "fig07": r07, "fig08": r08, "fig09": r09, "fig10": r10,
             "tab_overhead": ro, "tab_baselines": rb, "tab_loss": rl,
+            "pipeline_throughput": rpt,
         });
         println!("{}", doc.pretty());
     } else {
@@ -42,5 +44,6 @@ fn main() {
         println!("{}", tab_overhead::render(&ro));
         println!("{}", tab_baselines::render(&rb));
         println!("{}", tab_loss::render(&rl));
+        println!("{}", pipeline_throughput::render(&rpt));
     }
 }

@@ -1,0 +1,22 @@
+//! Times the profile→plan→compensate pipeline: legacy float serial
+//! baseline vs. the LUT-kernel parallel pipeline at several worker
+//! counts. Pass `--test` for a sub-second smoke run (used by CI).
+use annolight_bench::figures::pipeline_throughput;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let t = if smoke {
+        pipeline_throughput::run(0.6, 1)
+    } else {
+        pipeline_throughput::run(8.0, 3)
+    };
+    print!("{}", pipeline_throughput::render(&t));
+    if smoke {
+        assert_eq!(
+            t.rows.len(),
+            1 + pipeline_throughput::WORKER_COUNTS.len(),
+            "smoke mode expects every configured row"
+        );
+        println!("\npipeline_throughput --test: ok ({} rows)", t.rows.len());
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end pipeline throughput: serial reference vs. the parallel
+//! profiling/compensation pipeline (PR 4's tentpole).
+//!
+//! The **baseline row** re-creates the pre-LUT pipeline exactly as the
+//! proxy ran it: a frame-cloning [`LuminanceProfile::of_frames`] scan
+//! followed by per-frame float contrast enhancement
+//! ([`annolight_imgproc::contrast_enhance_float`], the retained legacy
+//! kernel). The **measured rows** run the production pipeline — chunked
+//! [`annolight_core::parallel::profile_frames`], parallel planning, and
+//! the 16.16 fixed-point LUT compensation kernel — at several intra-clip
+//! worker counts. The speedup column is relative to the baseline.
+//!
+//! Two things matter when reading the table:
+//!
+//! * every measured row produces **byte-identical** output to every other
+//!   row (`tests/parallel_identity.rs` proves it); only wall-clock
+//!   differs, and
+//! * on a single-core host the gain comes from the fixed-point LUT
+//!   kernels; the worker rows add on top of that on multicore hosts.
+
+use crate::table::Table;
+use annolight_core::parallel::{self, ParallelConfig};
+use annolight_core::{Annotator, LuminanceProfile, QualityLevel};
+use annolight_display::DeviceProfile;
+use annolight_imgproc::{contrast_enhance_float, Frame};
+use annolight_video::ClipLibrary;
+use std::time::Instant;
+
+/// Worker counts exercised by the measured rows (0 = inline serial
+/// reference, the same counts as the differential identity suite).
+pub const WORKER_COUNTS: [usize; 5] = [0, 1, 2, 4, 7];
+
+/// One timed pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Intra-clip worker threads (0 = inline).
+    pub workers: usize,
+    /// Best-of-`reps` wall-clock for the full profile→plan→compensate
+    /// pipeline, milliseconds.
+    pub elapsed_ms: f64,
+    /// Throughput in frames per second (frame count / elapsed).
+    pub frames_per_sec: f64,
+    /// Speedup vs. the legacy float serial baseline.
+    pub speedup: f64,
+}
+
+annolight_support::impl_json!(struct ThroughputRow { label, workers, elapsed_ms, frames_per_sec, speedup });
+
+/// The throughput table for one clip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineThroughput {
+    /// Clip the pipeline ran on.
+    pub clip: String,
+    /// Frames processed per timed pass.
+    pub frames: u32,
+    /// Timed repetitions per row (best-of).
+    pub reps: u32,
+    /// Baseline + measured rows, in run order.
+    pub rows: Vec<ThroughputRow>,
+}
+
+annolight_support::impl_json!(struct PipelineThroughput { clip, frames, reps, rows });
+
+/// The legacy pipeline, stage for stage as the proxy ran it before the
+/// parallel pipeline landed: clone-per-frame profiling scan, serial
+/// planning, float compensation kernel.
+fn legacy_pass(frames: &[Frame], fps: f64, device: &DeviceProfile, quality: QualityLevel) -> f64 {
+    let mut work = frames.to_vec();
+    let start = Instant::now();
+    let profile = LuminanceProfile::of_frames(fps, work.iter().cloned())
+        .expect("non-empty clip profiles");
+    let annotated = Annotator::new(device.clone(), quality)
+        .annotate_profile(&profile)
+        .expect("non-empty profile annotates");
+    let track = annotated.track();
+    for (i, frame) in work.iter_mut().enumerate() {
+        let entry = track.entry_at(i as u32).expect("track covers clip");
+        contrast_enhance_float(frame, entry.compensation);
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// The production pipeline at one worker count: chunked profiling scan,
+/// parallel planning, LUT compensation.
+fn pipeline_pass(frames: &[Frame], fps: f64, device: &DeviceProfile, quality: QualityLevel, workers: usize) -> f64 {
+    let cfg = ParallelConfig::with_workers(workers);
+    let mut work = frames.to_vec();
+    let start = Instant::now();
+    let profile = parallel::profile_frames(fps, &work, &cfg).expect("non-empty clip profiles");
+    let annotated = Annotator::new(device.clone(), quality)
+        .with_parallelism(cfg)
+        .annotate_profile(&profile)
+        .expect("non-empty profile annotates");
+    parallel::compensate_frames(&mut work, annotated.track(), &cfg)
+        .expect("track covers clip");
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times the pipeline on a `preview_s`-second prefix of the *themovie*
+/// profile clip (the paper's largest), best-of-`reps` per row.
+pub fn run(preview_s: f64, reps: u32) -> PipelineThroughput {
+    let reps = reps.max(1);
+    let clip = ClipLibrary::paper_clip("themovie")
+        .expect("themovie is a library clip")
+        .preview(preview_s);
+    let device = DeviceProfile::ipaq_5555();
+    let quality = QualityLevel::Q10;
+    let frames: Vec<Frame> = clip.frames().collect();
+    let n = frames.len() as u32;
+    let fps = clip.fps();
+
+    let best = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min);
+
+    let legacy_ms = best(&|| legacy_pass(&frames, fps, &device, quality));
+    let mut rows = vec![ThroughputRow {
+        label: "serial (legacy float kernel)".to_owned(),
+        workers: 0,
+        elapsed_ms: legacy_ms,
+        frames_per_sec: f64::from(n) / (legacy_ms / 1e3),
+        speedup: 1.0,
+    }];
+    for workers in WORKER_COUNTS {
+        let ms = best(&|| pipeline_pass(&frames, fps, &device, quality, workers));
+        rows.push(ThroughputRow {
+            label: if workers == 0 {
+                "parallel pipeline, inline (LUT kernels)".to_owned()
+            } else {
+                format!("parallel pipeline, {workers} workers (LUT kernels)")
+            },
+            workers,
+            elapsed_ms: ms,
+            frames_per_sec: f64::from(n) / (ms / 1e3),
+            speedup: legacy_ms / ms,
+        });
+    }
+    PipelineThroughput { clip: clip.name().to_owned(), frames: n, reps, rows }
+}
+
+/// Renders the throughput table as text.
+pub fn render(t: &PipelineThroughput) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline throughput — {} ({} frames, best of {} reps)\n\n",
+        t.clip, t.frames, t.reps
+    ));
+    let mut tbl = Table::new(["configuration", "elapsed (ms)", "frames/s", "speedup"]);
+    for r in &t.rows {
+        tbl.row([
+            r.label.clone(),
+            format!("{:.2}", r.elapsed_ms),
+            format!("{:.0}", r.frames_per_sec),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push_str(
+        "\nEvery 'parallel pipeline' row produces byte-identical output \
+         (tests/parallel_identity.rs); rows differ only in wall-clock.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_baseline_plus_all_worker_rows() {
+        let t = run(0.6, 1);
+        assert_eq!(t.rows.len(), 1 + WORKER_COUNTS.len());
+        assert_eq!(t.rows[0].speedup, 1.0);
+        assert!(t.frames > 0);
+        for r in &t.rows {
+            assert!(r.elapsed_ms > 0.0, "{}: non-positive elapsed", r.label);
+            assert!(r.frames_per_sec > 0.0, "{}: non-positive fps", r.label);
+        }
+        let rendered = render(&t);
+        assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("legacy float kernel"));
+    }
+}

@@ -106,6 +106,7 @@ pub fn run(worker_counts: &[usize], n_clips: usize, rounds: usize, clip_seconds:
                 cache_shards: 8,
                 cache_bytes: 32 << 20,
                 tenant_queue_depth: per_round * rounds,
+                ..ServiceConfig::default()
             });
             for i in 0..n_clips {
                 service.register_clip(catalogue_clip(i, clip_seconds));

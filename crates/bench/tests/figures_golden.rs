@@ -1,0 +1,102 @@
+//! Golden-figure conformance tier: exact JSON snapshots of Figs. 3–8
+//! and 10 (extending `fig9_shape.rs`'s shape assertions to full
+//! byte-level conformance for the deterministic figures).
+//!
+//! Every figure module's `run(...)` output is serialised with the
+//! in-tree JSON encoder and compared **byte-for-byte** against a
+//! committed snapshot in `tests/golden/`. Floats are rendered with
+//! Rust's shortest-roundtrip `{:?}` formatting, so equality is exact
+//! and platform-independent; any change to a kernel, a planner or the
+//! JSON encoder shows up as a readable text diff.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! ANNOLIGHT_BLESS=1 cargo test -p annolight-bench --test figures_golden
+//! ```
+//!
+//! then commit the updated snapshots (documented in DESIGN.md §9).
+//!
+//! Fig. 9 and the service/throughput tables are excluded: Fig. 9 keeps
+//! its shape-level test (`fig9_shape.rs`), and the tables include
+//! wall-clock measurements that are inherently non-reproducible.
+
+use annolight_bench::figures::{fig03, fig04, fig05, fig06, fig07, fig08, fig10};
+use annolight_core::QualityLevel;
+use annolight_support::json::{to_string_pretty, ToJson};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compares `value`'s JSON document against the committed golden file,
+/// or rewrites the file when `ANNOLIGHT_BLESS=1` is set.
+fn assert_golden<T: ToJson>(name: &str, value: &T) {
+    let mut doc = to_string_pretty(value);
+    doc.push('\n'); // POSIX text file: trailing newline
+    let path = golden_path(name);
+    if std::env::var_os("ANNOLIGHT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("golden dir is creatable");
+        std::fs::write(&path, &doc).expect("golden file is writable");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             run `ANNOLIGHT_BLESS=1 cargo test -p annolight-bench --test figures_golden` \
+             and commit the result",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, doc,
+        "figure `{name}` diverged from its golden snapshot ({}).\n\
+         If the change is intentional, regenerate with \
+         `ANNOLIGHT_BLESS=1 cargo test -p annolight-bench --test figures_golden` \
+         and commit the diff.",
+        path.display()
+    );
+}
+
+#[test]
+fn fig03_luminance_histogram_matches_golden() {
+    assert_golden("fig03", &fig03::run());
+}
+
+#[test]
+fn fig04_compensation_matches_golden() {
+    assert_golden("fig04", &fig04::run(QualityLevel::Q10));
+}
+
+#[test]
+fn fig05_clipping_matches_golden() {
+    assert_golden("fig05", &fig05::run());
+}
+
+#[test]
+fn fig06_scene_backlight_matches_golden() {
+    // The quick-mode parameters of `all_figures --quick`, frozen.
+    assert_golden("fig06", &fig06::run("themovie", 10.0));
+}
+
+#[test]
+fn fig07_backlight_transfer_matches_golden() {
+    assert_golden("fig07", &fig07::run());
+}
+
+#[test]
+fn fig08_white_transfer_matches_golden() {
+    assert_golden("fig08", &fig08::run());
+}
+
+#[test]
+fn fig10_total_power_matches_golden() {
+    // 6-second previews — the quick-mode parameter, frozen.
+    assert_golden("fig10", &fig10::run(6.0));
+}

@@ -7,6 +7,7 @@
 
 use crate::error::CoreError;
 use crate::extensions::CreditsGuard;
+use crate::parallel::ParallelConfig;
 use crate::plan::BacklightPlan;
 use crate::profile::LuminanceProfile;
 use crate::quality::QualityLevel;
@@ -36,6 +37,7 @@ pub struct Annotator {
     detector: SceneDetector,
     mode: AnnotationMode,
     credits_guard: Option<CreditsGuard>,
+    parallelism: ParallelConfig,
 }
 
 impl Annotator {
@@ -48,6 +50,7 @@ impl Annotator {
             detector: SceneDetector::default(),
             mode: AnnotationMode::PerScene,
             credits_guard: None,
+            parallelism: ParallelConfig::serial(),
         }
     }
 
@@ -71,6 +74,20 @@ impl Annotator {
         self
     }
 
+    /// Fans the profiling and planning stages out over an intra-clip
+    /// worker pool ([`ParallelConfig`]). The default is the serial
+    /// reference pipeline (`workers == 0`); any worker count produces
+    /// byte-identical annotations — see `tests/parallel_identity.rs`.
+    pub fn with_parallelism(mut self, parallelism: ParallelConfig) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The intra-clip parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallelism
+    }
+
     /// The target device.
     pub fn device(&self) -> &DeviceProfile {
         &self.device
@@ -87,7 +104,7 @@ impl Annotator {
     ///
     /// Returns [`CoreError::EmptyClip`] for an empty clip.
     pub fn annotate_clip(&self, clip: &Clip) -> Result<AnnotatedClip, CoreError> {
-        let profile = LuminanceProfile::of_clip(clip)?;
+        let profile = crate::parallel::profile_clip(clip, &self.parallelism)?;
         self.annotate_profile(&profile)
     }
 
@@ -109,7 +126,15 @@ impl Annotator {
                 .collect(),
         };
         let plan = match &self.credits_guard {
-            None => BacklightPlan::compute(profile, &spans, &self.device, self.quality),
+            None => BacklightPlan::compute_parallel(
+                profile,
+                &spans,
+                &self.device,
+                self.quality,
+                &self.parallelism,
+            ),
+            // The credits guard re-plans flagged scenes with data-dependent
+            // quality caps; it stays on the serial reference path.
             Some(guard) => guard.guarded_plan(profile, &spans, &self.device, self.quality),
         };
         let track = AnnotationTrack::from_plan(&plan, self.mode, profile.len() as u32);

@@ -50,6 +50,7 @@ pub mod digest;
 pub mod error;
 pub mod extensions;
 pub mod online;
+pub mod parallel;
 pub mod plan;
 pub mod profile;
 pub mod quality;
@@ -63,6 +64,7 @@ pub use apply::{apply_annotation, client_side_levels, compensate_frame};
 pub use digest::clip_digest;
 pub use error::CoreError;
 pub use online::OnlineAnnotator;
+pub use parallel::{chunk_ranges, chunked_map, ParallelConfig};
 pub use plan::{plan_levels_ambient, BacklightPlan, ScenePlan};
 pub use profile::{FrameStats, LuminanceProfile};
 pub use quality::QualityLevel;

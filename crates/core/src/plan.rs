@@ -14,6 +14,7 @@
 //!   measured transfer function ("the resulted value is later plugged into
 //!   the backlight-luminance function").
 
+use crate::parallel::{chunked_map, ParallelConfig};
 use crate::profile::LuminanceProfile;
 use crate::quality::QualityLevel;
 use crate::scenes::SceneSpan;
@@ -64,11 +65,35 @@ impl BacklightPlan {
         device: &DeviceProfile,
         quality: QualityLevel,
     ) -> Self {
+        Self::compute_parallel(profile, spans, device, quality, &ParallelConfig::serial())
+    }
+
+    /// [`compute`](Self::compute) with scene planning fanned out over a
+    /// scoped worker pool.
+    ///
+    /// Each scene plan depends only on the (immutable) profile, so the
+    /// spans are chunked and planned concurrently, then reassembled in
+    /// span order. The output is byte-identical to the serial path for
+    /// every worker count — `cfg.workers == 0` *is* the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is empty or does not lie within the profile.
+    pub fn compute_parallel(
+        profile: &LuminanceProfile,
+        spans: &[SceneSpan],
+        device: &DeviceProfile,
+        quality: QualityLevel,
+        cfg: &ParallelConfig,
+    ) -> Self {
         assert!(!spans.is_empty(), "cannot plan zero scenes");
-        let scenes = spans
-            .iter()
-            .map(|&span| Self::plan_scene(profile, span, device, quality))
-            .collect();
+        let chunks = chunked_map(spans.len(), cfg, |range| {
+            spans[range]
+                .iter()
+                .map(|&span| Self::plan_scene(profile, span, device, quality))
+                .collect::<Vec<_>>()
+        });
+        let scenes = chunks.into_iter().flatten().collect();
         Self {
             device_name: device.name().to_owned(),
             quality,

@@ -225,4 +225,92 @@ mod tests {
         assert_eq!(p.frames()[0].max_luma, clip.frame(0).max_luma());
         assert!((p.fps() - 4.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn empty_inputs_error_on_every_constructor() {
+        assert!(matches!(
+            LuminanceProfile::of_frames(10.0, std::iter::empty::<Frame>()),
+            Err(CoreError::EmptyClip)
+        ));
+        assert!(matches!(
+            LuminanceProfile::from_stats(10.0, Vec::new()),
+            Err(CoreError::EmptyClip)
+        ));
+        // The parallel path reports the same error for the same input.
+        assert!(matches!(
+            crate::parallel::profile_frames(10.0, &[], &crate::parallel::ParallelConfig::serial()),
+            Err(CoreError::EmptyClip)
+        ));
+    }
+
+    #[test]
+    fn single_frame_profile_supports_single_frame_scenes() {
+        // A one-frame clip is the degenerate scene the planner must
+        // still handle: range [0, 1) is valid and self-consistent.
+        let p = LuminanceProfile::of_frames(24.0, std::iter::once(frame(123))).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.range_max_luma(0, 1), p.frames()[0].max_luma);
+        assert_eq!(
+            p.merged_histogram(0, 1).bins(),
+            p.frames()[0].histogram.bins(),
+            "one-frame merge is the frame's own histogram"
+        );
+    }
+
+    #[test]
+    fn merged_histogram_is_chunk_partition_independent() {
+        // Scene boundaries that straddle parallel chunk edges: merging
+        // [0, n) must equal merging [0, c) + [c, n) for every cut c —
+        // the algebraic fact the chunked profiler relies on.
+        let frames: Vec<Frame> = (0..10u8).map(|i| frame(20 + i * 13)).collect();
+        let p = LuminanceProfile::of_frames(10.0, frames).unwrap();
+        let whole = p.merged_histogram(0, 10);
+        for cut in 1..10u32 {
+            let mut parts = p.merged_histogram(0, cut);
+            parts.merge(&p.merged_histogram(cut, 10));
+            assert_eq!(whole.bins(), parts.bins(), "cut at {cut}");
+            assert_eq!(
+                p.range_max_luma(0, 10),
+                p.range_max_luma(0, cut).max(p.range_max_luma(cut, 10)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_stats_preserves_order_and_indices() {
+        let stats: Vec<FrameStats> = (0..5u32)
+            .map(|i| FrameStats::of_frame(i, &frame(10 * (i as u8 + 1))))
+            .collect();
+        let p = LuminanceProfile::from_stats(30.0, stats.clone()).unwrap();
+        assert_eq!(p.frames(), &stats[..]);
+        assert_eq!(p.max_luma_series(), stats.iter().map(|s| s.max_luma).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_profile_of_single_frame_clip_matches_serial() {
+        use annolight_video::{Clip, ClipSpec, ContentKind, SceneSpec};
+        // One scene so short it yields a single frame — chunking must
+        // degenerate gracefully (one chunk, any worker count).
+        let clip = Clip::new(ClipSpec {
+            name: "one".into(),
+            width: 16,
+            height: 16,
+            fps: 1.0,
+            seed: 9,
+            scenes: vec![SceneSpec::new(ContentKind::Mid { base: 90, spread: 12, highlight_fraction: 0.02 }, 1.0)],
+        })
+        .unwrap();
+        assert_eq!(clip.frame_count(), 1);
+        let serial = LuminanceProfile::of_clip(&clip).unwrap();
+        for workers in [0usize, 1, 4] {
+            let par = crate::parallel::profile_clip(
+                &clip,
+                &crate::parallel::ParallelConfig::with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "workers={workers}");
+        }
+    }
 }

@@ -145,6 +145,11 @@ impl Yuv8 {
     }
 }
 
+// Fixed-point luminance weights, scaled by 2^16 and rounded.
+const WR: u32 = (LUMA_R * 65536.0) as u32; // 19595
+const WG: u32 = (LUMA_G * 65536.0) as u32; // 38469
+const WB: u32 = 65536 - WR - WG; // ensures white maps to exactly 255
+
 /// BT.601 luminance of an `(r, g, b)` triple, rounded to `u8`.
 ///
 /// ```
@@ -154,11 +159,35 @@ impl Yuv8 {
 /// assert!(luma_u8(0, 255, 0) > luma_u8(255, 0, 0));
 /// ```
 pub fn luma_u8(r: u8, g: u8, b: u8) -> u8 {
-    // Fixed-point: weights scaled by 2^16, rounded.
-    const WR: u32 = (LUMA_R * 65536.0) as u32; // 19595
-    const WG: u32 = (LUMA_G * 65536.0) as u32; // 38469
-    const WB: u32 = 65536 - WR - WG; // ensures white maps to exactly 255
     let y = WR * u32::from(r) + WG * u32::from(g) + WB * u32::from(b);
+    ((y + 32768) >> 16) as u8
+}
+
+/// `w·c` for every 8-bit channel value, evaluated at compile time.
+const fn weight_table(w: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        t[c] = w * c as u32;
+        c += 1;
+    }
+    t
+}
+
+/// Per-channel products `WR·c`, `WG·c`, `WB·c` — the histogram kernel's
+/// look-up tables, built at compile time.
+static LUMA_TABLE_R: [u32; 256] = weight_table(WR);
+static LUMA_TABLE_G: [u32; 256] = weight_table(WG);
+static LUMA_TABLE_B: [u32; 256] = weight_table(WB);
+
+/// Table-driven form of [`luma_u8`]: the three per-channel fixed-point
+/// products come from compile-time 256-entry tables instead of
+/// multiplies. Exactly equal to [`luma_u8`] for every input (same
+/// integer arithmetic — the histogram property tests assert this
+/// exhaustively), and measurably faster in the per-frame histogram
+/// loop, which is the profiling stage's inner kernel.
+pub fn luma_u8_lut(r: u8, g: u8, b: u8) -> u8 {
+    let y = LUMA_TABLE_R[r as usize] + LUMA_TABLE_G[g as usize] + LUMA_TABLE_B[b as usize];
     ((y + 32768) >> 16) as u8
 }
 
@@ -178,6 +207,26 @@ mod tests {
     fn luma_extremes() {
         assert_eq!(luma_u8(0, 0, 0), 0);
         assert_eq!(luma_u8(255, 255, 255), 255);
+        assert_eq!(luma_u8_lut(0, 0, 0), 0);
+        assert_eq!(luma_u8_lut(255, 255, 255), 255);
+    }
+
+    #[test]
+    fn luma_lut_equals_scalar_exhaustively() {
+        // 256^3 inputs: the table kernel must agree with the multiply
+        // kernel on every one — they are the same integer arithmetic.
+        for r in 0..=255u8 {
+            for g in 0..=255u8 {
+                for b in 0..=255u8 {
+                    debug_assert_eq!(luma_u8_lut(r, g, b), luma_u8(r, g, b));
+                    // debug_assert keeps the release-mode loop cheap; in
+                    // test builds (debug assertions on) this is exhaustive.
+                }
+            }
+            // Always-on spot checks so the test bites even with
+            // debug-assertions off.
+            assert_eq!(luma_u8_lut(r, r ^ 0x5a, r.wrapping_mul(3)), luma_u8(r, r ^ 0x5a, r.wrapping_mul(3)));
+        }
     }
 
     #[test]

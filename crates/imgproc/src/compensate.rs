@@ -13,8 +13,158 @@
 //! Both may *clip* pixels that no longer fit the 8-bit range; [`ClipStats`]
 //! records how many did and by how much, which is exactly the quality
 //! degradation the user-selected quality level bounds.
+//!
+//! # Fixed-point LUT kernel
+//!
+//! Contrast enhancement is the per-frame hot loop of the whole offline
+//! pipeline (every channel of every pixel is touched). Instead of a
+//! per-channel float multiply + round, the factor `k` is quantised once
+//! to 16.16 fixed point and expanded into a **256-entry `k·Y` table**
+//! ([`CompensationLut`]): applying the operator is then three table
+//! look-ups per pixel. Because the table is exact integer arithmetic,
+//! the kernel is bit-for-bit deterministic across chunkings, worker
+//! counts and platforms — the property the parallel pipeline's
+//! byte-identity tests rely on. [`contrast_enhance_scalar`] evaluates
+//! the same fixed-point formula per channel without the table (the
+//! 0-ULP reference the property tests compare against), and
+//! [`contrast_enhance_float`] preserves the pre-LUT float kernel as the
+//! `pipeline_throughput` speedup baseline.
 
 use crate::frame::Frame;
+
+/// Number of fractional bits in the fixed-point compensation factor.
+pub const COMPENSATION_FIXED_SHIFT: u32 = 16;
+
+/// The fixed-point representation of `1.0` (`1 << 16`).
+pub const COMPENSATION_FIXED_ONE: u64 = 1 << COMPENSATION_FIXED_SHIFT;
+
+/// Quantises a compensation factor to 16.16 fixed point (round to
+/// nearest).
+///
+/// # Panics
+///
+/// Panics if `k` is negative or not finite.
+#[must_use]
+pub fn compensation_fixed_factor(k: f32) -> u64 {
+    assert!(k.is_finite() && k >= 0.0, "compensation factor {k} must be finite and >= 0");
+    (f64::from(k) * COMPENSATION_FIXED_ONE as f64).round() as u64
+}
+
+/// Scales one channel value by a 16.16 fixed-point factor, returning
+/// `(value, clipped, overshoot)`.
+///
+/// `value` is `min(255, round(c·k))`; `clipped` is whether the
+/// pre-clamp product exceeded full scale; `overshoot` is how far beyond
+/// 255 it landed (in 8-bit units; `0.0` when unclipped). Exact integer
+/// arithmetic — this is the scalar form of the [`CompensationLut`]
+/// kernel and the two agree bit-for-bit on every input.
+#[must_use]
+pub fn scale_channel_fixed(c: u8, k_fixed: u64) -> (u8, bool, f32) {
+    let raw = u64::from(c) * k_fixed;
+    if raw > 255 * COMPENSATION_FIXED_ONE {
+        let overshoot = (raw as f64 / COMPENSATION_FIXED_ONE as f64 - 255.0) as f32;
+        (255, true, overshoot)
+    } else {
+        ((((raw + COMPENSATION_FIXED_ONE / 2) >> COMPENSATION_FIXED_SHIFT) as u8), false, 0.0)
+    }
+}
+
+/// A per-frame 256-entry `k·Y` compensation table (16.16 fixed point).
+///
+/// Built once per frame (or once per scene — the factor is constant
+/// within a scene), then applied as pure table look-ups. See the module
+/// docs for why this replaces the float kernel.
+///
+/// # Example
+///
+/// ```
+/// use annolight_imgproc::{CompensationLut, Frame, Rgb8};
+/// let lut = CompensationLut::new(2.0);
+/// assert_eq!(lut.value(100), 200);
+/// assert_eq!(lut.value(200), 255);
+/// let mut f = Frame::filled(4, 4, Rgb8::new(100, 100, 200));
+/// let stats = lut.apply(&mut f);
+/// assert_eq!(f.pixel(0, 0), Rgb8::new(200, 200, 255));
+/// assert_eq!(stats.clipped_pixels, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompensationLut {
+    k_fixed: u64,
+    values: [u8; 256],
+    clipped: [bool; 256],
+    overshoot: [f32; 256],
+}
+
+impl CompensationLut {
+    /// Builds the table for factor `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or not finite.
+    #[must_use]
+    pub fn new(k: f32) -> Self {
+        let k_fixed = compensation_fixed_factor(k);
+        let mut values = [0u8; 256];
+        let mut clipped = [false; 256];
+        let mut overshoot = [0.0f32; 256];
+        for c in 0..=255u8 {
+            let (v, cl, ov) = scale_channel_fixed(c, k_fixed);
+            values[c as usize] = v;
+            clipped[c as usize] = cl;
+            overshoot[c as usize] = ov;
+        }
+        Self { k_fixed, values, clipped, overshoot }
+    }
+
+    /// The quantised 16.16 factor the table encodes.
+    #[must_use]
+    pub fn k_fixed(&self) -> u64 {
+        self.k_fixed
+    }
+
+    /// The compensated value for channel input `c`.
+    #[must_use]
+    pub fn value(&self, c: u8) -> u8 {
+        self.values[c as usize]
+    }
+
+    /// Whether channel input `c` clips at this factor.
+    #[must_use]
+    pub fn is_clipped(&self, c: u8) -> bool {
+        self.clipped[c as usize]
+    }
+
+    /// Pre-clamp overshoot beyond 255 for channel input `c` (`0.0` when
+    /// unclipped).
+    #[must_use]
+    pub fn overshoot(&self, c: u8) -> f32 {
+        self.overshoot[c as usize]
+    }
+
+    /// Applies the table to every channel of every pixel, in place,
+    /// reporting clipping statistics.
+    pub fn apply(&self, frame: &mut Frame) -> ClipStats {
+        let mut stats =
+            ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
+        for c in frame.as_bytes_mut().chunks_exact_mut(3) {
+            let mut clipped = false;
+            for ch in c.iter_mut() {
+                let i = *ch as usize;
+                if self.clipped[i] {
+                    clipped = true;
+                    if self.overshoot[i] > stats.max_overshoot {
+                        stats.max_overshoot = self.overshoot[i];
+                    }
+                }
+                *ch = self.values[i];
+            }
+            if clipped {
+                stats.clipped_pixels += 1;
+            }
+        }
+        stats
+    }
+}
 
 /// Which compensation operator to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -57,7 +207,9 @@ impl ClipStats {
 ///
 /// `k` is the compensation factor `L/L' ≥ 1` computed from the backlight
 /// dimming ratio. Values `k < 1` are permitted (they darken the image and
-/// can never clip).
+/// can never clip). Internally `k` is quantised to 16.16 fixed point and
+/// applied through a per-frame [`CompensationLut`] — exact integer
+/// arithmetic, bit-identical to [`contrast_enhance_scalar`].
 ///
 /// # Panics
 ///
@@ -73,6 +225,48 @@ impl ClipStats {
 /// assert_eq!(stats.clipped_pixels, 16); // blue channel saturated everywhere
 /// ```
 pub fn contrast_enhance(frame: &mut Frame, k: f32) -> ClipStats {
+    CompensationLut::new(k).apply(frame)
+}
+
+/// Scalar fixed-point form of [`contrast_enhance`]: evaluates
+/// [`scale_channel_fixed`] per channel instead of going through the
+/// 256-entry table. Exists so property tests can assert the LUT kernel
+/// is exact (0 ULP — both paths are the same integer arithmetic).
+///
+/// # Panics
+///
+/// Panics if `k` is negative or not finite.
+pub fn contrast_enhance_scalar(frame: &mut Frame, k: f32) -> ClipStats {
+    let k_fixed = compensation_fixed_factor(k);
+    let mut stats = ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
+    for c in frame.as_bytes_mut().chunks_exact_mut(3) {
+        let mut clipped = false;
+        for ch in c.iter_mut() {
+            let (v, cl, ov) = scale_channel_fixed(*ch, k_fixed);
+            if cl {
+                clipped = true;
+                if ov > stats.max_overshoot {
+                    stats.max_overshoot = ov;
+                }
+            }
+            *ch = v;
+        }
+        if clipped {
+            stats.clipped_pixels += 1;
+        }
+    }
+    stats
+}
+
+/// The pre-LUT float kernel (per-channel `f32` multiply + round),
+/// retained as the serial baseline of the `pipeline_throughput` speedup
+/// table and as a cross-check that fixed-point quantisation stays
+/// within one 8-bit step of the float result.
+///
+/// # Panics
+///
+/// Panics if `k` is negative or not finite.
+pub fn contrast_enhance_float(frame: &mut Frame, k: f32) -> ClipStats {
     assert!(k.is_finite() && k >= 0.0, "compensation factor {k} must be finite and >= 0");
     let mut stats = ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
     for c in frame.as_bytes_mut().chunks_exact_mut(3) {
@@ -213,6 +407,92 @@ mod tests {
     fn clip_stats_fraction_empty() {
         let s = ClipStats::default();
         assert_eq!(s.clipped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn lut_matches_scalar_fixed_point_exactly() {
+        // The tentpole invariant: table look-up == per-channel fixed
+        // point, bit for bit, for factors across the useful range.
+        for k in [0.0f32, 0.37, 0.5, 1.0, 1.003, 1.5, 1.7, 2.0, 2.5, 3.9, 6.375, 255.0] {
+            let orig = Frame::from_fn(16, 16, |x, y| {
+                [(x * 17) as u8, (255 - y * 13) as u8, ((x * y) % 256) as u8]
+            });
+            let mut via_lut = orig.clone();
+            let mut via_scalar = orig.clone();
+            let s1 = contrast_enhance(&mut via_lut, k);
+            let s2 = contrast_enhance_scalar(&mut via_scalar, k);
+            assert_eq!(via_lut, via_scalar, "k={k}");
+            assert_eq!(s1, s2, "k={k}");
+        }
+    }
+
+    #[test]
+    fn lut_matches_float_kernel_for_representable_factors() {
+        // Factors exactly representable in 16.16 must reproduce the old
+        // float kernel byte for byte, stats included.
+        for k in [0.5f32, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0] {
+            let orig = Frame::from_fn(16, 16, |x, y| {
+                [(x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8]
+            });
+            let mut lut = orig.clone();
+            let mut float = orig.clone();
+            let s1 = contrast_enhance(&mut lut, k);
+            let s2 = contrast_enhance_float(&mut float, k);
+            assert_eq!(lut, float, "k={k}");
+            assert_eq!(s1.clipped_pixels, s2.clipped_pixels, "k={k}");
+            assert!((s1.max_overshoot - s2.max_overshoot).abs() < 1e-3, "k={k}");
+        }
+        // Arbitrary factors quantise to within half a 16.16 LSB, so the
+        // compensated channel can differ from the float kernel by at
+        // most one 8-bit step.
+        for k in [1.1f32, 1.7, 1.9, 2.34567] {
+            let orig = Frame::from_fn(16, 16, |x, y| {
+                [(x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8]
+            });
+            let mut lut = orig.clone();
+            let mut float = orig.clone();
+            contrast_enhance(&mut lut, k);
+            contrast_enhance_float(&mut float, k);
+            for (a, b) in lut.as_bytes().iter().zip(float.as_bytes()) {
+                assert!(
+                    (i16::from(*a) - i16::from(*b)).abs() <= 1,
+                    "k={k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_table_entries_are_the_scalar_formula() {
+        let lut = CompensationLut::new(1.7);
+        let k_fixed = compensation_fixed_factor(1.7);
+        assert_eq!(lut.k_fixed(), k_fixed);
+        for c in 0..=255u8 {
+            let (v, cl, ov) = scale_channel_fixed(c, k_fixed);
+            assert_eq!(lut.value(c), v, "c={c}");
+            assert_eq!(lut.is_clipped(c), cl, "c={c}");
+            assert_eq!(lut.overshoot(c), ov, "c={c}");
+        }
+    }
+
+    #[test]
+    fn fixed_factor_quantises_to_nearest() {
+        assert_eq!(compensation_fixed_factor(1.0), COMPENSATION_FIXED_ONE);
+        assert_eq!(compensation_fixed_factor(2.5), 5 * COMPENSATION_FIXED_ONE / 2);
+        assert_eq!(compensation_fixed_factor(0.0), 0);
+        // Quantisation error is bounded by half an LSB of 2^-16.
+        let k = 1.2345678f32;
+        let q = compensation_fixed_factor(k) as f64 / COMPENSATION_FIXED_ONE as f64;
+        assert!((q - f64::from(k)).abs() <= 0.5 / COMPENSATION_FIXED_ONE as f64);
+    }
+
+    #[test]
+    fn exact_full_scale_product_does_not_clip() {
+        // c·k == 255 exactly: lands on full scale without overshooting.
+        let (v, clipped, ov) = scale_channel_fixed(255, COMPENSATION_FIXED_ONE);
+        assert_eq!((v, clipped, ov), (255, false, 0.0));
+        let (v, clipped, _) = scale_channel_fixed(85, compensation_fixed_factor(3.0));
+        assert_eq!((v, clipped), (255, false));
     }
 
     #[test]

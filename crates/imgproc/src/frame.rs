@@ -174,10 +174,14 @@ impl Frame {
     }
 
     /// Builds the 256-bin luminance histogram of the frame.
+    ///
+    /// Uses the compile-time per-channel weight tables
+    /// ([`crate::color::luma_u8_lut`], exactly equal to [`luma_u8`]) —
+    /// this is the profiling stage's inner kernel.
     pub fn luma_histogram(&self) -> Histogram {
         let mut h = Histogram::new();
         for c in self.data.chunks_exact(3) {
-            h.add(luma_u8(c[0], c[1], c[2]));
+            h.add(crate::color::luma_u8_lut(c[0], c[1], c[2]));
         }
         h
     }

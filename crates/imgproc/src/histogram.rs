@@ -77,6 +77,26 @@ impl Histogram {
         self.total += other.total;
     }
 
+    /// Merges any number of histograms into one.
+    ///
+    /// Bin counts are unsigned integer sums, so the reduction is
+    /// **order- and partitioning-independent**: merging per-chunk
+    /// histograms in any order equals the monolithic histogram of the
+    /// concatenated samples. The parallel profiling pipeline leans on
+    /// this to produce byte-identical scene histograms for every worker
+    /// count (and the property tests in `tests/histogram_merge.rs` pin
+    /// it down).
+    pub fn merged<'a, I>(parts: I) -> Histogram
+    where
+        I: IntoIterator<Item = &'a Histogram>,
+    {
+        let mut h = Histogram::new();
+        for p in parts {
+            h.merge(p);
+        }
+        h
+    }
+
     /// Count in bin `value`.
     pub fn bin(&self, value: u8) -> u64 {
         self.bins[value as usize]

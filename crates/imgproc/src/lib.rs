@@ -41,8 +41,11 @@ pub mod histogram;
 pub mod quality;
 pub mod scale;
 
-pub use color::{luma_u8, Rgb8, Yuv8};
-pub use compensate::{brightness_compensate, contrast_enhance, ClipStats, CompensationKind};
+pub use color::{luma_u8, luma_u8_lut, Rgb8, Yuv8};
+pub use compensate::{
+    brightness_compensate, compensation_fixed_factor, contrast_enhance, contrast_enhance_float,
+    contrast_enhance_scalar, scale_channel_fixed, ClipStats, CompensationKind, CompensationLut,
+};
 pub use error::ImageError;
 pub use frame::{Frame, LumaFrame, Yuv420Frame};
 pub use histogram::Histogram;

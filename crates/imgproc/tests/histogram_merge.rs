@@ -1,0 +1,113 @@
+//! Property tests for the parallel pipeline's reduction step: histogram
+//! merging must be **order- and partitioning-independent**, and the
+//! fixed-point LUT compensation kernel must match the scalar fixed-point
+//! path **exactly** (0 ULP — they are the same integer formula).
+//!
+//! These are the algebraic facts the byte-identity guarantee of
+//! `tests/parallel_identity.rs` rests on: chunked profiling merges
+//! per-chunk histograms in whatever order workers finish, and the
+//! compensation stage may evaluate the LUT or the scalar kernel — both
+//! must be invisible in the output bytes.
+//!
+//! Runs on the in-tree seeded `check!` harness
+//! (`ANNOLIGHT_CHECK_SEED=<seed>` replays a failing case).
+
+use annolight_imgproc::{
+    contrast_enhance, contrast_enhance_scalar, compensation_fixed_factor, scale_channel_fixed,
+    CompensationLut, Frame, Histogram,
+};
+
+/// Splits `samples` into `cuts`-delimited contiguous parts and builds a
+/// histogram per part.
+fn partition_histograms(samples: &[u8], mut cuts: Vec<usize>) -> Vec<Histogram> {
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut parts = Vec::new();
+    let mut start = 0;
+    for c in cuts {
+        let c = c.min(samples.len());
+        parts.push(Histogram::from_samples(samples[start..c].iter().copied()));
+        start = c;
+    }
+    parts.push(Histogram::from_samples(samples[start..].iter().copied()));
+    parts
+}
+
+annolight_support::check! {
+    /// Merging the partition histograms of *any* contiguous partition
+    /// reproduces the whole-input histogram bin-for-bin.
+    fn merge_is_partition_independent(g) {
+        let samples = g.vec(1..1024usize, |g| g.any::<u8>());
+        let n_cuts = g.draw(0..6usize);
+        let cuts: Vec<usize> = (0..n_cuts).map(|_| g.draw(0..=samples.len())).collect();
+        let whole = Histogram::from_samples(samples.iter().copied());
+        let parts = partition_histograms(&samples, cuts);
+        let merged = Histogram::merged(parts.iter());
+        assert_eq!(whole.bins(), merged.bins(), "partitioning leaked into the merge");
+    }
+
+    /// Merge order never matters: a reversed (worker-completion-order)
+    /// merge equals the in-order merge bin-for-bin.
+    fn merge_is_order_independent(g) {
+        let samples = g.vec(1..1024usize, |g| g.any::<u8>());
+        let n_cuts = g.draw(1..6usize);
+        let cuts: Vec<usize> = (0..n_cuts).map(|_| g.draw(0..=samples.len())).collect();
+        let parts = partition_histograms(&samples, cuts);
+        let forward = Histogram::merged(parts.iter());
+        let backward = Histogram::merged(parts.iter().rev());
+        assert_eq!(forward.bins(), backward.bins(), "merge order leaked into the result");
+        // Interleaved (odd indices first) — a realistic worker finish order.
+        let interleaved: Vec<&Histogram> = parts
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .chain(parts.iter().step_by(2))
+            .collect();
+        let shuffled = Histogram::merged(interleaved.into_iter());
+        assert_eq!(forward.bins(), shuffled.bins());
+    }
+
+    /// Merged statistics match the whole-input statistics exactly —
+    /// clip levels and counts are integer functions of the bins.
+    fn merged_statistics_match_whole_input(g) {
+        let samples = g.vec(1..512usize, |g| g.any::<u8>());
+        let cut = g.draw(0..=samples.len());
+        let whole = Histogram::from_samples(samples.iter().copied());
+        let merged = Histogram::merged(partition_histograms(&samples, vec![cut]).iter());
+        assert_eq!(whole.total(), merged.total());
+        assert_eq!(whole.max_nonzero(), merged.max_nonzero());
+        for q in [0.0, 0.05, 0.10, 0.15, 0.20] {
+            assert_eq!(whole.clip_level(q), merged.clip_level(q), "clip level at {q}");
+        }
+    }
+
+    /// The per-frame LUT equals the scalar fixed-point kernel exactly:
+    /// same output byte, same clip flag, same overshoot bits, for any
+    /// factor and any frame (0 ULP — both are `(c·k_fixed + 2^15) >> 16`).
+    fn lut_kernel_equals_scalar_kernel_exactly(g) {
+        let k: f32 = g.draw(0.0f32..8.0);
+        let pixels = g.vec(1..128usize, |g| g.any::<[u8; 3]>());
+        let w = pixels.len() as u32;
+        let frame = Frame::from_rgb_buffer(w, 1, pixels.iter().flatten().copied().collect())
+            .expect("buffer matches dimensions");
+        let mut via_lut = frame.clone();
+        let mut via_scalar = frame.clone();
+        let lut_stats = contrast_enhance(&mut via_lut, k);
+        let scalar_stats = contrast_enhance_scalar(&mut via_scalar, k);
+        assert_eq!(via_lut.as_bytes(), via_scalar.as_bytes(), "k={k}: pixel bytes diverged");
+        assert_eq!(lut_stats.clipped_pixels, scalar_stats.clipped_pixels, "k={k}");
+        assert_eq!(
+            lut_stats.max_overshoot.to_bits(),
+            scalar_stats.max_overshoot.to_bits(),
+            "k={k}: overshoot bits diverged"
+        );
+        // And the table entries are literally the scalar formula.
+        let lut = CompensationLut::new(k);
+        let k_fixed = compensation_fixed_factor(k);
+        let c: u8 = g.any::<u8>();
+        let (v, clipped, overshoot) = scale_channel_fixed(c, k_fixed);
+        assert_eq!(lut.value(c), v);
+        assert_eq!(lut.is_clipped(c), clipped);
+        assert_eq!(lut.overshoot(c).to_bits(), overshoot.to_bits());
+    }
+}

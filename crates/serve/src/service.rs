@@ -86,13 +86,24 @@ pub struct ServiceConfig {
     pub cache_bytes: usize,
     /// Maximum queued (not yet dispatched) jobs per tenant.
     pub tenant_queue_depth: usize,
+    /// Intra-clip worker threads used *inside* one profiling/planning
+    /// job ([`annolight_core::parallel::ParallelConfig`]). `0` keeps the
+    /// serial reference pipeline; any value yields byte-identical
+    /// annotations (the parallel pipeline's headline guarantee).
+    pub intra_workers: usize,
 }
 
 impl Default for ServiceConfig {
     /// Deterministic defaults: inline execution, 4 shards, 8 MiB of
     /// cache, 16 queued jobs per tenant.
     fn default() -> Self {
-        Self { workers: 0, cache_shards: 4, cache_bytes: 8 << 20, tenant_queue_depth: 16 }
+        Self {
+            workers: 0,
+            cache_shards: 4,
+            cache_bytes: 8 << 20,
+            tenant_queue_depth: 16,
+            intra_workers: 0,
+        }
     }
 }
 
@@ -239,6 +250,8 @@ pub struct AnnotationService {
     sched: Mutex<SchedState>,
     counters: Counters,
     tenant_queue_depth: usize,
+    /// Intra-clip parallelism applied inside each profiling/planning job.
+    intra: annolight_core::ParallelConfig,
 }
 
 impl fmt::Debug for AnnotationService {
@@ -264,6 +277,7 @@ impl AnnotationService {
             sched: Mutex::new(SchedState::default()),
             counters: Counters::new(),
             tenant_queue_depth: config.tenant_queue_depth.max(1),
+            intra: annolight_core::ParallelConfig::with_workers(config.intra_workers),
         })
     }
 
@@ -432,6 +446,7 @@ impl AnnotationService {
         let profile = self.profile_of(job.digest, &job.clip)?;
         let annotated = Annotator::new(job.device.clone(), job.quality)
             .with_mode(job.mode)
+            .with_parallelism(self.intra)
             .annotate_profile(&profile)
             .map_err(|e| ServeError::Internal(e.to_string()))?;
         Ok(Arc::new(annotated.track().clone()))
@@ -458,8 +473,10 @@ impl AnnotationService {
                 }
             }
         }
-        // Compute outside the lock; we own the in-flight slot.
-        let computed = LuminanceProfile::of_clip(clip)
+        // Compute outside the lock; we own the in-flight slot. The scan
+        // itself is chunked over the intra-clip pool (byte-identical to
+        // `LuminanceProfile::of_clip` for every worker count).
+        let computed = annolight_core::parallel::profile_clip(clip, &self.intra)
             .map(Arc::new)
             .map_err(|e| ServeError::Internal(e.to_string()));
         let mut slots = self.profiles.slots.lock();
@@ -521,6 +538,7 @@ impl AnnotationService {
         let started = Instant::now();
         let annotated = Annotator::new(device.clone(), quality)
             .with_mode(mode)
+            .with_parallelism(self.intra)
             .annotate_profile(profile)
             .map_err(|e| ServeError::Internal(e.to_string()))?;
         self.counters.profile_latency.record(started.elapsed());

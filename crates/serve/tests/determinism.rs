@@ -36,6 +36,7 @@ fn service() -> Arc<AnnotationService> {
         cache_shards: 4,
         cache_bytes: 1 << 20,
         tenant_queue_depth: 8,
+        ..ServiceConfig::default()
     });
     for (name, seed) in [("alpha", 11), ("beta", 22), ("gamma", 33)] {
         svc.register_clip(test_clip(name, seed));

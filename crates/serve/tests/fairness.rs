@@ -48,6 +48,7 @@ fn flooding_tenant_rejections_never_touch_trickler() {
         cache_shards: 4,
         cache_bytes: 1 << 22,
         tenant_queue_depth: 4,
+        ..ServiceConfig::default()
     });
     svc.register_clip(test_clip("flood-clip", 77));
     svc.register_clip(test_clip("trickle-clip", 88));
@@ -97,6 +98,7 @@ fn queue_bound_overflow_is_exact_in_deterministic_mode() {
         cache_shards: 4,
         cache_bytes: 1 << 22,
         tenant_queue_depth: 4,
+        ..ServiceConfig::default()
     });
     svc.register_clip(test_clip("flood-clip", 77));
     svc.register_clip(test_clip("trickle-clip", 88));
@@ -141,6 +143,7 @@ fn retrying_flooder_cannot_starve_trickler() {
         cache_shards: 4,
         cache_bytes: 1 << 22,
         tenant_queue_depth: 2,
+        ..ServiceConfig::default()
     });
     svc.register_clip(test_clip("flood-clip", 77));
     svc.register_clip(test_clip("trickle-clip", 88));
@@ -197,6 +200,7 @@ fn round_robin_interleaves_two_queued_tenants() {
         cache_shards: 2,
         cache_bytes: 1 << 22,
         tenant_queue_depth: 16,
+        ..ServiceConfig::default()
     });
     svc.register_clip(test_clip("a", 1));
     let mut tickets = Vec::new();

@@ -52,6 +52,7 @@ fn soak_64_tenants_fixed_seed() {
         cache_shards: 8,
         cache_bytes: 1 << 22,
         tenant_queue_depth: 4,
+        ..ServiceConfig::default()
     });
     let clips = ["soak-a", "soak-b", "soak-c", "soak-d"];
     for (i, name) in clips.iter().enumerate() {

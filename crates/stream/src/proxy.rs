@@ -23,7 +23,8 @@
 use annolight_codec::{CodecError, Decoder, EncodedStream, Encoder, EncoderConfig};
 use annolight_core::digest::Digester;
 use annolight_core::track::{AnnotationMode, AnnotationTrack};
-use annolight_core::{apply::compensate_frame, CoreError, LuminanceProfile, QualityLevel};
+use annolight_core::parallel::{self, ParallelConfig};
+use annolight_core::{CoreError, LuminanceProfile, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_serve::{AnnotationService, ServiceConfig};
 use std::error::Error;
@@ -71,6 +72,7 @@ impl From<CoreError> for ProxyError {
 pub struct Proxy {
     encoder_template: EncoderConfig,
     service: Arc<AnnotationService>,
+    parallel: ParallelConfig,
 }
 
 impl Proxy {
@@ -83,7 +85,22 @@ impl Proxy {
     /// Creates a proxy sharing `service` (and its annotation cache) with
     /// other proxies/servers.
     pub fn with_service(encoder_template: EncoderConfig, service: Arc<AnnotationService>) -> Self {
-        Self { encoder_template, service }
+        Self { encoder_template, service, parallel: ParallelConfig::serial() }
+    }
+
+    /// Fans the proxy's profiling and compensation stages out over an
+    /// intra-clip worker pool. The default (`workers == 0`) is the serial
+    /// reference path; every worker count produces a byte-identical
+    /// output stream (see `tests/parallel_identity.rs`).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The intra-clip parallelism configuration.
+    pub fn parallelism(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     /// The backing annotation service (e.g. for counter reports).
@@ -131,8 +148,9 @@ impl Proxy {
         mode: AnnotationMode,
     ) -> Result<EncodedStream, ProxyError> {
         let mut dec = Decoder::new(input)?;
-        let frames = dec.decode_all()?;
-        let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
+        let mut frames = dec.decode_all()?;
+        let profile =
+            parallel::profile_frames(input.fps(), &frames, &self.parallel).map_err(ProxyError::Core)?;
         let track =
             self.annotate(Self::stream_digest(input, 0), &profile, device, quality, mode)?;
 
@@ -143,10 +161,9 @@ impl Proxy {
             ..self.encoder_template
         })?;
         enc.push_user_data(&track.to_rle_bytes());
-        for (i, frame) in frames.into_iter().enumerate() {
-            let mut frame = frame;
-            compensate_frame(&mut frame, &track, i as u32).map_err(ProxyError::Core)?;
-            enc.push_frame(&frame)?;
+        parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
+        for frame in &frames {
+            enc.push_frame(frame)?;
         }
         Ok(enc.finish())
     }
@@ -174,7 +191,8 @@ impl Proxy {
                     .map_err(|e| ProxyError::Codec(CodecError::Malformed { reason: e.to_string() }))?,
             );
         }
-        let profile = LuminanceProfile::of_frames(input.fps(), frames.iter().cloned())?;
+        let profile =
+            parallel::profile_frames(input.fps(), &frames, &self.parallel).map_err(ProxyError::Core)?;
         let track =
             self.annotate(Self::stream_digest(input, 1), &profile, device, quality, mode)?;
         let mut enc = Encoder::new(EncoderConfig {
@@ -184,10 +202,9 @@ impl Proxy {
             ..self.encoder_template
         })?;
         enc.push_user_data(&track.to_rle_bytes());
-        for (i, frame) in frames.into_iter().enumerate() {
-            let mut frame = frame;
-            compensate_frame(&mut frame, &track, i as u32).map_err(ProxyError::Core)?;
-            enc.push_frame(&frame)?;
+        parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
+        for frame in &frames {
+            enc.push_frame(frame)?;
         }
         Ok(enc.finish())
     }

@@ -6,9 +6,17 @@ use std::sync::mpsc;
 
 /// Sending half of a channel. Cloneable; dropping every sender closes
 /// the channel.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Sender<T> {
     inner: SenderKind<T>,
+}
+
+// Manual impl: a derived `Clone` would demand `T: Clone`, but cloning a
+// sender only clones the queue handle — the payload type is irrelevant.
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
 }
 
 #[derive(Debug)]

@@ -31,6 +31,7 @@ fn main() {
         cache_shards: 8,
         cache_bytes: 8 << 20,
         tenant_queue_depth: 32,
+        ..ServiceConfig::default()
     });
 
     // The catalogue: four of the paper's clips, profiled on demand.

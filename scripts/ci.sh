@@ -23,7 +23,9 @@ cargo test -q -p annolight-stream --offline
 echo "== fault-injection determinism guard (same seed twice, diff logs) =="
 FAULT_LOG_A="$(mktemp)"
 FAULT_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B"' EXIT
+IDENT_LOG_A="$(mktemp)"
+IDENT_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -31,5 +33,19 @@ ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
 test -s "$FAULT_LOG_A" || { echo "fault event log was not written"; exit 1; }
 cmp "$FAULT_LOG_A" "$FAULT_LOG_B" \
   || { echo "fault event logs diverged between identical runs"; exit 1; }
+
+echo "== parallel-identity determinism guard (same seed twice, diff digest logs) =="
+# Single test thread so the digest log's line order is stable; the
+# digests themselves are scheduling-independent by construction.
+ANNOLIGHT_CHECK_SEED=0xBA61 ANNOLIGHT_IDENTITY_LOG="$IDENT_LOG_A" \
+  cargo test -q --release --offline --test parallel_identity -- --test-threads=1
+ANNOLIGHT_CHECK_SEED=0xBA61 ANNOLIGHT_IDENTITY_LOG="$IDENT_LOG_B" \
+  cargo test -q --release --offline --test parallel_identity -- --test-threads=1
+test -s "$IDENT_LOG_A" || { echo "parallel-identity digest log was not written"; exit 1; }
+cmp "$IDENT_LOG_A" "$IDENT_LOG_B" \
+  || { echo "parallel-identity digest logs diverged between identical runs"; exit 1; }
+
+echo "== pipeline throughput smoke (--test mode) =="
+cargo run -q --release --offline -p annolight-bench --bin pipeline_throughput -- --test
 
 echo "CI green."
