@@ -23,6 +23,7 @@ fn main() {
     let rb = tab_baselines::run(tab_s);
     let rl = tab_loss::run(if quick { 4.0 } else { 8.0 }, 42);
     let rpt = pipeline_throughput::run(if quick { 1.0 } else { 8.0 }, if quick { 1 } else { 3 });
+    let rct = codec_throughput::run(if quick { 1.0 } else { 6.0 }, if quick { 1 } else { 3 });
 
     if json {
         let doc = annolight_support::json_obj!({
@@ -30,6 +31,7 @@ fn main() {
             "fig07": r07, "fig08": r08, "fig09": r09, "fig10": r10,
             "tab_overhead": ro, "tab_baselines": rb, "tab_loss": rl,
             "pipeline_throughput": rpt,
+            "codec_throughput": rct,
         });
         println!("{}", doc.pretty());
     } else {
@@ -45,5 +47,6 @@ fn main() {
         println!("{}", tab_baselines::render(&rb));
         println!("{}", tab_loss::render(&rl));
         println!("{}", pipeline_throughput::render(&rpt));
+        println!("{}", codec_throughput::render(&rct));
     }
 }

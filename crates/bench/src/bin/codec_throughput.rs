@@ -1,0 +1,38 @@
+//! Times codec encode, decode and proxy transcode: reference float
+//! kernels vs. the fixed-point AAN fast path at several worker counts.
+//! Pass `--test` for a sub-second smoke run (used by CI); in smoke mode
+//! the inline fast-path encode row must clear a 3x speedup floor over
+//! the reference-kernel baseline.
+use annolight_bench::figures::codec_throughput;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let t = if smoke {
+        codec_throughput::run(1.0, 2)
+    } else {
+        codec_throughput::run(6.0, 3)
+    };
+    print!("{}", codec_throughput::render(&t));
+    if smoke {
+        assert_eq!(
+            t.rows.len(),
+            3 * (1 + codec_throughput::WORKER_COUNTS.len()),
+            "smoke mode expects every configured row"
+        );
+        let inline_encode = t
+            .rows
+            .iter()
+            .find(|r| r.stage == "encode" && r.workers == 0 && r.label.starts_with("fast path"))
+            .expect("inline fast-path encode row present");
+        assert!(
+            inline_encode.speedup >= 3.0,
+            "inline fast-path encode speedup {:.2}x below the 3x floor",
+            inline_encode.speedup
+        );
+        println!(
+            "\ncodec_throughput --test: ok ({} rows, inline encode {:.2}x)",
+            t.rows.len(),
+            inline_encode.speedup
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! the printable table that the corresponding binary emits.
 
 pub mod ablations;
+pub mod codec_throughput;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

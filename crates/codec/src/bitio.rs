@@ -3,6 +3,20 @@
 //! The entropy layer of the codec: a big-endian bit writer/reader plus
 //! unsigned (`ue`) and signed (`se`) Exp-Golomb codes, the universal VLC
 //! family used for all runs, levels and motion vectors.
+//!
+//! Both sides run on a `u64` accumulator: the writer batches whole fields
+//! into the accumulator and drains full bytes (the old implementation
+//! pushed one *bit* per iteration into the `Vec`), the reader refills the
+//! accumulator a byte at a time and serves multi-bit reads with a single
+//! shift+mask. The emitted byte sequence is byte-identical to the old
+//! bit-at-a-time code, including trailing-byte zero padding.
+//!
+//! The pre-word-level implementations are retained behind
+//! [`BitWriter::new_reference`] / [`BitReader::new_reference`]: one bit
+//! per iteration, exactly as the codec shipped before the fast path.
+//! They emit/consume identical bytes and exist so the *whole* retained
+//! reference codec path (float kernels + bitwise I/O + unpruned search)
+//! can be timed against the fast path by `codec_throughput`.
 
 use crate::error::CodecError;
 
@@ -10,14 +24,31 @@ use crate::error::CodecError;
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits already used in the trailing partial byte (0..8).
-    bit_pos: u8,
+    /// Pending bits, right-aligned: the low `nbits` bits of `acc` are the
+    /// not-yet-flushed tail of the stream (`<= 32` between calls on the
+    /// word-level path, `< 8` on the retained bitwise path).
+    acc: u64,
+    nbits: u32,
+    /// Use the retained bit-at-a-time reference loop.
+    bitwise: bool,
 }
 
 impl BitWriter {
-    /// Creates an empty writer.
+    /// Creates an empty writer (word-level fast path).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty writer with `cap` bytes of pre-reserved output
+    /// capacity (word-level fast path).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { bytes: Vec::with_capacity(cap), ..Self::default() }
+    }
+
+    /// Creates an empty writer running the retained bit-at-a-time
+    /// reference loop (byte-identical output, pre-fast-path speed).
+    pub fn new_reference() -> Self {
+        Self { bitwise: true, ..Self::default() }
     }
 
     /// Appends the lowest `count` bits of `value`, MSB first.
@@ -25,16 +56,34 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `count > 32`.
+    #[inline]
     pub fn put_bits(&mut self, value: u32, count: u8) {
         assert!(count <= 32, "cannot write {count} bits at once");
-        for i in (0..count).rev() {
-            let bit = (value >> i) & 1;
-            if self.bit_pos == 0 {
-                self.bytes.push(0);
+        if self.bitwise {
+            // Retained reference loop: one bit per iteration.
+            for i in (0..count).rev() {
+                let bit = u64::from((value >> i) & 1);
+                self.acc = (self.acc << 1) | bit;
+                self.nbits += 1;
+                if self.nbits == 8 {
+                    self.nbits = 0;
+                    self.bytes.push(self.acc as u8);
+                }
             }
-            let last = self.bytes.len() - 1;
-            self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
-            self.bit_pos = (self.bit_pos + 1) % 8;
+            return;
+        }
+        let count = u32::from(count);
+        // nbits <= 32 on entry, so nbits + count <= 64: no overflow.
+        self.acc = (self.acc << count) | u64::from(value) & ((1u64 << count) - 1);
+        self.nbits += count;
+        if self.nbits > 32 {
+            // Drain one aligned 32-bit word (big-endian, so the oldest
+            // bits land first) and keep the rest pending. Deferring the
+            // flush until a whole word is ready amortises the `Vec`
+            // append to one call per ~4 bytes instead of one per field.
+            self.nbits -= 32;
+            let word = (self.acc >> self.nbits) as u32;
+            self.bytes.extend_from_slice(&word.to_be_bytes());
         }
     }
 
@@ -44,14 +93,22 @@ impl BitWriter {
     }
 
     /// Appends an unsigned Exp-Golomb code.
+    #[inline]
     pub fn put_ue(&mut self, value: u32) {
         let v = value + 1;
         let bits = 32 - v.leading_zeros() as u8; // position of MSB, >= 1
-        self.put_bits(0, bits - 1); // leading zeros
-        self.put_bits(v, bits);
+        if bits <= 16 {
+            // Single call: `v`'s leading zeros double as the Exp-Golomb
+            // prefix, so `2·bits − 1` low bits of `v` are the whole code.
+            self.put_bits(v, 2 * bits - 1);
+        } else {
+            self.put_bits(0, bits - 1); // leading zeros
+            self.put_bits(v, bits);
+        }
     }
 
     /// Appends a signed Exp-Golomb code (0, 1, −1, 2, −2, … mapping).
+    #[inline]
     pub fn put_se(&mut self, value: i32) {
         let mapped = if value > 0 {
             (value as u32) * 2 - 1
@@ -61,17 +118,48 @@ impl BitWriter {
         self.put_ue(mapped);
     }
 
-    /// Number of bits written so far.
-    pub fn bit_len(&self) -> usize {
-        if self.bit_pos == 0 {
-            self.bytes.len() * 8
+    /// Appends an unsigned Exp-Golomb code followed by a signed one —
+    /// exactly [`BitWriter::put_ue`]`(first)` then
+    /// [`BitWriter::put_se`]`(second)`, emitting the identical bit
+    /// sequence. When both codes fit one 32-bit field (the common case:
+    /// a run/level pair) they are concatenated into a single
+    /// [`BitWriter::put_bits`] call.
+    #[inline]
+    pub fn put_ue_then_se(&mut self, first: u32, second: i32) {
+        let mapped = if second > 0 {
+            (second as u32) * 2 - 1
         } else {
-            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+            (-(second as i64) as u32) * 2
+        };
+        let v1 = first + 1;
+        let v2 = mapped + 1;
+        let b1 = 32 - v1.leading_zeros();
+        let b2 = 32 - v2.leading_zeros();
+        let (n1, n2) = (2 * b1 - 1, 2 * b2 - 1);
+        if n1 + n2 <= 32 {
+            self.put_bits((v1 << n2) | v2, (n1 + n2) as u8);
+        } else {
+            self.put_ue(first);
+            self.put_ue(mapped);
         }
     }
 
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
     /// Pads to a byte boundary with zero bits and returns the buffer.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
+        }
+        if self.nbits > 0 {
+            // Left-align the partial tail in its byte; low bits are zero
+            // padding, matching the old bit-at-a-time writer exactly.
+            self.bytes.push((self.acc << (8 - self.nbits)) as u8);
+        }
         self.bytes
     }
 }
@@ -80,37 +168,87 @@ impl BitWriter {
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: usize, // bit position
+    /// Next byte to load into the accumulator.
+    byte_pos: usize,
+    /// Loaded-but-unconsumed bits, right-aligned in `acc` (low `acc_bits`
+    /// bits are valid stream data, oldest at the top).
+    acc: u64,
+    acc_bits: u32,
+    /// Total bits consumed so far (for [`Self::bit_pos`]).
+    consumed: usize,
+    /// Use the retained bit-at-a-time reference loop.
+    bitwise: bool,
 }
 
 impl<'a> BitReader<'a> {
-    /// Creates a reader over `bytes`.
+    /// Creates a reader over `bytes` (word-level fast path).
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
+        Self { bytes, byte_pos: 0, acc: 0, acc_bits: 0, consumed: 0, bitwise: false }
+    }
+
+    /// Creates a reader running the retained bit-at-a-time reference
+    /// loop (identical semantics, pre-fast-path speed).
+    pub fn new_reference(bytes: &'a [u8]) -> Self {
+        Self { bitwise: true, ..Self::new(bytes) }
+    }
+
+    /// Tops up the accumulator a byte at a time (to at most 64 valid bits).
+    #[inline]
+    fn refill(&mut self) {
+        while self.acc_bits <= 56 {
+            match self.bytes.get(self.byte_pos) {
+                Some(&b) => {
+                    self.acc = (self.acc << 8) | u64::from(b);
+                    self.acc_bits += 8;
+                    self.byte_pos += 1;
+                }
+                None => break,
+            }
+        }
     }
 
     /// Reads `count` bits as an unsigned value.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::Malformed`] at end of input.
+    /// Returns [`CodecError::Malformed`] at end of input (the request is
+    /// checked against the remaining bit budget *before* any state
+    /// changes, so a failed read consumes nothing).
     ///
     /// # Panics
     ///
     /// Panics if `count > 32`.
+    #[inline]
     pub fn get_bits(&mut self, count: u8) -> Result<u32, CodecError> {
         assert!(count <= 32, "cannot read {count} bits at once");
-        let mut v = 0u32;
-        for _ in 0..count {
-            let byte = self
-                .bytes
-                .get(self.pos / 8)
-                .ok_or_else(|| CodecError::Malformed { reason: "bitstream underrun".into() })?;
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            v = (v << 1) | u32::from(bit);
-            self.pos += 1;
+        let count = u32::from(count);
+        if count == 0 {
+            return Ok(0);
         }
-        Ok(v)
+        if self.bitwise {
+            // Retained reference loop: one bit per iteration. The budget
+            // check happens up front so a failed read consumes nothing
+            // (same contract as the fast path).
+            if self.consumed + count as usize > self.bytes.len() * 8 {
+                return Err(CodecError::Malformed { reason: "bitstream underrun".into() });
+            }
+            let mut v = 0u32;
+            for _ in 0..count {
+                let bit = (self.bytes[self.consumed / 8] >> (7 - self.consumed % 8)) & 1;
+                v = (v << 1) | u32::from(bit);
+                self.consumed += 1;
+            }
+            return Ok(v);
+        }
+        if self.acc_bits < count {
+            self.refill();
+            if self.acc_bits < count {
+                return Err(CodecError::Malformed { reason: "bitstream underrun".into() });
+            }
+        }
+        self.acc_bits -= count;
+        self.consumed += count as usize;
+        Ok(((self.acc >> self.acc_bits) & ((1u64 << count) - 1)) as u32)
     }
 
     /// Reads a single bit.
@@ -128,6 +266,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Returns [`CodecError::Malformed`] at end of input or for a code
     /// longer than 32 bits.
+    #[inline]
     pub fn get_ue(&mut self) -> Result<u32, CodecError> {
         let mut zeros = 0u8;
         while !self.get_bit()? {
@@ -145,6 +284,7 @@ impl<'a> BitReader<'a> {
     /// # Errors
     ///
     /// Returns [`CodecError::Malformed`] at end of input.
+    #[inline]
     pub fn get_se(&mut self) -> Result<i32, CodecError> {
         let v = self.get_ue()?;
         if v % 2 == 1 {
@@ -154,9 +294,9 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    /// Current bit position.
+    /// Current bit position (bits consumed so far).
     pub fn bit_pos(&self) -> usize {
-        self.pos
+        self.consumed
     }
 }
 
@@ -253,6 +393,147 @@ mod tests {
             let bytes = w.into_bytes();
             assert_eq!(BitReader::new(&bytes).get_ue().unwrap(), v);
         }
+    }
+
+    /// The old bit-at-a-time writer, kept as a byte-identity oracle.
+    #[derive(Default)]
+    struct OracleWriter {
+        bytes: Vec<u8>,
+        bit_pos: u8,
+    }
+
+    impl OracleWriter {
+        fn put_bits(&mut self, value: u32, count: u8) {
+            for i in (0..count).rev() {
+                let bit = (value >> i) & 1;
+                if self.bit_pos == 0 {
+                    self.bytes.push(0);
+                }
+                let last = self.bytes.len() - 1;
+                self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
+                self.bit_pos = (self.bit_pos + 1) % 8;
+            }
+        }
+    }
+
+    #[test]
+    fn word_writer_byte_identical_to_bitwise_oracle() {
+        let mut w = BitWriter::new();
+        let mut o = OracleWriter::default();
+        let mut state = 0x2545F491u32;
+        for i in 0..4000u32 {
+            // xorshift-ish mix for varied field widths and values.
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            let count = (state % 33) as u8;
+            let value = state.rotate_left(i % 32);
+            w.put_bits(value, count);
+            o.put_bits(value, count);
+        }
+        assert_eq!(w.into_bytes(), o.bytes);
+    }
+
+    #[test]
+    fn fused_ue_se_matches_separate_calls() {
+        let mut fused = BitWriter::new();
+        let mut separate = BitWriter::new();
+        let mut state = 0x9E3779B9u32;
+        let mut cases: Vec<(u32, i32)> =
+            vec![(0, 0), (0, 1), (0, -1), (62, 2047), (62, -2048), (63, 0), (u32::MAX / 4, i32::MAX / 4)];
+        for _ in 0..2000 {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            let run = state % 64;
+            let level = ((state >> 8) % 4096) as i32 - 2048;
+            cases.push((run, level));
+        }
+        for &(run, level) in &cases {
+            fused.put_ue_then_se(run, level);
+            separate.put_ue(run);
+            separate.put_se(level);
+        }
+        assert_eq!(fused.bit_len(), separate.bit_len());
+        let bytes = fused.into_bytes();
+        assert_eq!(bytes, separate.into_bytes());
+        // And the stream still parses field-by-field.
+        let mut r = BitReader::new(&bytes);
+        for &(run, level) in &cases {
+            assert_eq!(r.get_ue().unwrap(), run);
+            assert_eq!(r.get_se().unwrap(), level);
+        }
+    }
+
+    #[test]
+    fn get_bits_zero_is_noop() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.get_bits(0).unwrap(), 0);
+        assert_eq!(r.bit_pos(), 0);
+        assert_eq!(r.get_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.get_bits(0).unwrap(), 0); // also fine at EOF
+    }
+
+    #[test]
+    fn failed_read_consumes_nothing() {
+        let mut r = BitReader::new(&[0b1010_0000]);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert!(r.get_bits(6).is_err());
+        assert_eq!(r.bit_pos(), 3, "failed read must not advance");
+        assert_eq!(r.get_bits(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn reader_crosses_accumulator_refills() {
+        // > 64 bits of alternating fields forces several refills.
+        let mut w = BitWriter::new();
+        for i in 0..64u32 {
+            w.put_bits(i, 7);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..64u32 {
+            assert_eq!(r.get_bits(7).unwrap(), i);
+        }
+        assert_eq!(r.bit_pos(), 64 * 7);
+    }
+
+    #[test]
+    fn reference_writer_and_reader_match_fast_path() {
+        let mut fast = BitWriter::new();
+        let mut refr = BitWriter::new_reference();
+        let mut state = 0x9E3779B9u32;
+        let mut fields = Vec::new();
+        for i in 0..2000u32 {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            let count = (state % 33) as u8;
+            let value = state.rotate_left(i % 32);
+            fast.put_bits(value, count);
+            refr.put_bits(value, count);
+            fields.push((value, count));
+        }
+        let bytes = fast.into_bytes();
+        assert_eq!(bytes, refr.into_bytes(), "reference writer must be byte-identical");
+        let mut fr = BitReader::new(&bytes);
+        let mut rr = BitReader::new_reference(&bytes);
+        for &(value, count) in &fields {
+            let expect = if count == 0 { 0 } else { value & (((1u64 << count) - 1) as u32) };
+            assert_eq!(fr.get_bits(count).unwrap(), expect);
+            assert_eq!(rr.get_bits(count).unwrap(), expect);
+            assert_eq!(fr.bit_pos(), rr.bit_pos());
+        }
+    }
+
+    #[test]
+    fn reference_reader_failed_read_consumes_nothing() {
+        let mut r = BitReader::new_reference(&[0b1010_0000]);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert!(r.get_bits(6).is_err());
+        assert_eq!(r.bit_pos(), 3);
+        assert_eq!(r.get_bits(5).unwrap(), 0);
+        assert!(r.get_bit().is_err());
     }
 
     #[test]

@@ -40,7 +40,10 @@
 //! # Ok::<(), annolight_codec::CodecError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the only exemptions are the two SSE2 SAD
+// row kernels in [`motion`], which carry per-block safety comments
+// (bounds-checked slices, explicitly unaligned loads, baseline ISA).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitio;

@@ -1,8 +1,25 @@
 //! Block motion estimation and compensation.
 //!
 //! 16×16 luma macroblocks, full-pel motion vectors in a ±8 search window,
-//! estimated with a three-step search seeded at the zero vector. Chroma
-//! uses the luma vector halved (4:2:0).
+//! estimated with a three-step search seeded at the zero vector (plus
+//! optional caller-supplied predictor seeds). Chroma uses the luma vector
+//! halved (4:2:0).
+//!
+//! Two exact speed tricks, both provably bit-identical to the exhaustive
+//! evaluation under the strict-less acceptance rule used throughout:
+//!
+//! * **Early-exit SAD** ([`sad_bounded`]): the row loop aborts as soon as
+//!   the running sum reaches the current best. A candidate that would be
+//!   *accepted* (true SAD < best) is never aborted — every partial sum of
+//!   a total below the limit is below the limit — so accepted candidates
+//!   return exact SADs; rejected candidates return some value ≥ best,
+//!   which `<`-comparison rejects exactly as the full sum would.
+//! * **Visited-offset skipping**: `best_sad` is non-increasing, so any
+//!   offset already evaluated has true SAD ≥ the `best_sad` in force when
+//!   it was tried ≥ the current `best_sad`; re-evaluating it can never
+//!   pass a strict-less test. Each offset is therefore evaluated at most
+//!   once per search (the naive refinement re-scored the reigning best 8
+//!   times per descent step).
 
 /// A full-pel motion vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
@@ -31,6 +48,29 @@ pub fn sad(
     dy: i32,
     size: usize,
 ) -> u32 {
+    sad_bounded(cur, reference, width, height, cx, cy, dx, dy, size, u32::MAX)
+}
+
+/// [`sad`] with a running-best abort: after each row, if the partial sum
+/// has reached `limit`, that partial sum is returned immediately.
+///
+/// The return value is exact whenever it is `< limit`; a return `≥ limit`
+/// is a lower bound on the true SAD, which is all a strict-less
+/// comparison against `limit` needs (see the module docs for why this is
+/// bit-identical to exhaustive evaluation).
+#[allow(clippy::too_many_arguments)]
+pub fn sad_bounded(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+    size: usize,
+    limit: u32,
+) -> u32 {
     let mut acc = 0u32;
     for y in 0..size {
         for x in 0..size {
@@ -40,8 +80,416 @@ pub fn sad(
             let r = reference[ry * width + rx];
             acc += u32::from(c.abs_diff(r));
         }
+        if acc >= limit {
+            return acc;
+        }
     }
     acc
+}
+
+/// Whether SAD evaluation may abort early against the running best
+/// (`EarlyExit`, the canonical fast path) or must always complete
+/// (`Exhaustive`, the reference used to prove bit-identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Abort SAD rows once the partial sum reaches the running best.
+    #[default]
+    EarlyExit,
+    /// Always evaluate full SADs with the retained per-pixel clamped
+    /// loop, and never skip already-visited offsets (reference
+    /// behaviour: the exact pre-fast-path search trajectory, duplicate
+    /// re-evaluations included).
+    Exhaustive,
+}
+
+impl SearchMode {
+    #[inline]
+    fn limit(self, best: u32) -> u32 {
+        match self {
+            Self::EarlyExit => best,
+            Self::Exhaustive => u32::MAX,
+        }
+    }
+
+    /// Evaluates one 16×16 full-pel SAD candidate under this mode.
+    ///
+    /// `EarlyExit` uses the interior fast loop (unclamped slice rows the
+    /// compiler can vectorise) with the running-best abort; `Exhaustive`
+    /// runs the retained per-pixel clamped evaluation to completion. Both
+    /// compute the identical sum for any candidate that can be accepted
+    /// (strict-less), so the two modes return bit-identical vectors.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn sad16(
+        self,
+        cur: &[u8],
+        reference: &[u8],
+        width: usize,
+        height: usize,
+        cx: usize,
+        cy: usize,
+        dx: i32,
+        dy: i32,
+        best: u32,
+    ) -> u32 {
+        match self {
+            Self::EarlyExit => sad16_fast(cur, reference, width, height, cx, cy, dx, dy, best),
+            Self::Exhaustive => {
+                sad_bounded(cur, reference, width, height, cx, cy, dx, dy, 16, u32::MAX)
+            }
+        }
+    }
+
+    /// Evaluates one 16×16 half-pel SAD candidate under this mode (same
+    /// contract as [`SearchMode::sad16`]).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn sad16_halfpel(
+        self,
+        cur: &[u8],
+        reference: &[u8],
+        width: usize,
+        height: usize,
+        cx: usize,
+        cy: usize,
+        dx2: i32,
+        dy2: i32,
+        best: u32,
+    ) -> u32 {
+        match self {
+            Self::EarlyExit => {
+                sad16_halfpel_fast(cur, reference, width, height, cx, cy, dx2, dy2, best)
+            }
+            Self::Exhaustive => {
+                sad_halfpel_bounded(cur, reference, width, height, cx, cy, dx2, dy2, u32::MAX)
+            }
+        }
+    }
+}
+
+/// Exact sum of absolute differences over one 16-pixel row.
+///
+/// On x86-64 this is a single `psadbw` (SSE2 is part of the baseline
+/// ISA), which computes the identical integer sum the scalar loop does —
+/// bit-exact, just ~8× fewer instructions. Other targets keep the
+/// autovectorisable scalar loop.
+#[inline]
+#[allow(unsafe_code)]
+fn row_sad16(c: &[u8], r: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: both slices are bounds-checked to 16 bytes; unaligned loads
+    // are explicitly `loadu`; SSE2 is unconditionally available on x86-64.
+    unsafe {
+        use std::arch::x86_64::*;
+        let a = _mm_loadu_si128(c[..16].as_ptr().cast());
+        let b = _mm_loadu_si128(r[..16].as_ptr().cast());
+        let s = _mm_sad_epu8(a, b);
+        (_mm_cvtsi128_si32(s) as u32) + (_mm_extract_epi16(s, 4) as u32)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        c[..16].iter().zip(&r[..16]).map(|(a, b)| u32::from(a.abs_diff(*b))).sum()
+    }
+}
+
+/// Interpolates one 16-pixel half-pel row into an SSE2 register.
+///
+/// `r0`/`r1` are the two source rows (`r1 == r0` when `fy == 0`), both at
+/// least `16 + fx` pixels. The two-tap phases use `pavgb` (exactly
+/// `(a + b + 1) >> 1`, the codec's rounding) and the four-tap phase
+/// widens to `u16` for the exact `(a+b+c+d+2) >> 2` — identical
+/// arithmetic to [`sample_halfpel`].
+///
+/// # Safety
+///
+/// Requires `r0.len() >= 16 + fx` and `r1.len() >= 16 + fx` (enforced
+/// here with slice bounds checks, so the function is sound for any
+/// input); callers must be on x86-64 (SSE2 is baseline).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[inline]
+unsafe fn interp16(r0: &[u8], r1: &[u8], fx: usize, fy: usize) -> std::arch::x86_64::__m128i {
+    use std::arch::x86_64::*;
+    // SAFETY: every load below is over a bounds-checked 16-byte subslice
+    // and explicitly unaligned.
+    unsafe {
+        match (fx, fy) {
+            (0, 0) => _mm_loadu_si128(r0[..16].as_ptr().cast()),
+            (1, 0) => {
+                let a = _mm_loadu_si128(r0[..16].as_ptr().cast());
+                let b = _mm_loadu_si128(r0[1..17].as_ptr().cast());
+                _mm_avg_epu8(a, b)
+            }
+            (0, 1) => {
+                let a = _mm_loadu_si128(r0[..16].as_ptr().cast());
+                let b = _mm_loadu_si128(r1[..16].as_ptr().cast());
+                _mm_avg_epu8(a, b)
+            }
+            _ => {
+                let a = _mm_loadu_si128(r0[..16].as_ptr().cast());
+                let b = _mm_loadu_si128(r0[1..17].as_ptr().cast());
+                let d = _mm_loadu_si128(r1[..16].as_ptr().cast());
+                let e = _mm_loadu_si128(r1[1..17].as_ptr().cast());
+                let zero = _mm_setzero_si128();
+                let two = _mm_set1_epi16(2);
+                // Widen to u16 lanes: (a + b + d + e + 2) >> 2 per pixel
+                // (max 1022, no overflow), then repack. `packus` saturates
+                // but every lane is already <= 255.
+                let lo = _mm_srli_epi16(
+                    _mm_add_epi16(
+                        _mm_add_epi16(
+                            _mm_unpacklo_epi8(a, zero),
+                            _mm_unpacklo_epi8(b, zero),
+                        ),
+                        _mm_add_epi16(
+                            _mm_add_epi16(
+                                _mm_unpacklo_epi8(d, zero),
+                                _mm_unpacklo_epi8(e, zero),
+                            ),
+                            two,
+                        ),
+                    ),
+                    2,
+                );
+                let hi = _mm_srli_epi16(
+                    _mm_add_epi16(
+                        _mm_add_epi16(
+                            _mm_unpackhi_epi8(a, zero),
+                            _mm_unpackhi_epi8(b, zero),
+                        ),
+                        _mm_add_epi16(
+                            _mm_add_epi16(
+                                _mm_unpackhi_epi8(d, zero),
+                                _mm_unpackhi_epi8(e, zero),
+                            ),
+                            two,
+                        ),
+                    ),
+                    2,
+                );
+                _mm_packus_epi16(lo, hi)
+            }
+        }
+    }
+}
+
+/// Exact 16-pixel half-pel interpolated row SAD: interpolates the
+/// reference row(s) with the codec's rounding averages and sums absolute
+/// differences against `c`.
+///
+/// `r0`/`r1` are the two source rows (`r1 == r0` when `fy == 0`), both at
+/// least `16 + fx` pixels. On x86-64 the two-tap phases use `pavgb`
+/// (exactly `(a + b + 1) >> 1`, the codec's rounding) and the four-tap
+/// phase widens to `u16` for the exact `(a+b+c+d+2) >> 2`; the final sum
+/// is one `psadbw`. Identical arithmetic to [`sample_halfpel`].
+#[inline]
+#[allow(unsafe_code)]
+fn row_sad16_halfpel(c: &[u8], r0: &[u8], r1: &[u8], fx: usize, fy: usize) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: slices are bounds-checked to the widths read below;
+    // unaligned loads are explicitly `loadu`; SSE2 is baseline on x86-64.
+    unsafe {
+        use std::arch::x86_64::*;
+        let cur = _mm_loadu_si128(c[..16].as_ptr().cast());
+        let pred = interp16(r0, r1, fx, fy);
+        let s = _mm_sad_epu8(cur, pred);
+        (_mm_cvtsi128_si32(s) as u32) + (_mm_extract_epi16(s, 4) as u32)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let c = &c[..16];
+        match (fx, fy) {
+            (0, 0) => c.iter().zip(&r0[..16]).map(|(a, b)| u32::from(a.abs_diff(*b))).sum(),
+            (1, 0) => (0..16)
+                .map(|x| {
+                    let p = (u32::from(r0[x]) + u32::from(r0[x + 1]) + 1) / 2;
+                    (u32::from(c[x]) as i32 - p as i32).unsigned_abs()
+                })
+                .sum(),
+            (0, 1) => (0..16)
+                .map(|x| {
+                    let p = (u32::from(r0[x]) + u32::from(r1[x]) + 1) / 2;
+                    (u32::from(c[x]) as i32 - p as i32).unsigned_abs()
+                })
+                .sum(),
+            _ => (0..16)
+                .map(|x| {
+                    let p = (u32::from(r0[x])
+                        + u32::from(r0[x + 1])
+                        + u32::from(r1[x])
+                        + u32::from(r1[x + 1])
+                        + 2)
+                        / 4;
+                    (u32::from(c[x]) as i32 - p as i32).unsigned_abs()
+                })
+                .sum(),
+        }
+    }
+}
+
+/// Materialises the edge-clamped displaced row `row[ox .. ox + buf.len()]`
+/// into `buf`: a left run of `row[0]`, a verbatim middle copy, and a right
+/// run of `row[width - 1]` — exactly what per-pixel
+/// `clamp(0, width - 1)` indexing produces, built with two fills and one
+/// `memcpy` so the SIMD row kernels apply at plane borders too.
+#[inline]
+fn clamped_row(row: &[u8], width: usize, ox: i32, buf: &mut [u8]) {
+    let n = buf.len() as i32;
+    let left = (-ox).clamp(0, n) as usize;
+    let right_start = (width as i32 - ox).clamp(0, n) as usize;
+    buf[..left].fill(row[0]);
+    buf[right_start..].fill(row[width - 1]);
+    if left < right_start {
+        let src = (ox + left as i32) as usize;
+        buf[left..right_start].copy_from_slice(&row[src..src + (right_start - left)]);
+    }
+}
+
+/// Sum of absolute deviations of a 16×16 block from its truncated mean —
+/// the encoder's intra-cost proxy — via the SAD row kernel: the block sum
+/// is Σ|v − 0| and the deviation Σ|v − mean| (`mean ≤ 255` always fits a
+/// byte), so both passes are `psadbw` rows on x86-64. Arithmetic is
+/// identical to the retained per-pixel loop.
+pub(crate) fn mean_deviation16(plane: &[u8], stride: usize, px: usize, py: usize) -> u32 {
+    let zero = [0u8; 16];
+    let mut sum = 0u32;
+    for y in 0..16 {
+        sum += row_sad16(&plane[(py + y) * stride + px..][..16], &zero);
+    }
+    let mean = [(sum / 256) as u8; 16];
+    let mut dev = 0u32;
+    for y in 0..16 {
+        dev += row_sad16(&plane[(py + y) * stride + px..][..16], &mean);
+    }
+    dev
+}
+
+/// Interior-specialised 16×16 SAD with running-best abort.
+///
+/// When the displaced block lies fully inside the reference plane the
+/// per-pixel edge clamps are no-ops, so each row is a [`row_sad16`]
+/// (`psadbw` on x86-64). Border candidates materialise each clamped row
+/// via [`clamped_row`] and run the same kernel. Either way the sum
+/// matches [`sad_bounded`] exactly.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sad16_fast(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx: i32,
+    dy: i32,
+    limit: u32,
+) -> u32 {
+    let ox = cx as i32 + dx;
+    let oy = cy as i32 + dy;
+    if ox < 0 || oy < 0 || ox + 16 > width as i32 || oy + 16 > height as i32 {
+        // Border candidate: clamp rows into a stack buffer, same kernel.
+        let mut buf = [0u8; 16];
+        let mut acc = 0u32;
+        for y in 0..16 {
+            let ry = (oy + y).clamp(0, height as i32 - 1) as usize;
+            clamped_row(&reference[ry * width..][..width], width, ox, &mut buf);
+            acc += row_sad16(&cur[(cy + y as usize) * width + cx..][..16], &buf);
+            if acc >= limit {
+                return acc;
+            }
+        }
+        return acc;
+    }
+    let (ox, oy) = (ox as usize, oy as usize);
+    let mut acc = 0u32;
+    for y in 0..16 {
+        let c = &cur[(cy + y) * width + cx..][..16];
+        let r = &reference[(oy + y) * width + ox..][..16];
+        acc += row_sad16(c, r);
+        if acc >= limit {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Interior-specialised 16×16 half-pel SAD with running-best abort.
+///
+/// Hoists the half-pel phase (`fx`, `fy`) and base offset out of the
+/// pixel loop and interpolates over plain slices when the (up to
+/// 17×17) source window lies fully inside the plane; border candidates
+/// fall back to the clamped per-pixel loop. The rounding averages are
+/// identical to [`sample_halfpel`], so the sum matches
+/// [`sad_halfpel_bounded`] exactly.
+#[allow(clippy::too_many_arguments)]
+fn sad16_halfpel_fast(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx2: i32,
+    dy2: i32,
+    limit: u32,
+) -> u32 {
+    let fx = dx2.rem_euclid(2) as usize;
+    let fy = dy2.rem_euclid(2) as usize;
+    let bx = cx as i32 + dx2.div_euclid(2);
+    let by = cy as i32 + dy2.div_euclid(2);
+    if bx < 0
+        || by < 0
+        || bx + 16 + fx as i32 > width as i32
+        || by + 16 + fy as i32 > height as i32
+    {
+        // Border candidate: materialise both clamped source rows and run
+        // the same interpolating row kernel. Each tap coordinate clamps
+        // independently, exactly as [`sample_halfpel`] does.
+        let (mut b0, mut b1) = ([0u8; 17], [0u8; 17]);
+        let mut acc = 0u32;
+        for y in 0..16i32 {
+            let ry0 = (by + y).clamp(0, height as i32 - 1) as usize;
+            let ry1 = (by + y + fy as i32).clamp(0, height as i32 - 1) as usize;
+            clamped_row(&reference[ry0 * width..][..width], width, bx, &mut b0[..16 + fx]);
+            clamped_row(&reference[ry1 * width..][..width], width, bx, &mut b1[..16 + fx]);
+            let c = &cur[(cy + y as usize) * width + cx..][..16];
+            acc += row_sad16_halfpel(c, &b0, &b1, fx, fy);
+            if acc >= limit {
+                return acc;
+            }
+        }
+        return acc;
+    }
+    let (bx, by) = (bx as usize, by as usize);
+    let mut acc = 0u32;
+    for y in 0..16 {
+        let c = &cur[(cy + y) * width + cx..][..16];
+        let r0 = &reference[(by + y) * width + bx..][..16 + fx];
+        let r1 = &reference[(by + y + fy) * width + bx..][..16 + fx];
+        acc += row_sad16_halfpel(c, r0, r1, fx, fy);
+        if acc >= limit {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Bitset over the `(2·SEARCH_RANGE+1)²` = 17×17 offset window, tracking
+/// which candidates a search has already evaluated.
+#[derive(Default)]
+struct Visited([u64; 5]);
+
+impl Visited {
+    /// Marks `(dx, dy)` (each in `-SEARCH_RANGE..=SEARCH_RANGE`) visited;
+    /// returns `true` if it was not yet marked.
+    #[inline]
+    fn first_visit(&mut self, dx: i32, dy: i32) -> bool {
+        let idx = ((dx + SEARCH_RANGE) * (2 * SEARCH_RANGE + 1) + (dy + SEARCH_RANGE)) as usize;
+        let (word, bit) = (idx / 64, idx % 64);
+        let fresh = self.0[word] & (1u64 << bit) == 0;
+        self.0[word] |= 1u64 << bit;
+        fresh
+    }
 }
 
 /// Three-step search (plus a unit-step descent refinement) for the best
@@ -59,11 +507,61 @@ pub fn estimate(
     mbx: usize,
     mby: usize,
 ) -> (MotionVector, u32) {
+    estimate_seeded(cur, reference, width, height, mbx, mby, &[], SearchMode::EarlyExit)
+}
+
+/// [`estimate`] with caller-supplied predictor seeds (typically the left
+/// and up neighbours' vectors) tried after the zero vector and before the
+/// three-step pattern, and an explicit [`SearchMode`].
+///
+/// Seeds only *reorder* evaluation: acceptance stays strict-less, so for
+/// a given seed list `EarlyExit` and `Exhaustive` return bit-identical
+/// vectors and SADs. With an empty seed list the search trajectory is
+/// exactly the historical [`estimate`] (three-step from zero plus
+/// unit-step descent), minus redundant re-evaluations.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_seeded(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    mbx: usize,
+    mby: usize,
+    seeds: &[MotionVector],
+    mode: SearchMode,
+) -> (MotionVector, u32) {
     let (cx, cy) = (mbx * 16, mby * 16);
+    let mut visited = Visited::default();
+    visited.first_visit(0, 0);
     let mut best = (0i32, 0i32);
-    let mut best_sad = sad(cur, reference, width, height, cx, cy, 0, 0, 16);
+    let mut best_sad = mode.sad16(cur, reference, width, height, cx, cy, 0, 0, u32::MAX);
+    // Zero SAD can never be beaten under strict-less acceptance, so
+    // stopping here is exact. Only the fast path takes the shortcut: the
+    // exhaustive reference keeps the historical full trajectory (whose
+    // extra candidates provably change nothing).
+    let done = |s: u32| mode == SearchMode::EarlyExit && s == 0;
+    if done(best_sad) {
+        return (MotionVector::default(), 0);
+    }
+    // Predictor seeds: motion fields are spatially coherent, so a
+    // neighbour's vector usually lands near the optimum and tightens the
+    // early-exit limit for everything that follows.
+    for seed in seeds {
+        let (nx, ny) = (i32::from(seed.dx), i32::from(seed.dy));
+        if nx.abs() > SEARCH_RANGE
+            || ny.abs() > SEARCH_RANGE
+            || (mode == SearchMode::EarlyExit && !visited.first_visit(nx, ny))
+        {
+            continue;
+        }
+        let s = mode.sad16(cur, reference, width, height, cx, cy, nx, ny, mode.limit(best_sad));
+        if s < best_sad {
+            best_sad = s;
+            best = (nx, ny);
+        }
+    }
     let mut step = SEARCH_RANGE / 2;
-    while step >= 1 {
+    while step >= 1 && !done(best_sad) {
         let (bx, by) = best;
         for (dx, dy) in [
             (-step, -step), (0, -step), (step, -step),
@@ -71,10 +569,13 @@ pub fn estimate(
             (-step, step),  (0, step),  (step, step),
         ] {
             let (nx, ny) = (bx + dx, by + dy);
-            if nx.abs() > SEARCH_RANGE || ny.abs() > SEARCH_RANGE {
+            if nx.abs() > SEARCH_RANGE
+                || ny.abs() > SEARCH_RANGE
+                || (mode == SearchMode::EarlyExit && !visited.first_visit(nx, ny))
+            {
                 continue;
             }
-            let s = sad(cur, reference, width, height, cx, cy, nx, ny, 16);
+            let s = mode.sad16(cur, reference, width, height, cx, cy, nx, ny, mode.limit(best_sad));
             if s < best_sad {
                 best_sad = s;
                 best = (nx, ny);
@@ -84,7 +585,7 @@ pub fn estimate(
     }
     // Unit-step descent until a local minimum (bounded by the window
     // perimeter, so it always terminates quickly).
-    loop {
+    while !done(best_sad) {
         let (bx, by) = best;
         let mut improved = false;
         for (dx, dy) in [
@@ -93,10 +594,13 @@ pub fn estimate(
             (-1, 1),  (0, 1),  (1, 1),
         ] {
             let (nx, ny) = (bx + dx, by + dy);
-            if nx.abs() > SEARCH_RANGE || ny.abs() > SEARCH_RANGE {
+            if nx.abs() > SEARCH_RANGE
+                || ny.abs() > SEARCH_RANGE
+                || (mode == SearchMode::EarlyExit && !visited.first_visit(nx, ny))
+            {
                 continue;
             }
-            let s = sad(cur, reference, width, height, cx, cy, nx, ny, 16);
+            let s = mode.sad16(cur, reference, width, height, cx, cy, nx, ny, mode.limit(best_sad));
             if s < best_sad {
                 best_sad = s;
                 best = (nx, ny);
@@ -187,6 +691,84 @@ pub fn predict_halfpel_into(
     out: &mut [u8],
 ) {
     debug_assert_eq!(out.len(), size * size);
+    // Interior fast path: hoist the half-pel phase out of the pixel loop
+    // and interpolate over plain slices. The rounding averages are
+    // identical to [`sample_halfpel`], so the output bytes match the
+    // clamped fallback exactly whenever both are in range.
+    let fx = dx2.rem_euclid(2) as usize;
+    let fy = dy2.rem_euclid(2) as usize;
+    let bx = cx as i32 + dx2.div_euclid(2);
+    let by = cy as i32 + dy2.div_euclid(2);
+    if bx >= 0
+        && by >= 0
+        && bx + (size + fx) as i32 <= width as i32
+        && by + (size + fy) as i32 <= height as i32
+    {
+        let (bx, by) = (bx as usize, by as usize);
+        for y in 0..size {
+            let r0 = &reference[(by + y) * width + bx..][..size + fx];
+            let r1 = &reference[(by + y + fy) * width + bx..][..size + fx];
+            let row = &mut out[y * size..][..size];
+            #[cfg(target_arch = "x86_64")]
+            #[allow(unsafe_code)]
+            if size == 16 {
+                // SAFETY: `r0`/`r1` are exactly `16 + fx` bytes, `row` is
+                // 16; `interp16` bounds-checks its own loads and the
+                // store is explicitly unaligned. Same arithmetic as the
+                // scalar arms below (pavgb/u16-widening rounding).
+                unsafe {
+                    use std::arch::x86_64::*;
+                    _mm_storeu_si128(row.as_mut_ptr().cast(), interp16(r0, r1, fx, fy));
+                }
+                continue;
+            }
+            match (fx, fy) {
+                (0, 0) => row.copy_from_slice(r0),
+                (1, 0) => {
+                    for (x, o) in row.iter_mut().enumerate() {
+                        *o = ((u32::from(r0[x]) + u32::from(r0[x + 1]) + 1) / 2) as u8;
+                    }
+                }
+                (0, 1) => {
+                    for (x, o) in row.iter_mut().enumerate() {
+                        *o = ((u32::from(r0[x]) + u32::from(r1[x]) + 1) / 2) as u8;
+                    }
+                }
+                _ => {
+                    for (x, o) in row.iter_mut().enumerate() {
+                        *o = ((u32::from(r0[x])
+                            + u32::from(r0[x + 1])
+                            + u32::from(r1[x])
+                            + u32::from(r1[x + 1])
+                            + 2)
+                            / 4) as u8;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    predict_halfpel_into_reference(reference, width, height, cx, cy, dx2, dy2, size, out);
+}
+
+/// [`predict_halfpel_into`] via the retained per-pixel clamped sampler —
+/// exactly the pre-fast-path loop, with identical output bytes. The
+/// interior-specialised path falls back to this at plane borders, and the
+/// reference codec path uses it unconditionally for honest baseline
+/// timing.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_halfpel_into_reference(
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx2: i32,
+    dy2: i32,
+    size: usize,
+    out: &mut [u8],
+) {
+    debug_assert_eq!(out.len(), size * size);
     for y in 0..size {
         for x in 0..size {
             out[y * size + x] = sample_halfpel(
@@ -202,6 +784,42 @@ pub fn predict_halfpel_into(
     }
 }
 
+/// [`sad`] against a half-pel-displaced prediction, with the same
+/// row-level running-best abort as [`sad_bounded`].
+#[allow(clippy::too_many_arguments)]
+fn sad_halfpel_bounded(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    cx: usize,
+    cy: usize,
+    dx2: i32,
+    dy2: i32,
+    limit: u32,
+) -> u32 {
+    let mut acc = 0u32;
+    for y in 0..16 {
+        for x in 0..16 {
+            let c = cur[(cy + y) * width + cx + x];
+            let p = sample_halfpel(
+                reference,
+                width,
+                height,
+                (cx + x) as i32,
+                (cy + y) as i32,
+                dx2,
+                dy2,
+            );
+            acc += u32::from(c.abs_diff(p));
+        }
+        if acc >= limit {
+            return acc;
+        }
+    }
+    acc
+}
+
 /// Full-pel search ([`estimate`]) followed by a half-pel refinement over
 /// the eight half-pel neighbours. Returns the vector in half-pel units
 /// and its SAD.
@@ -213,12 +831,35 @@ pub fn estimate_halfpel(
     mbx: usize,
     mby: usize,
 ) -> (HalfPelVector, u32) {
-    let (full, full_sad) = estimate(cur, reference, width, height, mbx, mby);
+    estimate_halfpel_seeded(cur, reference, width, height, mbx, mby, &[], SearchMode::EarlyExit)
+}
+
+/// [`estimate_halfpel`] with predictor seeds for the full-pel stage and an
+/// explicit [`SearchMode`] (also applied to the half-pel refinement SADs —
+/// strict-less acceptance keeps both modes bit-identical).
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_halfpel_seeded(
+    cur: &[u8],
+    reference: &[u8],
+    width: usize,
+    height: usize,
+    mbx: usize,
+    mby: usize,
+    seeds: &[MotionVector],
+    mode: SearchMode,
+) -> (HalfPelVector, u32) {
+    let (full, full_sad) = estimate_seeded(cur, reference, width, height, mbx, mby, seeds, mode);
     let (cx, cy) = (mbx * 16, mby * 16);
     let base = HalfPelVector::from_full_pel(full);
+    // A perfect full-pel match can never be beaten under strict-less
+    // acceptance (SADs are non-negative), so the fast path skips the
+    // half-pel refinement entirely — exact, and a large win on static
+    // content where most macroblocks match their reference perfectly.
+    if mode == SearchMode::EarlyExit && full_sad == 0 {
+        return (base, 0);
+    }
     let mut best = base;
     let mut best_sad = full_sad;
-    let mut pred = [0u8; 256];
     for (ddx, ddy) in [
         (-1i16, -1i16), (0, -1), (1, -1),
         (-1, 0),                 (1, 0),
@@ -230,15 +871,17 @@ pub fn estimate_halfpel(
         {
             continue;
         }
-        predict_halfpel_into(
-            reference, width, height, cx, cy, cand.dx2.into(), cand.dy2.into(), 16, &mut pred,
+        let s = mode.sad16_halfpel(
+            cur,
+            reference,
+            width,
+            height,
+            cx,
+            cy,
+            cand.dx2.into(),
+            cand.dy2.into(),
+            mode.limit(best_sad),
         );
-        let mut s = 0u32;
-        for y in 0..16 {
-            for x in 0..16 {
-                s += u32::from(cur[(cy + y) * width + cx + x].abs_diff(pred[y * 16 + x]));
-            }
-        }
         if s < best_sad {
             best_sad = s;
             best = cand;
@@ -387,6 +1030,159 @@ mod tests {
     fn halfpel_vector_promotion() {
         let hv = HalfPelVector::from_full_pel(MotionVector { dx: -3, dy: 5 });
         assert_eq!((hv.dx2, hv.dy2), (-6, 10));
+    }
+
+    /// A deterministic textured plane (no RNG needed in unit tests).
+    fn textured_plane(w: usize, h: usize, seed: u32) -> Vec<u8> {
+        (0..w * h)
+            .map(|i| {
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(97));
+                ((v >> 13) & 0xff) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn early_exit_bit_identical_to_exhaustive() {
+        let w = 64usize;
+        let cur = textured_plane(w, w, 7);
+        let mut reference = textured_plane(w, w, 7);
+        // Perturb the reference so SADs are non-trivial everywhere.
+        for (i, v) in reference.iter_mut().enumerate() {
+            *v = v.wrapping_add((i % 23) as u8);
+        }
+        let seed_sets: [&[MotionVector]; 3] = [
+            &[],
+            &[MotionVector { dx: 3, dy: -2 }],
+            &[MotionVector { dx: -8, dy: 8 }, MotionVector { dx: 1, dy: 0 }],
+        ];
+        for mby in 0..w / 16 {
+            for mbx in 0..w / 16 {
+                for seeds in seed_sets {
+                    let fast = estimate_seeded(
+                        &cur, &reference, w, w, mbx, mby, seeds, SearchMode::EarlyExit,
+                    );
+                    let slow = estimate_seeded(
+                        &cur, &reference, w, w, mbx, mby, seeds, SearchMode::Exhaustive,
+                    );
+                    assert_eq!(fast, slow, "mb ({mbx},{mby}) seeds {seeds:?}");
+                    let hfast = estimate_halfpel_seeded(
+                        &cur, &reference, w, w, mbx, mby, seeds, SearchMode::EarlyExit,
+                    );
+                    let hslow = estimate_halfpel_seeded(
+                        &cur, &reference, w, w, mbx, mby, seeds, SearchMode::Exhaustive,
+                    );
+                    assert_eq!(hfast, hslow, "halfpel mb ({mbx},{mby}) seeds {seeds:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_recovers_out_of_pattern_shift() {
+        // A (+7, -5) translation is off the three-step lattice from zero;
+        // the unseeded search may land on a local minimum, but a correct
+        // seed must pin the true offset with SAD 0.
+        let w = 64usize;
+        let reference = textured_plane(w, w, 3);
+        let mut cur = vec![0u8; w * w];
+        let (sx, sy) = (7i32, -5i32);
+        for y in 0..w {
+            for x in 0..w {
+                let rx = (x as i32 - sx).clamp(0, w as i32 - 1) as usize;
+                let ry = (y as i32 - sy).clamp(0, w as i32 - 1) as usize;
+                cur[y * w + x] = reference[ry * w + rx];
+            }
+        }
+        let seed = [MotionVector { dx: -(sx as i8), dy: -(sy as i8) }];
+        let (mv, s) =
+            estimate_seeded(&cur, &reference, w, w, 1, 1, &seed, SearchMode::EarlyExit);
+        assert_eq!((mv.dx, mv.dy), (-7, 5));
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn sad_bounded_exact_below_limit_and_lower_bound_above() {
+        let w = 32usize;
+        let cur = textured_plane(w, w, 1);
+        let reference = textured_plane(w, w, 2);
+        let full = sad(&cur, &reference, w, w, 0, 0, 2, -1, 16);
+        assert_eq!(
+            sad_bounded(&cur, &reference, w, w, 0, 0, 2, -1, 16, full + 1),
+            full,
+            "below-limit evaluation must be exact"
+        );
+        let aborted = sad_bounded(&cur, &reference, w, w, 0, 0, 2, -1, 16, full / 2);
+        assert!(aborted >= full / 2, "abort must return a value >= limit");
+        assert!(aborted <= full, "abort is a lower bound on the true SAD");
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored() {
+        let p = textured_plane(32, 32, 9);
+        let wild = [
+            MotionVector { dx: 127, dy: -128 },
+            MotionVector { dx: 9, dy: 0 },
+            MotionVector { dx: 0, dy: 0 }, // duplicate of the zero start
+        ];
+        let (mv, s) = estimate_seeded(&p, &p, 32, 32, 0, 0, &wild, SearchMode::EarlyExit);
+        assert_eq!(mv, MotionVector::default());
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn row_sad_kernels_match_scalar_oracle() {
+        // Exercise the (possibly SIMD) row kernels against a plain scalar
+        // evaluation, including saturating extremes and every half-pel
+        // phase (the four-tap phase uses different widening arithmetic).
+        let mut c = [0u8; 16];
+        let mut r0 = [0u8; 17];
+        let mut r1 = [0u8; 17];
+        let mut state = 0x2453_67A1u32;
+        for round in 0..200 {
+            for x in 0..17 {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let v = (state >> 24) as u8;
+                // Mix in hard extremes so rounding/saturation edges hit.
+                let v = match (round + x) % 7 {
+                    0 => 0,
+                    1 => 255,
+                    _ => v,
+                };
+                if x < 16 {
+                    c[x] = v.rotate_left((round % 8) as u32);
+                }
+                r0[x] = v;
+                r1[x] = v.wrapping_add(round as u8);
+            }
+            let scalar: u32 =
+                c.iter().zip(&r0[..16]).map(|(a, b)| u32::from(a.abs_diff(*b))).sum();
+            assert_eq!(row_sad16(&c, &r0[..16]), scalar, "full-pel row, round {round}");
+            for (fx, fy) in [(0usize, 0usize), (1, 0), (0, 1), (1, 1)] {
+                let oracle: u32 = (0..16)
+                    .map(|x| {
+                        let p = (u32::from(r0[x])
+                            + u32::from(r0[x + fx])
+                            + u32::from(r1[x])
+                            + u32::from(r1[x + fx])
+                            + 2)
+                            / 4;
+                        let p = match (fx, fy) {
+                            (0, 0) => u32::from(r0[x]),
+                            (1, 0) => (u32::from(r0[x]) + u32::from(r0[x + 1]) + 1) / 2,
+                            (0, 1) => (u32::from(r0[x]) + u32::from(r1[x]) + 1) / 2,
+                            _ => p,
+                        };
+                        u32::from(c[x]).abs_diff(p)
+                    })
+                    .sum();
+                assert_eq!(
+                    row_sad16_halfpel(&c, &r0, &r1, fx, fy),
+                    oracle,
+                    "phase ({fx},{fy}), round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,22 @@
 //! Intra blocks use the MPEG-1 default perceptual matrix (coarser at high
 //! frequencies); inter (residual) blocks use a flat matrix, both scaled by
 //! a per-picture `qscale` in `1..=31`.
+//!
+//! Two parallel implementations:
+//!
+//! * the float [`quantize`]/[`dequantize`] reference pair, operating on
+//!   orthonormal DCT coefficients, and
+//! * the fused fixed-point [`quantize_aan`]/[`dequantize_aan`] fast pair,
+//!   whose [`FusedTables`] fold the AAN per-coefficient scale factors
+//!   ([`crate::dct::aan_scale`]) *and* the quantiser step into a single
+//!   reciprocal multiply per coefficient (libjpeg/ffmpeg lineage). The
+//!   fused dequantiser emits coefficients already in the
+//!   [`crate::dct::inverse_aan`] input convention
+//!   (`sf(v)·sf(u)/8 · 2^IDCT_FRAC_BITS`), so the inverse transform needs
+//!   no per-coefficient multiplies of its own.
 
-use crate::dct::Block;
+use crate::dct::{self, Block, IntBlock};
+use std::sync::OnceLock;
 
 /// The MPEG-1 default intra quantisation matrix (zig-zag-free, row-major).
 pub const INTRA_MATRIX: [u16; 64] = [
@@ -83,6 +97,93 @@ pub fn dequantize(levels: &QBlock, matrix: &[u16; 64], qscale: QScale, intra: bo
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fused fixed-point quantisation (AAN fast path).
+// ---------------------------------------------------------------------------
+
+/// Fraction bits of the fused quantiser reciprocals.
+const RBITS: u32 = 20;
+const RHALF: i64 = 1 << (RBITS - 1);
+
+/// Per-`(qscale, intra)` fused tables: one reciprocal multiplier per
+/// coefficient on the quantise side, one step multiplier on the dequantise
+/// side, both with the AAN scale factors and the forward transform's
+/// `2^FWD_EXTRA_BITS` prescale folded in.
+#[derive(Debug, Clone)]
+pub struct FusedTables {
+    /// `round(2^RBITS / div[i])` where
+    /// `div[i] = step[i] · 8·sf(v)·sf(u) · 2^FWD_EXTRA_BITS` — dividing an
+    /// [`crate::dct::forward_aan`] output by `div` yields the float-path
+    /// quantised level.
+    quant: [i32; 64],
+    /// `round(step[i] · sf(v)·sf(u)/8 · 2^IDCT_FRAC_BITS)` — multiplying a
+    /// level by this produces [`crate::dct::inverse_aan`]'s expected input.
+    dequant: [i32; 64],
+}
+
+impl FusedTables {
+    fn build(matrix: &[u16; 64], qscale: QScale, intra: bool) -> Self {
+        let mut quant = [0i32; 64];
+        let mut dequant = [0i32; 64];
+        for i in 0..64 {
+            let (r, c) = (i / 8, i % 8);
+            let step = if intra && i == 0 {
+                8.0
+            } else {
+                f64::from(matrix[i]) * f64::from(qscale.value()) / 8.0
+            };
+            let sf = dct::aan_scale(r) * dct::aan_scale(c);
+            let div = step * 8.0 * sf * f64::from(1u32 << dct::FWD_EXTRA_BITS);
+            quant[i] = (((1u64 << RBITS) as f64) / div).round() as i32;
+            dequant[i] = (step * sf / 8.0 * f64::from(1u32 << dct::IDCT_FRAC_BITS)).round() as i32;
+        }
+        Self { quant, dequant }
+    }
+}
+
+/// Returns the fused tables for `(qscale, intra)`, built once per process
+/// (62 table pairs total) and shared across threads.
+pub fn fused_tables(qscale: QScale, intra: bool) -> &'static FusedTables {
+    static TABLES: OnceLock<Vec<FusedTables>> = OnceLock::new();
+    let all = TABLES.get_or_init(|| {
+        let mut v = Vec::with_capacity(62);
+        for q in 1..=31u8 {
+            let qs = QScale::new(q);
+            v.push(FusedTables::build(&INTRA_MATRIX, qs, true));
+            v.push(FusedTables::build(&INTER_MATRIX, qs, false));
+        }
+        v
+    });
+    &all[usize::from(qscale.value() - 1) * 2 + usize::from(!intra)]
+}
+
+/// Quantises an [`crate::dct::forward_aan`] output block with a single
+/// reciprocal multiply per coefficient. Round-to-nearest on the magnitude
+/// (sign restored afterwards), clamped to the ±2047 level range the
+/// entropy coder enforces.
+pub fn quantize_aan(coeffs: &IntBlock, tables: &FusedTables) -> QBlock {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let c = coeffs[i];
+        let mag = i64::from(c.unsigned_abs());
+        let level = ((mag * i64::from(tables.quant[i]) + RHALF) >> RBITS).min(2047) as i16;
+        out[i] = if c < 0 { -level } else { level };
+    }
+    out
+}
+
+/// Reconstructs [`crate::dct::inverse_aan`]-convention coefficients from
+/// quantised levels: one integer multiply per coefficient, no descale.
+pub fn dequantize_aan(levels: &QBlock, tables: &FusedTables) -> IntBlock {
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        // |level| ≤ 2048 and dequant ≤ ~3.2e5, so the product stays well
+        // inside i32; compute in i64 and narrow exactly.
+        out[i] = (i64::from(levels[i]) * i64::from(tables.dequant[i])) as i32;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,10 +253,10 @@ mod tests {
     fn dc_preserved_at_coarse_scale() {
         // A flat 8x8 block must keep its average even at qscale 31.
         let block = [60.0f32; 64];
-        let coeffs = dct::forward(&block);
+        let coeffs = dct::forward_reference(&block);
         let q = QScale::new(31);
         let levels = quantize(&coeffs, &INTRA_MATRIX, q, true);
-        let rec = dct::inverse(&dequantize(&levels, &INTRA_MATRIX, q, true));
+        let rec = dct::inverse_reference(&dequantize(&levels, &INTRA_MATRIX, q, true));
         let mean: f32 = rec.iter().sum::<f32>() / 64.0;
         assert!((mean - 60.0).abs() < 4.5, "mean {mean}");
     }
@@ -165,5 +266,84 @@ mod tests {
         // Low frequencies must be quantised more finely than high ones.
         assert!(INTRA_MATRIX[0] < INTRA_MATRIX[63]);
         assert!(INTRA_MATRIX[1] < INTRA_MATRIX[62]);
+    }
+
+    #[test]
+    fn fused_tables_are_cached_and_exact_for_dc() {
+        let a = fused_tables(QScale::new(8), true);
+        let b = fused_tables(QScale::new(8), true);
+        assert!(std::ptr::eq(a, b), "same qscale must share one table");
+        // Intra DC: div = 8·8·1·1·4 = 256, recip = 2^20/256 = 4096; the
+        // dequant multiplier is 8·1/8·2^12 = 4096 — both exact.
+        assert_eq!(a.quant[0], 4096);
+        assert_eq!(a.dequant[0], 4096);
+        let inter = fused_tables(QScale::new(8), false);
+        assert!(!std::ptr::eq(a, inter));
+    }
+
+    #[test]
+    fn fused_quant_matches_float_path() {
+        // Quantising an AAN-scaled block through the fused reciprocals must
+        // land on the same levels the float reference produces from the
+        // orthonormal coefficients (up to rare off-by-one at ties).
+        let mut spatial = [0.0f32; 64];
+        for (i, v) in spatial.iter_mut().enumerate() {
+            *v = ((i as i32 * 29 % 255) - 128) as f32;
+        }
+        let mut ib = [0i32; 64];
+        for i in 0..64 {
+            ib[i] = spatial[i] as i32;
+        }
+        for (q, intra) in [(2u8, true), (8, true), (24, true), (8, false), (31, false)] {
+            let qs = QScale::new(q);
+            let matrix = if intra { &INTRA_MATRIX } else { &INTER_MATRIX };
+            let float_levels = quantize(&dct::forward_reference(&spatial), matrix, qs, intra);
+            let fused_levels = quantize_aan(&dct::forward_aan(&ib), fused_tables(qs, intra));
+            let mut mismatches = 0;
+            for i in 0..64 {
+                let d = (i32::from(float_levels[i]) - i32::from(fused_levels[i])).abs();
+                assert!(d <= 1, "q{q} intra={intra} coeff {i}: {} vs {}",
+                    float_levels[i], fused_levels[i]);
+                mismatches += usize::from(d != 0);
+            }
+            assert!(mismatches <= 6, "q{q} intra={intra}: {mismatches} off-by-one levels");
+        }
+    }
+
+    #[test]
+    fn fused_dequant_matches_float_path_descaled() {
+        let mut levels = [0i16; 64];
+        for (i, l) in levels.iter_mut().enumerate() {
+            *l = ((i as i32 * 13 % 41) - 20) as i16;
+        }
+        for (q, intra) in [(1u8, true), (8, true), (31, false)] {
+            let qs = QScale::new(q);
+            let matrix = if intra { &INTRA_MATRIX } else { &INTER_MATRIX };
+            let float_coeffs = dequantize(&levels, matrix, qs, intra);
+            let fused = dequantize_aan(&levels, fused_tables(qs, intra));
+            for i in 0..64 {
+                let (r, c) = (i / 8, i % 8);
+                let s = dct::aan_scale(r) * dct::aan_scale(c) / 8.0
+                    * f64::from(1u32 << dct::IDCT_FRAC_BITS);
+                let descaled = f64::from(fused[i]) / s;
+                let err = (descaled - f64::from(float_coeffs[i])).abs();
+                // Table rounding bounds the error at ±|level|/2 table LSBs.
+                let tol = 0.51 * f64::from(levels[i].unsigned_abs()).max(1.0) / s + 1e-6;
+                assert!(err <= tol,
+                    "q{q} intra={intra} coeff {i}: {descaled} vs {} (tol {tol})",
+                    float_coeffs[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_aan_clamps_extremes() {
+        let t = fused_tables(QScale::new(1), false);
+        let big = [i32::MAX; 64];
+        let lo = [i32::MIN; 64];
+        let hi = quantize_aan(&big, t);
+        let lv = quantize_aan(&lo, t);
+        assert!(hi.iter().all(|&l| l == 2047));
+        assert!(lv.iter().all(|&l| l == -2047));
     }
 }

@@ -18,12 +18,23 @@
 //! ```
 
 use crate::error::CodecError;
-use crate::picture;
+use crate::motion::SearchMode;
+use crate::picture::{self, CodecOptions, CodedPicture};
 use crate::quant::QScale;
+use annolight_core::parallel::{chunked_map, ParallelConfig};
 use annolight_imgproc::{Frame, Yuv420Frame};
 use annolight_support::bytes::{ByteBuf, Bytes};
 
 const MAGIC: &[u8; 4] = b"ALV1";
+
+/// Hard cap on coded width/height, in pixels.
+///
+/// The header stores `u16` dimensions, but accepting the full 65 535 range
+/// would let a 17-byte forged header drive multi-gigabyte plane
+/// allocations before a single payload byte is validated. 4096×4096 is far
+/// beyond any stream this library produces and keeps the worst-case
+/// allocation for a malformed stream at ~24 MiB.
+pub const MAX_DIM: u32 = 4096;
 
 /// Encoder configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,6 +190,11 @@ impl Header {
         if width == 0 || height == 0 || width % 16 != 0 || height % 16 != 0 {
             return Err(CodecError::Malformed { reason: "bad dimensions in header".into() });
         }
+        if width > MAX_DIM || height > MAX_DIM {
+            return Err(CodecError::Malformed {
+                reason: format!("dimensions {width}x{height} exceed the {MAX_DIM} cap"),
+            });
+        }
         Ok(Self { width, height, fps, frame_count, gop_size, body_offset: Self::LEN })
     }
 }
@@ -191,6 +207,7 @@ impl Header {
 #[derive(Debug)]
 pub struct Encoder {
     config: EncoderConfig,
+    opts: CodecOptions,
     body: ByteBuf,
     frame_count: u32,
     reference: Option<Yuv420Frame>,
@@ -209,8 +226,8 @@ impl Encoder {
             || config.height == 0
             || !config.width.is_multiple_of(16)
             || !config.height.is_multiple_of(16)
-            || config.width > u32::from(u16::MAX)
-            || config.height > u32::from(u16::MAX)
+            || config.width > MAX_DIM
+            || config.height > MAX_DIM
         {
             return Err(CodecError::BadDimensions { width: config.width, height: config.height });
         }
@@ -229,7 +246,49 @@ impl Encoder {
             }
             None => None,
         };
-        Ok(Self { config, body: ByteBuf::new(), frame_count: 0, reference: None, rate })
+        Ok(Self {
+            config,
+            opts: CodecOptions::default(),
+            body: ByteBuf::new(),
+            frame_count: 0,
+            reference: None,
+            rate,
+        })
+    }
+
+    /// Fans per-picture transform/quant/motion work out over `parallel`
+    /// worker threads, and — for [`Encoder::push_frames`] — encodes closed
+    /// GOPs concurrently. `workers == 0` (the default) is the inline
+    /// serial reference; every worker count produces byte-identical
+    /// streams.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.opts.parallel = parallel;
+        self
+    }
+
+    /// Selects the motion SAD evaluation mode. Both modes produce
+    /// bit-identical vectors (and therefore bitstreams); exhaustive exists
+    /// as the benchmark/differential baseline.
+    #[must_use]
+    pub fn with_search_mode(mut self, search: SearchMode) -> Self {
+        self.opts.search = search;
+        self
+    }
+
+    /// Uses the retained float matrix DCT/quant kernels instead of the
+    /// fixed-point AAN fast path. The kernel choice is not recorded in the
+    /// bitstream: a decoder must be configured with the same flag for its
+    /// reconstruction to track the encoder exactly.
+    #[must_use]
+    pub fn with_reference_kernels(mut self, reference: bool) -> Self {
+        self.opts.reference_kernels = reference;
+        self
+    }
+
+    /// The per-picture coding options.
+    pub fn options(&self) -> &CodecOptions {
+        &self.opts
     }
 
     /// The encoder configuration.
@@ -263,14 +322,33 @@ impl Encoder {
         let yuv = frame
             .to_yuv420()
             .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
-        let is_intra =
-            self.reference.is_none() || self.frame_count.is_multiple_of(u32::from(self.config.gop_size));
+        self.push_yuv_frame(&yuv)
+    }
+
+    /// Encodes and appends one frame already in the codec's native planar
+    /// 4:2:0 representation, skipping the RGB→YUV conversion entirely.
+    ///
+    /// [`Encoder::push_frame`] is exactly `to_yuv420` followed by this, so
+    /// pushing the converted frame yields a byte-identical stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameSizeMismatch`] when the frame does not
+    /// match the configured dimensions.
+    pub fn push_yuv_frame(&mut self, yuv: &Yuv420Frame) -> Result<(), CodecError> {
+        if (yuv.width(), yuv.height()) != (self.config.width, self.config.height) {
+            return Err(CodecError::FrameSizeMismatch {
+                expected: (self.config.width, self.config.height),
+                actual: (yuv.width(), yuv.height()),
+            });
+        }
+        let is_intra = self.next_is_intra();
         let qscale = self.rate.as_ref().map_or(self.config.qscale, |r| r.qscale());
         let coded = if is_intra {
-            picture::encode_intra(&yuv, qscale)
+            picture::encode_intra_opts(yuv, qscale, &self.opts)
         } else {
             let reference = self.reference.as_ref().expect("checked above");
-            picture::encode_inter(&yuv, reference, qscale)
+            picture::encode_inter_opts(yuv, reference, qscale, &self.opts)
         };
         if let Some(rate) = &mut self.rate {
             rate.update(coded.bytes.len());
@@ -279,6 +357,127 @@ impl Encoder {
         self.put_packet(kind, &coded.bytes);
         self.reference = Some(coded.reconstruction);
         self.frame_count += 1;
+        Ok(())
+    }
+
+    /// Whether the next pushed frame starts a GOP (is coded intra).
+    fn next_is_intra(&self) -> bool {
+        self.reference.is_none()
+            || self.frame_count.is_multiple_of(u32::from(self.config.gop_size))
+    }
+
+    /// Encodes and appends a batch of frames, fanning **closed GOPs** out
+    /// across the configured worker pool.
+    ///
+    /// Each GOP after the first intra boundary depends only on its own
+    /// frames (the intra picture resets the prediction chain), so GOPs are
+    /// independent jobs. Inside a GOP job the per-picture band fan-out is
+    /// forced serial to avoid nested thread spawning. Packets are emitted
+    /// in display order regardless of completion order, so the stream is
+    /// byte-identical to an equivalent sequence of [`Encoder::push_frame`]
+    /// calls for every worker count.
+    ///
+    /// Falls back to the serial per-frame path when rate control is
+    /// active (the controller's qscale feedback chains every picture to
+    /// its predecessors, so GOPs are no longer independent) or when the
+    /// configured parallelism is serial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameSizeMismatch`] if any frame does not
+    /// match the configured dimensions (checked up front: no frame is
+    /// consumed on error).
+    pub fn push_frames(&mut self, frames: &[Frame]) -> Result<(), CodecError> {
+        for frame in frames {
+            if (frame.width(), frame.height()) != (self.config.width, self.config.height) {
+                return Err(CodecError::FrameSizeMismatch {
+                    expected: (self.config.width, self.config.height),
+                    actual: (frame.width(), frame.height()),
+                });
+            }
+        }
+        // Convert up front (fanning the per-frame conversions over the
+        // worker pool — conversion is per-frame deterministic, so the
+        // order of work does not affect the output), then run the batch
+        // through the YUV-domain path.
+        let yuv: Vec<Yuv420Frame> = if self.opts.parallel.workers > 1 && frames.len() >= 2 {
+            let schedule = self.opts.parallel.with_chunk_frames(1);
+            let convert = |range: std::ops::Range<usize>| -> Vec<Result<Yuv420Frame, CodecError>> {
+                range
+                    .map(|i| {
+                        frames[i]
+                            .to_yuv420()
+                            .map_err(|e| CodecError::Malformed { reason: e.to_string() })
+                    })
+                    .collect()
+            };
+            chunked_map(frames.len(), &schedule, convert)
+                .into_iter()
+                .flatten()
+                .collect::<Result<_, _>>()?
+        } else {
+            frames
+                .iter()
+                .map(|f| f.to_yuv420().map_err(|e| CodecError::Malformed { reason: e.to_string() }))
+                .collect::<Result<_, _>>()?
+        };
+        self.push_yuv_frames(&yuv)
+    }
+
+    /// [`Encoder::push_frames`] for frames already in planar 4:2:0: the
+    /// same closed-GOP fan-out without any RGB→YUV conversion in the
+    /// pipeline. The emitted stream is byte-identical to an equivalent
+    /// sequence of [`Encoder::push_yuv_frame`] calls for every worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FrameSizeMismatch`] if any frame does not
+    /// match the configured dimensions (checked up front: no frame is
+    /// consumed on error).
+    pub fn push_yuv_frames(&mut self, frames: &[Yuv420Frame]) -> Result<(), CodecError> {
+        for yuv in frames {
+            if (yuv.width(), yuv.height()) != (self.config.width, self.config.height) {
+                return Err(CodecError::FrameSizeMismatch {
+                    expected: (self.config.width, self.config.height),
+                    actual: (yuv.width(), yuv.height()),
+                });
+            }
+        }
+        if self.rate.is_some() || self.opts.parallel.workers <= 1 || frames.len() < 2 {
+            for yuv in frames {
+                self.push_yuv_frame(yuv)?;
+            }
+            return Ok(());
+        }
+        // Frames extending the currently open GOP chain off the live
+        // reference: encode them serially first.
+        let mut idx = 0;
+        while idx < frames.len() && !self.next_is_intra() {
+            self.push_yuv_frame(&frames[idx])?;
+            idx += 1;
+        }
+        let rest = &frames[idx..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        // From here every `gop_size` frames form a closed GOP.
+        let gop = usize::from(self.config.gop_size);
+        let groups: Vec<&[Yuv420Frame]> = rest.chunks(gop).collect();
+        let qscale = self.config.qscale;
+        let inner = CodecOptions { parallel: ParallelConfig::serial(), ..self.opts };
+        let schedule = self.opts.parallel.with_chunk_frames(1);
+        let encode_group = |range: std::ops::Range<usize>| -> Vec<GopOut> {
+            range.map(|g| encode_gop(groups[g], qscale, &inner)).collect()
+        };
+        let results = chunked_map(groups.len(), &schedule, encode_group);
+        for out in results.into_iter().flatten() {
+            for (kind, payload) in &out.packets {
+                self.put_packet(*kind, payload);
+            }
+            self.frame_count += out.packets.len() as u32;
+            self.reference = Some(out.last_reconstruction);
+        }
         Ok(())
     }
 
@@ -317,6 +516,33 @@ impl Encoder {
     }
 }
 
+/// One closed GOP's worth of encoded output, produced by a worker.
+struct GopOut {
+    packets: Vec<(PacketKind, Vec<u8>)>,
+    last_reconstruction: Yuv420Frame,
+}
+
+/// Encodes one closed GOP (first frame intra, rest predicted) serially.
+fn encode_gop(frames: &[Yuv420Frame], qscale: QScale, opts: &CodecOptions) -> GopOut {
+    let mut packets = Vec::with_capacity(frames.len());
+    let mut reference: Option<Yuv420Frame> = None;
+    for yuv in frames {
+        let coded: CodedPicture = match &reference {
+            None => picture::encode_intra_opts(yuv, qscale, opts),
+            Some(r) => picture::encode_inter_opts(yuv, r, qscale, opts),
+        };
+        let kind = if reference.is_none() {
+            PacketKind::IntraPicture
+        } else {
+            PacketKind::PredictedPicture
+        };
+        packets.push((kind, coded.bytes));
+        reference = Some(coded.reconstruction);
+    }
+    let last_reconstruction = reference.expect("encode_gop called with at least one frame");
+    GopOut { packets, last_reconstruction }
+}
+
 /// The streaming decoder.
 ///
 /// On construction it scans the packet table (cheap — no picture payload is
@@ -333,6 +559,7 @@ pub struct Decoder {
     /// Index of the next picture [`Decoder::decode_next`] will produce.
     next: usize,
     reference: Option<Yuv420Frame>,
+    opts: CodecOptions,
 }
 
 impl Decoder {
@@ -403,7 +630,32 @@ impl Decoder {
             pictures,
             next: 0,
             reference: None,
+            opts: CodecOptions::default(),
         })
+    }
+
+    /// Fans per-picture band reconstruction out over `parallel` worker
+    /// threads, and — for [`Decoder::decode_all`] — decodes closed GOPs
+    /// concurrently. Every worker count produces byte-identical frames;
+    /// `workers == 0` (the default) is the inline serial reference.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.opts.parallel = parallel;
+        self
+    }
+
+    /// Uses the retained float matrix iDCT/dequant kernels instead of the
+    /// fixed-point AAN fast path. Must match the encoder's setting for
+    /// drift-free prediction (the bitstream does not record the kernel).
+    #[must_use]
+    pub fn with_reference_kernels(mut self, reference: bool) -> Self {
+        self.opts.reference_kernels = reference;
+        self
+    }
+
+    /// The per-picture coding options.
+    pub fn options(&self) -> &CodecOptions {
+        &self.opts
     }
 
     /// All user-data payloads, in stream order — available before any
@@ -440,37 +692,153 @@ impl Decoder {
     /// Returns [`CodecError::Malformed`] for corrupt picture payloads or a
     /// P picture with no preceding I picture.
     pub fn decode_next(&mut self) -> Result<Option<Frame>, CodecError> {
+        Ok(self.decode_next_yuv()?.map(|yuv| yuv.to_rgb()))
+    }
+
+    /// Decodes the next picture in display order in the codec's native
+    /// planar 4:2:0 representation (no RGB conversion), or `None` at end
+    /// of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] for corrupt picture payloads or a
+    /// P picture with no preceding I picture.
+    pub fn decode_next_yuv(&mut self) -> Result<Option<Yuv420Frame>, CodecError> {
         let Some(packet) = self.pictures.get(self.next) else {
             return Ok(None);
         };
         let yuv = match packet.kind {
-            PacketKind::IntraPicture => picture::decode_intra(&packet.payload, self.width, self.height)?,
+            PacketKind::IntraPicture => {
+                picture::decode_intra_opts(&packet.payload, self.width, self.height, &self.opts)?
+            }
             PacketKind::PredictedPicture => {
                 let reference = self.reference.as_ref().ok_or_else(|| CodecError::Malformed {
                     reason: "P picture before any I picture".into(),
                 })?;
-                picture::decode_inter(&packet.payload, reference)?
+                picture::decode_inter_opts(&packet.payload, reference, &self.opts)?
             }
             PacketKind::UserData => unreachable!("user data filtered at parse time"),
         };
         self.next += 1;
-        let rgb = yuv.to_rgb();
-        self.reference = Some(yuv);
-        Ok(Some(rgb))
+        self.reference = Some(yuv.clone());
+        Ok(Some(yuv))
     }
 
-    /// Decodes every remaining picture.
+    /// Decodes every remaining picture, fanning **closed GOPs** out across
+    /// the configured worker pool.
+    ///
+    /// Each intra picture resets the prediction chain, so the pictures
+    /// from one I packet up to (excluding) the next are an independent
+    /// job. Inside a GOP job the per-picture band fan-out is forced serial
+    /// to avoid nested thread spawning. Results are reassembled in display
+    /// order: every worker count returns byte-identical frames.
     ///
     /// # Errors
     ///
-    /// Returns the first decode error encountered.
+    /// Returns the first decode error encountered (in display order).
     pub fn decode_all(&mut self) -> Result<Vec<Frame>, CodecError> {
+        self.decode_all_with(Yuv420Frame::to_rgb)
+    }
+
+    /// [`Decoder::decode_all`] in the codec's native planar 4:2:0
+    /// representation: every remaining picture, no RGB conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error encountered (in display order).
+    pub fn decode_all_yuv(&mut self) -> Result<Vec<Yuv420Frame>, CodecError> {
+        self.decode_all_with(Yuv420Frame::clone)
+    }
+
+    /// Shared body of [`Decoder::decode_all`] / [`Decoder::decode_all_yuv`]:
+    /// decodes every remaining picture and maps each reconstruction
+    /// through `map` (inside the worker jobs, so per-frame output
+    /// conversion parallelises with the decode itself).
+    fn decode_all_with<T, F>(&mut self, map: F) -> Result<Vec<T>, CodecError>
+    where
+        T: Send,
+        F: Fn(&Yuv420Frame) -> T + Sync,
+    {
         let mut out = Vec::with_capacity(self.pictures.len() - self.next);
-        while let Some(f) = self.decode_next()? {
-            out.push(f);
+        if self.opts.parallel.workers <= 1 {
+            while let Some(yuv) = self.decode_next_yuv()? {
+                out.push(map(&yuv));
+            }
+            return Ok(out);
+        }
+        // Pictures continuing the currently open GOP decode serially off
+        // the live reference.
+        while self
+            .pictures
+            .get(self.next)
+            .is_some_and(|p| p.kind != PacketKind::IntraPicture)
+        {
+            match self.decode_next_yuv()? {
+                Some(yuv) => out.push(map(&yuv)),
+                None => return Ok(out),
+            }
+        }
+        if self.next >= self.pictures.len() {
+            return Ok(out);
+        }
+        // Remaining pictures split into closed GOPs at I packets.
+        let start = self.next;
+        let mut bounds: Vec<usize> = (start..self.pictures.len())
+            .filter(|&i| self.pictures[i].kind == PacketKind::IntraPicture)
+            .collect();
+        bounds.push(self.pictures.len());
+        let groups: Vec<std::ops::Range<usize>> =
+            bounds.windows(2).map(|w| w[0]..w[1]).collect();
+        let inner = CodecOptions { parallel: ParallelConfig::serial(), ..self.opts };
+        let (width, height) = (self.width, self.height);
+        let pictures = &self.pictures;
+        let map = &map;
+        let decode_group = |range: std::ops::Range<usize>| {
+            range
+                .map(|g| decode_gop(&pictures[groups[g].clone()], width, height, &inner, map))
+                .collect::<Vec<Result<(Vec<T>, Yuv420Frame), CodecError>>>()
+        };
+        let schedule = self.opts.parallel.with_chunk_frames(1);
+        let results = chunked_map(groups.len(), &schedule, decode_group);
+        for (g, result) in results.into_iter().flatten().enumerate() {
+            let (frames, last) = result?;
+            out.extend(frames);
+            self.reference = Some(last);
+            self.next = groups[g].end;
         }
         Ok(out)
     }
+}
+
+/// Decodes one closed GOP (first packet intra, rest predicted) serially,
+/// returning the mapped display frames and the final reconstruction.
+fn decode_gop<T>(
+    packets: &[Packet],
+    width: u32,
+    height: u32,
+    opts: &CodecOptions,
+    map: impl Fn(&Yuv420Frame) -> T,
+) -> Result<(Vec<T>, Yuv420Frame), CodecError> {
+    let mut frames = Vec::with_capacity(packets.len());
+    let mut reference: Option<Yuv420Frame> = None;
+    for packet in packets {
+        let yuv = match packet.kind {
+            PacketKind::IntraPicture => {
+                picture::decode_intra_opts(&packet.payload, width, height, opts)?
+            }
+            PacketKind::PredictedPicture => {
+                let r = reference.as_ref().ok_or_else(|| CodecError::Malformed {
+                    reason: "P picture before any I picture".into(),
+                })?;
+                picture::decode_inter_opts(&packet.payload, r, opts)?
+            }
+            PacketKind::UserData => unreachable!("user data filtered at parse time"),
+        };
+        frames.push(map(&yuv));
+        reference = Some(yuv);
+    }
+    let last = reference.expect("decode_gop called with at least one packet");
+    Ok((frames, last))
 }
 
 #[cfg(test)]
@@ -645,6 +1013,142 @@ mod tests {
             ..cfg(32, 32)
         });
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn gop_parallel_encode_is_byte_identical() {
+        let fs = frames(13, 48, 32);
+        let serial = encode(&fs, cfg(48, 32), &[b"ud"]);
+        for workers in [1, 2, 4, 7] {
+            let mut enc = Encoder::new(cfg(48, 32))
+                .unwrap()
+                .with_parallelism(ParallelConfig::with_workers(workers));
+            enc.push_user_data(b"ud");
+            enc.push_frames(&fs).unwrap();
+            let stream = enc.finish();
+            assert_eq!(stream.as_bytes(), serial.as_bytes(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn push_frames_resumes_open_gop_byte_identically() {
+        // Two frames pushed singly leave a GOP open; the batch path must
+        // stitch onto it exactly.
+        let fs = frames(11, 32, 32);
+        let serial = encode(&fs, cfg(32, 32), &[]);
+        let mut enc = Encoder::new(cfg(32, 32))
+            .unwrap()
+            .with_parallelism(ParallelConfig::with_workers(3));
+        enc.push_frame(&fs[0]).unwrap();
+        enc.push_frame(&fs[1]).unwrap();
+        enc.push_frames(&fs[2..]).unwrap();
+        assert_eq!(enc.finish().as_bytes(), serial.as_bytes());
+    }
+
+    #[test]
+    fn gop_parallel_decode_matches_serial() {
+        let fs = frames(13, 48, 32);
+        let stream = encode(&fs, cfg(48, 32), &[]);
+        let reference = Decoder::new(&stream).unwrap().decode_all().unwrap();
+        for workers in [1, 2, 4, 7] {
+            let mut dec = Decoder::new(&stream)
+                .unwrap()
+                .with_parallelism(ParallelConfig::with_workers(workers));
+            let got = dec.decode_all().unwrap();
+            assert_eq!(got, reference, "workers {workers}");
+            // The decoder must be resumable/consistent afterwards.
+            assert!(dec.decode_next().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_decode_mid_stream_matches_serial_tail() {
+        let fs = frames(10, 32, 32);
+        let stream = encode(&fs, cfg(32, 32), &[]);
+        let mut serial = Decoder::new(&stream).unwrap();
+        let all = serial.decode_all().unwrap();
+        let mut dec = Decoder::new(&stream)
+            .unwrap()
+            .with_parallelism(ParallelConfig::with_workers(2));
+        // Consume three pictures one at a time (lands mid-GOP), then batch.
+        for _ in 0..3 {
+            dec.decode_next().unwrap().unwrap();
+        }
+        let tail = dec.decode_all().unwrap();
+        assert_eq!(tail, all[3..].to_vec());
+    }
+
+    #[test]
+    fn oversized_dimensions_rejected() {
+        // Encoder-side: config beyond the cap.
+        let err = Encoder::new(EncoderConfig { width: MAX_DIM + 16, ..cfg(32, 32) });
+        assert!(matches!(err, Err(CodecError::BadDimensions { .. })));
+        // Decoder-side: a forged header must be rejected before any
+        // multi-gigabyte allocation is attempted.
+        let fs = frames(1, 32, 32);
+        let mut bytes = encode(&fs, cfg(32, 32), &[]).as_bytes().to_vec();
+        bytes[4..6].copy_from_slice(&8192u16.to_le_bytes());
+        assert!(Decoder::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rate_controlled_push_frames_falls_back_to_serial_chain() {
+        let fs = frames(12, 32, 32);
+        let rc = EncoderConfig {
+            target_bitrate_bps: Some(150_000.0),
+            ..cfg(32, 32)
+        };
+        let mut serial = Encoder::new(rc).unwrap();
+        for f in &fs {
+            serial.push_frame(f).unwrap();
+        }
+        let serial = serial.finish();
+        let mut batch = Encoder::new(rc)
+            .unwrap()
+            .with_parallelism(ParallelConfig::with_workers(4));
+        batch.push_frames(&fs).unwrap();
+        assert_eq!(batch.finish().as_bytes(), serial.as_bytes());
+    }
+
+    #[test]
+    fn yuv_domain_api_matches_rgb_api() {
+        // push_yuv_frames(to_yuv420(f)) must be byte-identical to
+        // push_frames(f), serial and parallel, and decode_all_yuv must
+        // return exactly the frames whose to_rgb is decode_all's output.
+        let fs = frames(9, 48, 32);
+        let yuv: Vec<_> = fs.iter().map(|f| f.to_yuv420().unwrap()).collect();
+        let via_rgb = encode(&fs, cfg(48, 32), &[]);
+        for workers in [0, 3] {
+            let mut enc = Encoder::new(cfg(48, 32))
+                .unwrap()
+                .with_parallelism(ParallelConfig::with_workers(workers));
+            enc.push_yuv_frames(&yuv).unwrap();
+            let stream = enc.finish();
+            assert_eq!(stream.as_bytes(), via_rgb.as_bytes(), "workers {workers}");
+        }
+        let rgb_frames = Decoder::new(&via_rgb).unwrap().decode_all().unwrap();
+        for workers in [0, 3] {
+            let mut dec = Decoder::new(&via_rgb)
+                .unwrap()
+                .with_parallelism(ParallelConfig::with_workers(workers));
+            let yuv_frames = dec.decode_all_yuv().unwrap();
+            assert_eq!(yuv_frames.len(), rgb_frames.len());
+            for (y, r) in yuv_frames.iter().zip(&rgb_frames) {
+                assert_eq!(&y.to_rgb(), r, "workers {workers}");
+            }
+        }
+        // Single-picture YUV decode agrees too, and dimension mismatches
+        // are rejected without consuming the frame.
+        let mut dec = Decoder::new(&via_rgb).unwrap();
+        let first = dec.decode_next_yuv().unwrap().unwrap();
+        assert_eq!(&first.to_rgb(), &rgb_frames[0]);
+        let mut enc = Encoder::new(cfg(48, 32)).unwrap();
+        let wrong = annolight_imgproc::Yuv420Frame::new(32, 32).unwrap();
+        assert!(matches!(
+            enc.push_yuv_frame(&wrong),
+            Err(CodecError::FrameSizeMismatch { .. })
+        ));
+        assert_eq!(enc.frame_count(), 0);
     }
 
     #[test]

@@ -33,8 +33,7 @@ pub fn encode_block(w: &mut BitWriter, block: &QBlock, dc_pred: i16) -> i16 {
         if level == 0 {
             run += 1;
         } else {
-            w.put_ue(run);
-            w.put_se(i32::from(level));
+            w.put_ue_then_se(run, i32::from(level));
             run = 0;
         }
     }

@@ -1,0 +1,272 @@
+//! Fast-path identity matrix + robustness properties.
+//!
+//! The codec fast path (fixed-point AAN transforms, fused quant,
+//! early-exit seeded motion search, word-level bit I/O, band/GOP
+//! fan-out) is only allowed to change *wall-clock*, never bytes. This
+//! suite pins that contract:
+//!
+//! * a clip × qscale × worker-count matrix asserting bitstream and
+//!   reconstruction identity for every parallelism level and for
+//!   exhaustive vs. early-exit motion search;
+//! * `check!` properties for early-exit/exhaustive SAD equivalence and
+//!   word-level vs. bit-at-a-time bit I/O equivalence;
+//! * a malformed-bitstream fuzz property: random garbage and bit-flipped
+//!   real streams must decode to `Err` or a frame, never panic.
+//!
+//! When `ANNOLIGHT_CODEC_LOG` names a file, the identity matrix appends
+//! one digest line per configuration; CI runs the suite twice with the
+//! same seed and `cmp`s the logs to pin cross-run determinism.
+
+use annolight_codec::motion::{self, MotionVector, SearchMode};
+use annolight_codec::quant::QScale;
+use annolight_codec::{Decoder, EncodedStream, Encoder, EncoderConfig};
+use annolight_core::parallel::ParallelConfig;
+use annolight_imgproc::{Frame, Yuv420Frame};
+use annolight_support::check;
+use annolight_video::ClipLibrary;
+
+const WORKER_COUNTS: [usize; 5] = [0, 1, 2, 4, 7];
+const QSCALES: [u8; 3] = [2, 8, 24];
+const CLIPS: [&str; 2] = ["themovie", "ice_age"];
+
+fn clip_frames(name: &str) -> (Vec<Frame>, EncoderConfig) {
+    let clip = ClipLibrary::paper_clip(name).expect("library clip").preview(0.75);
+    let (w, h) = clip.dimensions();
+    let cfg = EncoderConfig {
+        width: w,
+        height: h,
+        fps: clip.fps(),
+        gop_size: 4, // several closed GOPs per batch → real fan-out
+        ..EncoderConfig::default()
+    };
+    (clip.frames().collect(), cfg)
+}
+
+/// Appends one digest line to `$ANNOLIGHT_CODEC_LOG`, if set. CI runs
+/// the suite twice with the same seed and compares the two logs.
+fn log_digest(clip: &str, q: u8, workers: usize, stream: &EncodedStream, frames: &[Yuv420Frame]) {
+    let Ok(path) = std::env::var("ANNOLIGHT_CODEC_LOG") else { return };
+    let mut d = annolight_core::digest::Digester::new();
+    d.write(stream.as_bytes());
+    for f in frames {
+        d.write(f.y_plane()).write(f.u_plane()).write(f.v_plane());
+    }
+    let digest = d.finish();
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open codec digest log");
+    writeln!(f, "{clip} q{q} workers={workers} {digest:#018x}").expect("append digest line");
+}
+
+fn encode_with(
+    frames: &[Frame],
+    cfg: EncoderConfig,
+    workers: usize,
+    search: SearchMode,
+) -> EncodedStream {
+    let mut enc = Encoder::new(cfg)
+        .expect("valid config")
+        .with_parallelism(ParallelConfig::with_workers(workers))
+        .with_search_mode(search);
+    enc.push_user_data(b"identity-matrix");
+    enc.push_frames(frames).expect("frames match config");
+    enc.finish()
+}
+
+/// The clip × qscale × workers matrix: every encode emits the serial
+/// stream byte-for-byte, every decode reconstructs the serial frames
+/// byte-for-byte, and exhaustive SAD changes nothing.
+#[test]
+fn bitstream_and_reconstruction_identity_matrix() {
+    for clip in CLIPS {
+        let (frames, base_cfg) = clip_frames(clip);
+        for q in QSCALES {
+            let cfg = EncoderConfig { qscale: QScale::new(q), ..base_cfg };
+            let baseline = encode_with(&frames, cfg, 0, SearchMode::EarlyExit);
+            // Exhaustive SAD: bit-identical vectors → identical stream.
+            let exhaustive = encode_with(&frames, cfg, 0, SearchMode::Exhaustive);
+            assert_eq!(
+                baseline.as_bytes(),
+                exhaustive.as_bytes(),
+                "{clip} q{q}: exhaustive SAD changed the bitstream"
+            );
+            let reference_frames: Vec<Yuv420Frame> = Decoder::new(&baseline)
+                .expect("stream parses")
+                .decode_all_yuv()
+                .expect("stream decodes");
+            for workers in WORKER_COUNTS {
+                let stream = encode_with(&frames, cfg, workers, SearchMode::EarlyExit);
+                assert_eq!(
+                    stream.as_bytes(),
+                    baseline.as_bytes(),
+                    "{clip} q{q} workers {workers}: bitstream differs"
+                );
+                let decoded = Decoder::new(&baseline)
+                    .expect("stream parses")
+                    .with_parallelism(ParallelConfig::with_workers(workers))
+                    .decode_all_yuv()
+                    .expect("stream decodes");
+                assert_eq!(
+                    decoded, reference_frames,
+                    "{clip} q{q} workers {workers}: reconstruction differs"
+                );
+                log_digest(clip, q, workers, &stream, &decoded);
+            }
+        }
+    }
+}
+
+/// The retained reference path (float kernels + bitwise I/O + unpruned
+/// exhaustive search) must also be deterministic and self-consistent:
+/// its encoder and decoder round-trip, and its search mode choice does
+/// not change its bytes either.
+#[test]
+fn reference_path_is_self_consistent()  {
+    let (frames, cfg) = clip_frames("themovie");
+    let encode_ref = |search: SearchMode| {
+        let mut enc = Encoder::new(cfg)
+            .expect("valid config")
+            .with_reference_kernels(true)
+            .with_search_mode(search);
+        enc.push_frames(&frames).expect("frames match config");
+        enc.finish()
+    };
+    let a = encode_ref(SearchMode::Exhaustive);
+    let b = encode_ref(SearchMode::EarlyExit);
+    assert_eq!(a.as_bytes(), b.as_bytes(), "search mode changed reference-path bytes");
+    let decoded = Decoder::new(&a)
+        .expect("parses")
+        .with_reference_kernels(true)
+        .decode_all()
+        .expect("decodes");
+    assert_eq!(decoded.len() as u32, a.frame_count());
+}
+
+fn random_plane(g: &mut annolight_support::check::Gen, w: usize, h: usize) -> Vec<u8> {
+    // Smooth-ish content with occasional hard edges: exercises both the
+    // early-exit abort and ties.
+    let base: u8 = g.draw(0u8..=255);
+    let mut plane = vec![base; w * h];
+    for _ in 0..g.draw(0usize..24) {
+        let x0 = g.draw(0usize..w);
+        let y0 = g.draw(0usize..h);
+        let bw = g.draw(1usize..=16).min(w - x0);
+        let bh = g.draw(1usize..=16).min(h - y0);
+        let v: u8 = g.draw(0u8..=255);
+        for y in y0..y0 + bh {
+            for x in x0..x0 + bw {
+                plane[y * w + x] = v;
+            }
+        }
+    }
+    plane
+}
+
+check! {
+    /// Early-exit and exhaustive SAD return identical vectors and SADs
+    /// for every macroblock of random frame pairs, with and without
+    /// predictor seeds (the invariant that lets the bench's baseline
+    /// and the fast path share one bitstream).
+    fn early_exit_search_equals_exhaustive(g, cases = 48) {
+        let (w, h) = (48usize, 48usize);
+        let reference = random_plane(g, w, h);
+        let cur = random_plane(g, w, h);
+        let seeds = [
+            MotionVector { dx: g.draw(-8i8..=8), dy: g.draw(-8i8..=8) },
+            MotionVector { dx: g.draw(-8i8..=8), dy: g.draw(-8i8..=8) },
+        ];
+        for mby in 0..h / 16 {
+            for mbx in 0..w / 16 {
+                for seed_list in [&seeds[..], &[]] {
+                    let fast = motion::estimate_halfpel_seeded(
+                        &cur, &reference, w, h, mbx, mby, seed_list, SearchMode::EarlyExit);
+                    let full = motion::estimate_halfpel_seeded(
+                        &cur, &reference, w, h, mbx, mby, seed_list, SearchMode::Exhaustive);
+                    assert_eq!(fast, full, "mb ({mbx},{mby}) seeds={}", seed_list.len());
+                }
+            }
+        }
+    }
+
+    /// Word-level and retained bit-at-a-time bit I/O are byte-identical
+    /// writers and value-identical readers over random field sequences.
+    fn word_level_bitio_equals_bitwise(g, cases = 64) {
+        use annolight_codec::bitio::{BitReader, BitWriter};
+        let fields = g.vec(1usize..200, |g| {
+            let count: u8 = g.draw(0u8..=32);
+            let value: u32 = g.any::<u32>();
+            (value, count)
+        });
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new_reference();
+        for &(v, c) in &fields {
+            fast.put_bits(v, c);
+            slow.put_bits(v, c);
+        }
+        assert_eq!(fast.bit_len(), slow.bit_len());
+        let bytes = fast.into_bytes();
+        assert_eq!(bytes, slow.into_bytes());
+        let mut fast_r = BitReader::new(&bytes);
+        let mut slow_r = BitReader::new_reference(&bytes);
+        for &(v, c) in &fields {
+            let masked = if c == 0 { 0 } else { v & (u32::MAX >> (32 - u32::from(c))) };
+            assert_eq!(fast_r.get_bits(c).unwrap(), masked);
+            assert_eq!(slow_r.get_bits(c).unwrap(), masked);
+        }
+    }
+
+    /// Random garbage fed to the container/picture parsers returns
+    /// `Err` or parses — it must never panic (the `check!` runner turns
+    /// any panic into a property failure).
+    fn random_bytes_never_panic_the_decoder(g, cases = 192) {
+        let mut bytes = g.vec(0usize..600, |g| g.any::<u8>());
+        // Half the cases get a valid magic + plausible header so the
+        // fuzz reaches past the first guard.
+        if bytes.len() >= 17 && g.any::<bool>() {
+            bytes[..4].copy_from_slice(b"ALV1");
+            let w = 16 * g.draw(1u16..=4);
+            let h = 16 * g.draw(1u16..=4);
+            bytes[4..6].copy_from_slice(&w.to_le_bytes());
+            bytes[6..8].copy_from_slice(&h.to_le_bytes());
+        }
+        if let Ok(mut dec) = Decoder::from_bytes(&bytes) {
+            let _ = dec.decode_all();
+        }
+    }
+
+    /// Bit-flipped real streams decode to `Err` or to frames — never a
+    /// panic — under both serial and parallel decoding.
+    fn corrupted_streams_never_panic(g, cases = 48) {
+        let frames: Vec<Frame> = (0..6u32)
+            .map(|i| Frame::from_fn(32, 32, |x, y| {
+                let v = ((x * 3 + y * 5 + i * 7) % 251) as u8;
+                [v, v ^ 0x55, 255 - v]
+            }))
+            .collect();
+        let cfg = EncoderConfig {
+            width: 32,
+            height: 32,
+            fps: 12.0,
+            gop_size: 3,
+            qscale: QScale::new(g.draw(1u8..=31)),
+            target_bitrate_bps: None,
+        };
+        let mut enc = Encoder::new(cfg).expect("valid config");
+        enc.push_user_data(b"fuzz");
+        enc.push_frames(&frames).expect("frames match config");
+        let mut bytes = enc.finish().as_bytes().to_vec();
+        for _ in 0..g.draw(1usize..=8) {
+            let bit = g.draw(0usize..bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+        let workers = g.draw(0usize..=3);
+        if let Ok(dec) = Decoder::from_bytes(&bytes) {
+            let _ = dec
+                .with_parallelism(ParallelConfig::with_workers(workers))
+                .decode_all();
+        }
+    }
+}

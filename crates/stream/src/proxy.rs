@@ -88,10 +88,12 @@ impl Proxy {
         Self { encoder_template, service, parallel: ParallelConfig::serial() }
     }
 
-    /// Fans the proxy's profiling and compensation stages out over an
-    /// intra-clip worker pool. The default (`workers == 0`) is the serial
-    /// reference path; every worker count produces a byte-identical
-    /// output stream (see `tests/parallel_identity.rs`).
+    /// Fans the proxy's decode, profiling, compensation and re-encode
+    /// stages out over an intra-clip worker pool (the codec endpoints
+    /// fan out per closed GOP and per macroblock band). The default
+    /// (`workers == 0`) is the serial reference path; every worker count
+    /// produces a byte-identical output stream (see
+    /// `tests/parallel_identity.rs`).
     #[must_use]
     pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
@@ -147,7 +149,7 @@ impl Proxy {
         quality: QualityLevel,
         mode: AnnotationMode,
     ) -> Result<EncodedStream, ProxyError> {
-        let mut dec = Decoder::new(input)?;
+        let mut dec = Decoder::new(input)?.with_parallelism(self.parallel);
         let mut frames = dec.decode_all()?;
         let profile =
             parallel::profile_frames(input.fps(), &frames, &self.parallel).map_err(ProxyError::Core)?;
@@ -159,12 +161,11 @@ impl Proxy {
             height: input.height(),
             fps: input.fps(),
             ..self.encoder_template
-        })?;
+        })?
+        .with_parallelism(self.parallel);
         enc.push_user_data(&track.to_rle_bytes());
         parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
-        for frame in &frames {
-            enc.push_frame(frame)?;
-        }
+        enc.push_frames(&frames)?;
         Ok(enc.finish())
     }
 
@@ -183,9 +184,9 @@ impl Proxy {
         quality: QualityLevel,
         mode: AnnotationMode,
     ) -> Result<EncodedStream, ProxyError> {
-        let mut dec = Decoder::new(input)?;
+        let mut dec = Decoder::new(input)?.with_parallelism(self.parallel);
         let mut frames = Vec::with_capacity(dec.frame_count() as usize);
-        while let Some(f) = dec.decode_next()? {
+        for f in dec.decode_all()? {
             frames.push(
                 annolight_imgproc::downscale_2x(&f)
                     .map_err(|e| ProxyError::Codec(CodecError::Malformed { reason: e.to_string() }))?,
@@ -200,12 +201,11 @@ impl Proxy {
             height: input.height() / 2,
             fps: input.fps(),
             ..self.encoder_template
-        })?;
+        })?
+        .with_parallelism(self.parallel);
         enc.push_user_data(&track.to_rle_bytes());
         parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
-        for frame in &frames {
-            enc.push_frame(frame)?;
-        }
+        enc.push_frames(&frames)?;
         Ok(enc.finish())
     }
 }

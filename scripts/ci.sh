@@ -25,7 +25,9 @@ FAULT_LOG_A="$(mktemp)"
 FAULT_LOG_B="$(mktemp)"
 IDENT_LOG_A="$(mktemp)"
 IDENT_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B"' EXIT
+CODEC_LOG_A="$(mktemp)"
+CODEC_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -45,7 +47,21 @@ test -s "$IDENT_LOG_A" || { echo "parallel-identity digest log was not written";
 cmp "$IDENT_LOG_A" "$IDENT_LOG_B" \
   || { echo "parallel-identity digest logs diverged between identical runs"; exit 1; }
 
+echo "== codec fast-path identity guard (same seed twice, diff digest logs) =="
+# Single test thread so the digest log's line order is stable; the
+# digests cover both the bitstream bytes and the decoded YUV planes.
+ANNOLIGHT_CHECK_SEED=0xC0DE ANNOLIGHT_CODEC_LOG="$CODEC_LOG_A" \
+  cargo test -q --release --offline -p annolight-codec --test fastpath_identity -- --test-threads=1
+ANNOLIGHT_CHECK_SEED=0xC0DE ANNOLIGHT_CODEC_LOG="$CODEC_LOG_B" \
+  cargo test -q --release --offline -p annolight-codec --test fastpath_identity -- --test-threads=1
+test -s "$CODEC_LOG_A" || { echo "codec digest log was not written"; exit 1; }
+cmp "$CODEC_LOG_A" "$CODEC_LOG_B" \
+  || { echo "codec digest logs diverged between identical runs"; exit 1; }
+
 echo "== pipeline throughput smoke (--test mode) =="
 cargo run -q --release --offline -p annolight-bench --bin pipeline_throughput -- --test
+
+echo "== codec throughput smoke (--test mode, >=3x inline encode floor) =="
+cargo run -q --release --offline -p annolight-bench --bin codec_throughput -- --test
 
 echo "CI green."
