@@ -1,0 +1,46 @@
+//! Fleet SLO benchmark driver.
+//!
+//! * `serve_slo` — full-size run (10k-clip corpus), table to stdout.
+//! * `serve_slo --out PATH` — full-size run, also writes the
+//!   `BENCH_serve.json` trajectory artefact.
+//! * `serve_slo --test` — sub-second CI smoke: small presets,
+//!   double-run determinism check (identical deterministic summaries),
+//!   SLO pass assertions.
+
+use annolight_bench::figures::serve_slo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if smoke {
+        let a = serve_slo::run_small(serve_slo::BASELINE_SEED);
+        let b = serve_slo::run_small(serve_slo::BASELINE_SEED);
+        assert_eq!(
+            serve_slo::deterministic_log(&a),
+            serve_slo::deterministic_log(&b),
+            "same-seed double run must produce identical deterministic summaries"
+        );
+        print!("{}", serve_slo::render(&a));
+        assert_eq!(a.scenarios.len(), 3, "smoke expects all three scenarios");
+        for r in &a.scenarios {
+            assert!(r.requests > 0, "{}: empty trace", r.scenario);
+            assert!(r.slo_pass, "{}: SLO violated (see table above)", r.scenario);
+        }
+        println!("\nserve_slo --test: ok (3 scenarios, double-run deterministic)");
+        return;
+    }
+
+    let bench = serve_slo::run(serve_slo::BASELINE_SEED);
+    print!("{}", serve_slo::render(&bench));
+    if let Some(path) = out {
+        std::fs::write(&path, bench.to_json_string() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Fleet-level SLO benchmark: the three canonical workload scenarios
+//! (steady / diurnal / flash-crowd) replayed against the annotation
+//! service, exported as the `BENCH_serve.json` trajectory that later
+//! scaling PRs must not regress.
+//!
+//! Counters (hit rate, reject rate, tenants, requests, trace digest)
+//! are deterministic per seed — the `--test` smoke double-runs every
+//! scenario and asserts the [`DeterministicSummary`] projections are
+//! identical. Latency quantiles are measured wall-clock and are exact
+//! (reservoir mode), not bucket-resolution.
+
+use crate::table::Table;
+use annolight_serve::workload::{
+    generate_trace, replay_trace, DeterministicSummary, ReplayConfig, ScenarioKind,
+    ScenarioReport, SloThresholds, WorkloadConfig,
+};
+
+/// Canonical seed of the checked-in `BENCH_serve.json` baseline.
+pub const BASELINE_SEED: u64 = 0xF1EE7;
+
+/// Schema version of the exported report (bump on field changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The exported fleet benchmark: one [`ScenarioReport`] per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchServe {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Master seed all scenarios were generated from.
+    pub seed: u64,
+    /// One report per [`ScenarioKind`], canonical order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+annolight_support::impl_json!(struct BenchServe { schema_version, seed, scenarios });
+
+impl BenchServe {
+    /// Pretty JSON for `BENCH_serve.json`.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        annolight_support::json::to_string_pretty(self)
+    }
+
+    /// Parses a baseline back (regression tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error message for malformed input.
+    pub fn from_json_string(json: &str) -> Result<Self, String> {
+        annolight_support::json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs every scenario at full size (10k-clip corpus, 48-tick day)
+/// under `seed`.
+#[must_use]
+pub fn run(seed: u64) -> BenchServe {
+    run_with(seed, WorkloadConfig::scenario)
+}
+
+/// Runs every scenario at test-tier size (sub-second smoke).
+#[must_use]
+pub fn run_small(seed: u64) -> BenchServe {
+    run_with(seed, WorkloadConfig::scenario_small)
+}
+
+fn run_with(seed: u64, preset: fn(ScenarioKind, u64) -> WorkloadConfig) -> BenchServe {
+    let replay = ReplayConfig::default();
+    let scenarios = ScenarioKind::ALL
+        .iter()
+        .map(|&kind| {
+            let cfg = preset(kind, seed);
+            replay_trace(&cfg, &replay, &generate_trace(&cfg))
+        })
+        .collect();
+    BenchServe { schema_version: SCHEMA_VERSION, seed, scenarios }
+}
+
+/// The deterministic projections of every scenario, serialised — the
+/// artefact the CI double-run guard `cmp`s byte-for-byte.
+#[must_use]
+pub fn deterministic_log(bench: &BenchServe) -> String {
+    let summaries: Vec<DeterministicSummary> =
+        bench.scenarios.iter().map(ScenarioReport::deterministic_summary).collect();
+    let mut s = annolight_support::json::to_string_pretty(&summaries);
+    s.push('\n');
+    s
+}
+
+/// The printable scenario table.
+#[must_use]
+pub fn render(bench: &BenchServe) -> String {
+    let mut t = Table::new([
+        "scenario",
+        "requests",
+        "tenants",
+        "clips",
+        "hit%",
+        "reject%",
+        "cold p50us",
+        "cold p99us",
+        "cold p999us",
+        "warm p99us",
+        "slo",
+    ]);
+    for r in &bench.scenarios {
+        t.row([
+            r.scenario.clone(),
+            r.requests.to_string(),
+            r.tenants.to_string(),
+            r.distinct_clips.to_string(),
+            format!("{:.1}", r.hit_rate * 100.0),
+            format!("{:.1}", r.reject_rate * 100.0),
+            r.cold_p50_us.to_string(),
+            r.cold_p99_us.to_string(),
+            r.cold_p999_us.to_string(),
+            r.warm_p99_us.to_string(),
+            if r.slo_pass { "pass".into() } else { "FAIL".into() },
+        ]);
+    }
+    let mut out = String::from("Fleet SLO benchmark (Zipf popularity, diurnal load, churn)\n");
+    out.push_str(&t.render());
+    for r in &bench.scenarios {
+        let kind = match r.scenario.as_str() {
+            "steady" => ScenarioKind::Steady,
+            "diurnal" => ScenarioKind::Diurnal,
+            _ => ScenarioKind::FlashCrowd,
+        };
+        for v in SloThresholds::for_scenario(kind).violations(r) {
+            out.push_str(&format!("  SLO VIOLATION [{}]: {v}\n", r.scenario));
+        }
+    }
+    out
+}

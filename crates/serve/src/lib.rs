@@ -11,7 +11,8 @@
 //! | [`pool`] | work-stealing worker pool (per-worker deques, deterministic single-thread mode) |
 //! | [`cache`] | sharded, content-addressed LRU cache of [`AnnotationTrack`](annolight_core::AnnotationTrack) sidecars with a byte budget |
 //! | [`service`] | admission/backpressure front-end: bounded per-tenant queues, round-robin fairness, typed [`ServeError::Overloaded`] |
-//! | [`counters`] | hit/miss/overload counters + profile-latency histogram, exported as JSON |
+//! | [`counters`] | hit/miss/overload counters + profile-latency histogram (exact-quantile reservoir mode), exported as JSON |
+//! | [`workload`] | trace-driven planetary workload model (Zipf popularity, diurnal/flash-crowd curves, tenant churn) + SLO replay harness |
 //!
 //! Everything is hermetic: the only dependencies are sibling workspace
 //! crates, and concurrency is built on [`annolight_support::sync`] and
@@ -48,11 +49,17 @@ pub mod cache;
 pub mod counters;
 pub mod pool;
 pub mod service;
+pub mod workload;
 
 pub use cache::{AnnotationCache, CacheKey, CacheStats};
-pub use counters::{Counters, CountersReport, LatencyHistogram};
+pub use counters::{Counters, CountersReport, Exactness, LatencyHistogram};
 pub use pool::{PoolStats, WorkerPool};
 pub use service::{
     AnnotationRequest, AnnotationResponse, AnnotationService, ServeError, Service, ServiceConfig,
     Ticket,
+};
+pub use workload::{
+    generate_trace, replay_trace, run_scenario, ChurnConfig, DeterministicSummary, DiurnalCurve,
+    FlashCrowd, ReplayConfig, ScenarioKind, ScenarioReport, SloThresholds, SyntheticCorpus,
+    TraceRequest, WorkloadConfig, WorkloadTrace, ZipfSampler,
 };

@@ -91,6 +91,14 @@ pub struct ServiceConfig {
     /// serial reference pipeline; any value yields byte-identical
     /// annotations (the parallel pipeline's headline guarantee).
     pub intra_workers: usize,
+    /// Raw-sample capacity of the cold-latency histogram's exact
+    /// reservoir ([`LatencyHistogram::with_exact_samples`]). `0` (the
+    /// default) keeps the lock-free bucket-only hot path; the SLO
+    /// harness sets this so p50/p99/p999 are exact, not
+    /// bucket-resolution.
+    ///
+    /// [`LatencyHistogram::with_exact_samples`]: crate::counters::LatencyHistogram::with_exact_samples
+    pub latency_reservoir: usize,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +111,7 @@ impl Default for ServiceConfig {
             cache_bytes: 8 << 20,
             tenant_queue_depth: 16,
             intra_workers: 0,
+            latency_reservoir: 0,
         }
     }
 }
@@ -275,7 +284,12 @@ impl AnnotationService {
             cache: AnnotationCache::new(config.cache_shards.max(1), config.cache_bytes),
             pool: WorkerPool::new(config.workers),
             sched: Mutex::new(SchedState::default()),
-            counters: Counters::new(),
+            counters: Counters {
+                profile_latency: crate::counters::LatencyHistogram::with_exact_samples(
+                    config.latency_reservoir,
+                ),
+                ..Counters::default()
+            },
             tenant_queue_depth: config.tenant_queue_depth.max(1),
             intra: annolight_core::ParallelConfig::with_workers(config.intra_workers),
         })
@@ -547,6 +561,17 @@ impl AnnotationService {
         Counters::bump(&self.counters.misses);
         Counters::bump(&self.counters.completed);
         Ok(AnnotationResponse { track, cache_hit: false, clip_digest: content_digest })
+    }
+
+    /// The cold-latency histogram, for harnesses that need exact
+    /// quantiles ([`LatencyHistogram::quantile_us`]) beyond what
+    /// [`CountersReport`] carries. Exact mode requires
+    /// [`ServiceConfig::latency_reservoir`] `> 0`.
+    ///
+    /// [`LatencyHistogram::quantile_us`]: crate::counters::LatencyHistogram::quantile_us
+    #[must_use]
+    pub fn profile_latency(&self) -> &crate::counters::LatencyHistogram {
+        &self.counters.profile_latency
     }
 
     /// A point-in-time counters report (serialisable via

@@ -9,11 +9,13 @@
 use annolight_core::track::AnnotationMode;
 use annolight_core::QualityLevel;
 use annolight_display::DeviceProfile;
+use annolight_serve::workload::{generate_trace, ScenarioKind, SyntheticCorpus, WorkloadConfig};
 use annolight_serve::{
-    AnnotationRequest, AnnotationService, ServeError, ServiceConfig, Ticket,
+    AnnotationRequest, AnnotationService, ServeError, Service, ServiceConfig, Ticket,
 };
 use annolight_video::clip::{Clip, ClipSpec, SceneSpec};
 use annolight_video::content::ContentKind;
+use std::collections::HashMap;
 
 const TENANTS: u64 = 64;
 const REQUESTS: usize = 600;
@@ -107,4 +109,124 @@ fn soak_64_tenants_fixed_seed() {
     let back =
         annolight_serve::CountersReport::from_json_string(&report.to_json_string()).unwrap();
     assert_eq!(back, report);
+}
+
+/// A small churned workload trace (arriving/departing tenants, skewed
+/// per-tenant demand) shared by the churn soaks below.
+fn churned_config() -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::scenario_small(ScenarioKind::FlashCrowd, SEED);
+    cfg.corpus_clips = 96;
+    cfg.ticks = 12;
+    cfg.base_rate = 30.0;
+    cfg
+}
+
+/// Threaded churn soak: tenants that arrive mid-run are served, tenants
+/// that depart never strand work, and the conservation laws of the
+/// fixed-fleet soak keep holding under churn.
+#[test]
+fn churned_soak_conserves_under_threads() {
+    let cfg = churned_config();
+    let trace = generate_trace(&cfg);
+    // Churn must be visible in the trace: at least one request comes
+    // from a tenant that arrived after the initial fleet formed.
+    assert!(
+        trace.requests.iter().any(|r| r.tenant >= cfg.churn.initial as u64),
+        "trace must include requests from arriving tenants"
+    );
+
+    let svc = AnnotationService::new(ServiceConfig {
+        workers: 4,
+        cache_shards: 8,
+        cache_bytes: 1 << 22,
+        tenant_queue_depth: 4,
+        ..ServiceConfig::default()
+    });
+    let corpus = SyntheticCorpus::new(cfg.corpus_clips);
+    corpus.register_all(&svc);
+    let devices = DeviceProfile::paper_devices();
+
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    let mut accepted_per_tenant: HashMap<u64, u64> = HashMap::new();
+    for req in &trace.requests {
+        let r = AnnotationRequest {
+            tenant: req.tenant_name(),
+            clip: corpus.name(req.clip_rank),
+            device: devices[req.device].clone(),
+            quality: req.quality,
+            mode: if req.per_frame { AnnotationMode::PerFrame } else { AnnotationMode::PerScene },
+        };
+        match svc.submit(r) {
+            Ok(t) => {
+                *accepted_per_tenant.entry(req.tenant).or_default() += 1;
+                tickets.push(t);
+            }
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(other) => panic!("churn soak must only see Overloaded, got {other}"),
+        }
+    }
+    svc.run_until_idle();
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        t.wait().expect("every accepted request completes, churned or not");
+    }
+    let report = svc.report();
+    assert_eq!(accepted + rejected, trace.requests.len() as u64);
+    assert_eq!(report.completed, accepted);
+    assert_eq!(report.hits + report.misses, report.completed, "hit/miss conservation");
+    assert_eq!(report.overloaded, rejected);
+    assert_eq!(report.queue_depth, 0, "departed tenants must not strand queued work");
+    // Fairness under churn: late arrivals (ids past the initial fleet)
+    // are genuinely served, not starved by the incumbent hot tenants.
+    let late_served = accepted_per_tenant
+        .iter()
+        .filter(|(&id, &n)| id >= cfg.churn.initial as u64 && n > 0)
+        .count();
+    assert!(late_served > 0, "no arriving tenant ever got a request through");
+}
+
+/// No counter drift: replaying the *same request multiset* without its
+/// churn structure (tenants collapsed onto a fixed fleet, one request
+/// drained at a time so queues never overflow) must land on identical
+/// hit/miss/profile totals — tenant identity and churn may shift *who*
+/// waits, never *what* is computed.
+#[test]
+fn churned_counters_match_churn_free_replay_of_same_multiset() {
+    let cfg = churned_config();
+    let trace = generate_trace(&cfg);
+    let devices = DeviceProfile::paper_devices();
+    let corpus = SyntheticCorpus::new(cfg.corpus_clips);
+
+    let run = |tenant_of: &dyn Fn(usize, u64) -> String| {
+        let svc = AnnotationService::new(ServiceConfig {
+            workers: 0, // inline: totals are replay-exact
+            tenant_queue_depth: usize::MAX >> 1,
+            ..ServiceConfig::default()
+        });
+        corpus.register_all(&svc);
+        for (i, req) in trace.requests.iter().enumerate() {
+            svc.call(AnnotationRequest {
+                tenant: tenant_of(i, req.tenant),
+                clip: corpus.name(req.clip_rank),
+                device: devices[req.device].clone(),
+                quality: req.quality,
+                mode: if req.per_frame {
+                    AnnotationMode::PerFrame
+                } else {
+                    AnnotationMode::PerScene
+                },
+            })
+            .expect("unbounded-queue replay never rejects");
+        }
+        let r = svc.report();
+        (r.hits, r.misses, r.completed, r.profile_count, r.clip_profiles)
+    };
+
+    let churned = run(&|_, tenant| format!("t{tenant:04}"));
+    let churn_free = run(&|i, _| format!("static-{:02}", i % 64));
+    assert_eq!(
+        churned, churn_free,
+        "collapsing churned tenants onto a fixed fleet drifted the counters"
+    );
 }

@@ -1,0 +1,167 @@
+//! Property tests for the workload model: the Zipf sampler's empirical
+//! rank-frequency law converges to the configured exponent across
+//! seeds, the diurnal/flash-crowd curve conserves mass and respects
+//! its bounds, and tenant churn keeps the population inside its
+//! configured envelope.
+
+use annolight_serve::workload::{
+    generate_trace, ChurnConfig, DiurnalCurve, FlashCrowd, ScenarioKind, WorkloadConfig,
+    ZipfSampler,
+};
+use annolight_support::rng::SmallRng;
+
+annolight_support::check! {
+    /// The log–log regression slope of empirical rank frequencies
+    /// converges to -s: draw many samples, fit log(freq) against
+    /// log(rank+1) over the well-populated head, and compare the
+    /// fitted slope with the configured exponent.
+    fn zipf_rank_frequency_slope_converges(g, cases = 12) {
+        let s: f64 = 0.8 + f64::from(g.draw(0u32..700)) / 1000.0; // 0.8..1.5
+        let seed = g.any::<u64>();
+        let n = 2_000usize;
+        let zipf = ZipfSampler::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 60_000usize;
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Head ranks only: deep tail ranks have single-digit counts and
+        // drown the fit in Poisson noise.
+        let head = 30usize;
+        let points: Vec<(f64, f64)> = (0..head)
+            .filter(|&k| counts[k] > 0)
+            .map(|k| (((k + 1) as f64).ln(), (counts[k] as f64 / draws as f64).ln()))
+            .collect();
+        assert!(points.len() >= head - 2, "head ranks must all be populated");
+        let m = points.len() as f64;
+        let (sx, sy): (f64, f64) =
+            points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+        let (sxx, sxy): (f64, f64) = points
+            .iter()
+            .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+        let slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+        assert!(
+            (slope + s).abs() < 0.12,
+            "fitted slope {slope:.3} vs -s {:.3} (seed {seed:#x})",
+            -s
+        );
+    }
+
+    /// Sampling is bounded and rank 0's empirical frequency matches its
+    /// analytic probability for arbitrary (n, s) across seeds.
+    fn zipf_top_rank_frequency_matches_probability(g, cases = 16) {
+        let n: usize = g.draw(50usize..5000);
+        let s: f64 = f64::from(g.draw(0u32..1500)) / 1000.0; // 0..1.5
+        let seed = g.any::<u64>();
+        let zipf = ZipfSampler::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 30_000u64;
+        let mut top = 0u64;
+        for _ in 0..draws {
+            let r = zipf.sample(&mut rng);
+            assert!(r < n, "rank {r} escaped 0..{n}");
+            if r == 0 {
+                top += 1;
+            }
+        }
+        let p = zipf.probability(0);
+        let observed = top as f64 / draws as f64;
+        let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+        let tol = (5.0 * sigma).max(0.004);
+        assert!(
+            (observed - p).abs() <= tol,
+            "rank-0 freq {observed:.4} vs p {p:.4} (tol {tol:.4}, n {n}, s {s:.3}, seed {seed:#x})"
+        );
+    }
+
+    /// Mass conservation: the curve's numeric mean over the day equals
+    /// the analytic `1 + Σ spike masses` for arbitrary amplitude, phase
+    /// and spike sets — the diurnal swing reshapes traffic in time but
+    /// never creates or destroys it.
+    fn diurnal_curve_conserves_mass(g, cases = 32) {
+        let amplitude: f64 = f64::from(g.draw(0u32..950)) / 1000.0; // 0..0.95
+        let peak: f64 = f64::from(g.draw(0u32..1000)) / 1000.0;
+        let spikes: Vec<FlashCrowd> = (0..g.draw(0usize..4))
+            .map(|_| FlashCrowd {
+                start_frac: f64::from(g.draw(0u32..900)) / 1000.0,
+                duration_frac: 0.01 + f64::from(g.draw(0u32..150)) / 1000.0,
+                magnitude: f64::from(g.draw(0u32..6000)) / 1000.0,
+            })
+            .collect();
+        let curve = DiurnalCurve::new(amplitude, peak, spikes);
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|i| curve.intensity_at((f64::from(i) + 0.5) / f64::from(n)))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(
+            (mean - curve.mean_intensity()).abs() < 5e-3,
+            "numeric mean {mean:.5} vs analytic {:.5}",
+            curve.mean_intensity()
+        );
+    }
+
+    /// Spike bounds: intensity is non-negative everywhere and never
+    /// exceeds the analytic bound `1 + amplitude + Σ magnitudes`;
+    /// outside every spike's support the curve equals the bare base.
+    fn diurnal_curve_respects_bounds(g, cases = 32) {
+        let amplitude: f64 = f64::from(g.draw(0u32..950)) / 1000.0;
+        let peak: f64 = f64::from(g.draw(0u32..1000)) / 1000.0;
+        let spike = FlashCrowd {
+            start_frac: 0.2 + f64::from(g.draw(0u32..400)) / 1000.0,
+            duration_frac: 0.01 + f64::from(g.draw(0u32..100)) / 1000.0,
+            magnitude: f64::from(g.draw(0u32..8000)) / 1000.0,
+        };
+        let curve = DiurnalCurve::new(amplitude, peak, vec![spike]);
+        let bound = curve.max_intensity_bound();
+        let bare = DiurnalCurve::new(amplitude, peak, Vec::new());
+        for i in 0..4000 {
+            let frac = (f64::from(i) + 0.5) / 4000.0;
+            let v = curve.intensity_at(frac);
+            assert!(v >= 0.0, "negative intensity {v} at {frac}");
+            assert!(v <= bound + 1e-9, "intensity {v} above bound {bound} at {frac}");
+            let in_spike = frac >= spike.start_frac
+                && frac <= spike.start_frac + spike.duration_frac;
+            if !in_spike {
+                assert!(
+                    (v - bare.intensity_at(frac)).abs() < 1e-12,
+                    "spike leaked outside its support at {frac}"
+                );
+            }
+        }
+    }
+
+    /// Churn keeps the trace's tenant population inside the configured
+    /// envelope and every generated request inside the corpus, for
+    /// arbitrary seeds and scenario kinds.
+    fn churned_traces_stay_inside_their_envelope(g, cases = 8) {
+        let seed = g.any::<u64>();
+        let kind = match g.draw(0u32..3) {
+            0 => ScenarioKind::Steady,
+            1 => ScenarioKind::Diurnal,
+            _ => ScenarioKind::FlashCrowd,
+        };
+        let mut cfg = WorkloadConfig::scenario_small(kind, seed);
+        cfg.corpus_clips = 256;
+        cfg.base_rate = 15.0;
+        let trace = generate_trace(&cfg);
+        let max_pop = cfg.churn.max_active.max(cfg.churn.initial) as u64;
+        // Ids are arrival-ordered, so the highest id bounds how many
+        // tenants ever existed; the distinct count bounds concurrency.
+        assert!(trace.tenants <= trace.requests.len() as u64);
+        for req in &trace.requests {
+            assert!(req.clip_rank < cfg.corpus_clips, "clip rank escaped the corpus");
+            assert!(req.device < 3, "device index escaped the paper set");
+            assert!(req.tick < cfg.ticks, "tick escaped the day");
+        }
+        // A fixed population never grows: ids stay below the initial count.
+        if let ScenarioKind::Steady = kind {
+            assert_eq!(cfg.churn, ChurnConfig::fixed(64));
+            assert!(trace.requests.iter().all(|r| r.tenant < 64));
+            assert!(trace.tenants <= 64);
+        } else {
+            assert!(trace.tenants <= max_pop + trace.requests.len() as u64);
+        }
+    }
+}

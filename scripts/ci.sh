@@ -27,7 +27,9 @@ IDENT_LOG_A="$(mktemp)"
 IDENT_LOG_B="$(mktemp)"
 CODEC_LOG_A="$(mktemp)"
 CODEC_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B"' EXIT
+SLO_LOG_A="$(mktemp)"
+SLO_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -57,6 +59,18 @@ ANNOLIGHT_CHECK_SEED=0xC0DE ANNOLIGHT_CODEC_LOG="$CODEC_LOG_B" \
 test -s "$CODEC_LOG_A" || { echo "codec digest log was not written"; exit 1; }
 cmp "$CODEC_LOG_A" "$CODEC_LOG_B" \
   || { echo "codec digest logs diverged between identical runs"; exit 1; }
+
+echo "== workload SLO determinism guard (same seed twice, diff summary logs) =="
+ANNOLIGHT_SLO_LOG="$SLO_LOG_A" \
+  cargo test -q --release --offline --test workload_slo
+ANNOLIGHT_SLO_LOG="$SLO_LOG_B" \
+  cargo test -q --release --offline --test workload_slo
+test -s "$SLO_LOG_A" || { echo "workload SLO summary log was not written"; exit 1; }
+cmp "$SLO_LOG_A" "$SLO_LOG_B" \
+  || { echo "workload SLO summaries diverged between identical runs"; exit 1; }
+
+echo "== fleet SLO smoke (--test mode, double-run deterministic) =="
+cargo run -q --release --offline -p annolight-bench --bin serve_slo -- --test
 
 echo "== pipeline throughput smoke (--test mode) =="
 cargo run -q --release --offline -p annolight-bench --bin pipeline_throughput -- --test
