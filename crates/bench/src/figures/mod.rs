@@ -18,6 +18,7 @@ pub mod ext_burst;
 pub mod ext_dvfs;
 pub mod fig10;
 pub mod pipeline_throughput;
+pub mod reactor_scale;
 pub mod serve_slo;
 pub mod tab_baselines;
 pub mod tab_devices;

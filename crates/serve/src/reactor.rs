@@ -1,0 +1,303 @@
+//! Reactor-hosted admission: annotation requests as resumable tasks.
+//!
+//! [`AnnotationService::call_with_retry`] is the blessed blocking
+//! client — it parks an OS thread through every backoff window and
+//! every pending ticket. This module re-hosts that exact discipline as
+//! a cooperative [`Task`] so one reactor drives thousands of admission
+//! flows on one thread:
+//!
+//! * [`ServeError::Overloaded`] → the task consumes the **same**
+//!   [`RetryPolicy::service`] schedule (same RNG draws, same truncated
+//!   exponential) but spends the backoff as a virtual-time
+//!   [`Step::Sleep`] instead of simulated inline elapsed time;
+//! * [`Ticket::Pending`] → the task parks on the ticket's reply channel
+//!   via [`PollRx`] ([`Step::Wait`]) and is resumed when a pool worker
+//!   answers — no thread blocks in `recv`.
+//!
+//! **Determinism contract.** Tasks sharing one [`AnnotationService`]
+//! mutate shared cache/queue state, so a deterministic schedule needs
+//! `workers == 1` on the reactor (the reactor's worker-invariance
+//! guarantee only covers non-interacting tasks). With the service's
+//! deterministic inline pool (`ServiceConfig::workers == 0`), a driver
+//! drains the pool during its own step — mirroring what
+//! `call_with_retry` does between attempts — so identical traces replay
+//! identical hit/miss/backoff sequences.
+
+use crate::service::{
+    AnnotationRequest, AnnotationResponse, AnnotationService, ServeError, Ticket,
+};
+use annolight_support::reactor::{Context, PollRx, Step, Task};
+use annolight_support::retry::RetryPolicy;
+use annolight_support::rng::SmallRng;
+use annolight_support::wheel::ticks_from_secs;
+use std::sync::Arc;
+
+/// What one admission flow reports when it resolves.
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// The service's answer (or the error that ended the flow).
+    pub result: Result<AnnotationResponse, ServeError>,
+    /// Backoff attempts consumed before resolution.
+    pub attempts: u32,
+    /// Simulated backoff charged across those attempts, seconds.
+    pub backoff_s: f64,
+}
+
+enum DriverState {
+    /// Submit (or re-submit after backoff) on the next step.
+    Submit,
+    /// Parked on a pending ticket's reply channel.
+    Awaiting(PollRx<Result<AnnotationResponse, ServeError>>),
+    /// Outcome delivered.
+    Finished,
+}
+
+/// One annotation request driven to completion as a reactor task:
+/// submit → (backoff-sleep on overload)* → (wait on pending ticket)? →
+/// report. The outcome arrives on `out` as `(index, outcome)`.
+pub struct AdmissionDriver {
+    service: Arc<AnnotationService>,
+    request: AnnotationRequest,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    state: DriverState,
+    attempts: u32,
+    backoff_s: f64,
+    index: usize,
+    out: annolight_support::channel::Sender<(usize, AdmissionOutcome)>,
+}
+
+impl AdmissionDriver {
+    /// A driver for `request` against `service`, retrying overload per
+    /// `policy` with jitter drawn from the seeded `rng`, reporting as
+    /// flow `index` on `out`.
+    #[must_use]
+    pub fn new(
+        service: Arc<AnnotationService>,
+        request: AnnotationRequest,
+        policy: RetryPolicy,
+        rng: SmallRng,
+        index: usize,
+        out: annolight_support::channel::Sender<(usize, AdmissionOutcome)>,
+    ) -> Self {
+        Self {
+            service,
+            request,
+            policy,
+            rng,
+            state: DriverState::Submit,
+            attempts: 0,
+            backoff_s: 0.0,
+            index,
+            out,
+        }
+    }
+
+    fn finish(&mut self, result: Result<AnnotationResponse, ServeError>) -> Step {
+        self.state = DriverState::Finished;
+        let _ = self.out.send((
+            self.index,
+            AdmissionOutcome { result, attempts: self.attempts, backoff_s: self.backoff_s },
+        ));
+        Step::Done
+    }
+}
+
+impl Task for AdmissionDriver {
+    fn step(&mut self, cx: &Context) -> Step {
+        match std::mem::replace(&mut self.state, DriverState::Submit) {
+            DriverState::Submit => match self.service.submit(self.request.clone()) {
+                Ok(Ticket::Ready(reply)) => self.finish(reply),
+                Ok(Ticket::Pending(rx)) => {
+                    let poll = PollRx::new(rx);
+                    if self.service.is_deterministic() {
+                        // An inline pool's readiness never changes on
+                        // its own — re-step next round and drain there.
+                        self.state = DriverState::Awaiting(poll);
+                        Step::Yield
+                    } else {
+                        let source = poll.source();
+                        self.state = DriverState::Awaiting(poll);
+                        Step::Wait(Box::new(source))
+                    }
+                }
+                Err(ServeError::Overloaded { tenant }) => {
+                    let Some(delay) =
+                        self.policy.next_delay_s(self.attempts, self.backoff_s, &mut self.rng)
+                    else {
+                        return self.finish(Err(ServeError::Overloaded { tenant }));
+                    };
+                    self.attempts += 1;
+                    self.backoff_s += delay;
+                    if self.service.is_deterministic() {
+                        // Real workers drain queues during the backoff
+                        // window; inline mode drains explicitly, exactly
+                        // as `call_with_retry` does.
+                        self.service.run_until_idle();
+                    }
+                    // state is already Submit: re-submit after the
+                    // virtual backoff elapses.
+                    Step::Sleep(cx.now_ticks.saturating_add(ticks_from_secs(delay)))
+                }
+                Err(other) => self.finish(Err(other)),
+            },
+            DriverState::Awaiting(poll) => {
+                if let Some(reply) = poll.try_take() {
+                    return self.finish(reply);
+                }
+                if self.service.is_deterministic() {
+                    // Mirror `Service::call`: the inline pool only runs
+                    // when someone drains it. Doing so here (not at
+                    // submission) preserves real admission pressure —
+                    // every submit in a round lands before any drain.
+                    self.service.run_until_idle();
+                    if let Some(reply) = poll.try_take() {
+                        return self.finish(reply);
+                    }
+                }
+                if poll.is_closed() {
+                    return self
+                        .finish(Err(ServeError::Internal("service dropped in flight".into())));
+                }
+                if self.service.is_deterministic() {
+                    self.state = DriverState::Awaiting(poll);
+                    Step::Yield
+                } else {
+                    let source = poll.source();
+                    self.state = DriverState::Awaiting(poll);
+                    Step::Wait(Box::new(source))
+                }
+            }
+            DriverState::Finished => Step::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use annolight_core::track::AnnotationMode;
+    use annolight_core::QualityLevel;
+    use annolight_display::DeviceProfile;
+    use annolight_support::channel;
+    use annolight_support::reactor::{Reactor, ReactorConfig};
+    use annolight_video::clip::{Clip, ClipSpec, SceneSpec};
+    use annolight_video::content::ContentKind;
+
+    fn test_clip(name: &str, seed: u64) -> Clip {
+        Clip::new(ClipSpec {
+            name: name.to_owned(),
+            width: 48,
+            height: 32,
+            fps: 12.0,
+            seed,
+            scenes: vec![
+                SceneSpec::new(ContentKind::Bright { base: 200, spread: 20 }, 1.0),
+                SceneSpec::new(
+                    ContentKind::Dark {
+                        base: 40,
+                        spread: 10,
+                        highlight_fraction: 0.01,
+                        highlight: 240,
+                    },
+                    1.0,
+                ),
+            ],
+        })
+        .unwrap()
+    }
+
+    fn request(tenant: &str, clip: &str, q: QualityLevel) -> AnnotationRequest {
+        AnnotationRequest {
+            tenant: tenant.to_owned(),
+            clip: clip.to_owned(),
+            device: DeviceProfile::ipaq_5555(),
+            quality: q,
+            mode: AnnotationMode::PerScene,
+        }
+    }
+
+    fn drive(
+        svc: &Arc<AnnotationService>,
+        requests: Vec<AnnotationRequest>,
+        seed: u64,
+    ) -> (Vec<AdmissionOutcome>, u64) {
+        let (tx, rx) = channel::unbounded();
+        let mut reactor = Reactor::with_config(ReactorConfig { seed, ..ReactorConfig::default() });
+        for (i, req) in requests.into_iter().enumerate() {
+            reactor.spawn(Box::new(AdmissionDriver::new(
+                Arc::clone(svc),
+                req,
+                RetryPolicy::service(),
+                SmallRng::stream(seed, i as u64),
+                i,
+                tx.clone(),
+            )));
+        }
+        drop(tx);
+        let report = reactor.run();
+        let mut out: Vec<(usize, AdmissionOutcome)> = rx.iter().collect();
+        out.sort_by_key(|(i, _)| *i);
+        (out.into_iter().map(|(_, o)| o).collect(), report.digest.value())
+    }
+
+    #[test]
+    fn reactor_admission_resolves_hits_misses_and_overload() {
+        let svc = AnnotationService::new(ServiceConfig {
+            tenant_queue_depth: 2,
+            ..ServiceConfig::default()
+        });
+        svc.register_clip(test_clip("a", 7));
+        // 6 distinct qualities from one tenant: depth 2 forces overload
+        // backoff; every flow must still land via retries.
+        let requests: Vec<AnnotationRequest> = (0..6)
+            .map(|i| request("flood", "a", QualityLevel::Custom(0.01 + f64::from(i) * 0.02)))
+            .collect();
+        let (outcomes, _) = drive(&svc, requests, 11);
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            o.result.as_ref().expect("every flow resolves");
+        }
+        assert!(
+            outcomes.iter().any(|o| o.attempts > 0 && o.backoff_s > 0.0),
+            "queue depth 2 must force at least one backoff"
+        );
+        assert_eq!(svc.report().completed, 6);
+    }
+
+    #[test]
+    fn reactor_admission_replays_deterministically() {
+        let run = |seed: u64| {
+            let svc = AnnotationService::new(ServiceConfig {
+                tenant_queue_depth: 1,
+                ..ServiceConfig::default()
+            });
+            svc.register_clip(test_clip("a", 7));
+            let requests: Vec<AnnotationRequest> = (0..4)
+                .map(|i| request("t", "a", QualityLevel::Custom(0.05 + f64::from(i) * 0.03)))
+                .collect();
+            let (outcomes, digest) = drive(&svc, requests, seed);
+            let trace: Vec<(bool, u32, u64)> = outcomes
+                .iter()
+                .map(|o| (o.result.is_ok(), o.attempts, o.backoff_s.to_bits()))
+                .collect();
+            (trace, digest)
+        };
+        assert_eq!(run(5), run(5), "same seed must replay the same admission trace");
+        let ((_, d5), (_, d6)) = (run(5), run(6));
+        assert_ne!(d5, d6, "different seeds must shuffle differently");
+    }
+
+    #[test]
+    fn unknown_clip_fails_fast_without_retries() {
+        let svc = AnnotationService::new(ServiceConfig::default());
+        let (outcomes, _) = drive(&svc, vec![request("t", "nope", QualityLevel::Q10)], 3);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].result.as_ref().unwrap_err(),
+            &ServeError::UnknownClip("nope".into())
+        );
+        assert_eq!(outcomes[0].attempts, 0);
+    }
+}

@@ -360,6 +360,39 @@ impl FaultyChannel {
         Delivery { sent_s, arrival_s: Some(arrival), duplicate_arrival_s: duplicate, displaced }
     }
 
+    /// Drives one packet's complete fate — first transmission plus, on
+    /// loss, the recovery sequence `recovery` chooses — in a single
+    /// **non-blocking** call, so a reactor task can step fault delivery
+    /// without the helper threads the blocking pipeline uses.
+    ///
+    /// `recovery` receives the send-clock time of the lost first copy
+    /// and returns the [`RetryPolicy`] to recover with (`None` = give
+    /// the packet up). The RNG draw order is exactly
+    /// [`Self::send`]-then-[`Self::retransmit`], so fates are
+    /// byte-identical to the threaded delivery loop — a property the
+    /// `fault_props` tier pins.
+    pub fn try_deliver(
+        &mut self,
+        bytes: usize,
+        recovery: impl FnOnce(f64) -> Option<RetryPolicy>,
+    ) -> DeliveredCopies {
+        let fate = self.send(bytes);
+        let mut copies = Vec::new();
+        match fate.arrival_s {
+            Some(a) => {
+                copies.push(a);
+                copies.extend(fate.duplicate_arrival_s);
+            }
+            None => {
+                if let Some(policy) = recovery(fate.sent_s) {
+                    let out = self.retransmit(bytes, &policy, fate.sent_s);
+                    copies.extend(out.delivered_s);
+                }
+            }
+        }
+        DeliveredCopies { sent_s: fate.sent_s, lost_first: fate.arrival_s.is_none(), copies }
+    }
+
     /// Runs a retransmission sequence for a packet lost at `lost_s`,
     /// following `policy` (whose deadline is *relative to the loss*).
     /// Each attempt waits the jittered backoff, occupies link airtime,
@@ -386,6 +419,21 @@ impl FaultyChannel {
             }
         }
     }
+}
+
+/// Every arrival produced for one packet by [`FaultyChannel::try_deliver`]:
+/// the primary copy (or its recovered retransmission) first, then any
+/// duplicate — the exact order the threaded sender forwards them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveredCopies {
+    /// When the first transmission finished serialising, seconds.
+    pub sent_s: f64,
+    /// Whether the first transmission was lost (recovery may still have
+    /// delivered a copy).
+    pub lost_first: bool,
+    /// Arrival times of every delivered copy; empty = the packet never
+    /// reached the receiver.
+    pub copies: Vec<f64>,
 }
 
 /// Per-sequence arrival record for the annotation hint stream: when (and
@@ -532,6 +580,225 @@ pub struct LossyDelivery {
     pub report: FaultReport,
 }
 
+/// The sender half of lossy delivery as a resumable **pull** engine: the
+/// packet plan (annotation hints first, then MTU picture chunks) plus the
+/// [`FaultyChannel`] that decides each packet's fate.
+///
+/// One [`Self::pump`] call drives exactly one packet — a bounded,
+/// non-blocking slice of work — so a reactor task can host a lossy
+/// session without the sender thread the blocking pipeline spawns.
+/// [`deliver_lossy`] itself delegates to this engine, which is what keeps
+/// the two paths byte-identical by construction.
+#[derive(Debug)]
+pub struct LossyEngine {
+    chan: FaultyChannel,
+    deltas: Vec<AnnotationDelta>,
+    deadlines: Vec<f64>,
+    bytes: Vec<u8>,
+    mtu: usize,
+    startup: f64,
+    fps: f64,
+    next_delta: usize,
+    chunk_off: usize,
+    seq: u32,
+}
+
+impl LossyEngine {
+    /// Builds the packet plan for delivering `stream` over `link` with
+    /// the faults in `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when the stream or its embedded
+    /// annotation track cannot be decoded.
+    pub fn new(
+        stream: &EncodedStream,
+        link: &WirelessChannel,
+        cfg: &FaultConfig,
+    ) -> Result<Self, String> {
+        cfg.validate();
+        // The sender knows the track (it produced the stream): split it
+        // into sequence-numbered hints.
+        let dec = Decoder::new(stream).map_err(|e| e.to_string())?;
+        let mut track: Option<AnnotationTrack> = None;
+        for bytes in dec.user_data() {
+            if !annolight_core::extensions::is_dvfs_payload(bytes) && track.is_none() {
+                track = Some(AnnotationTrack::from_rle_bytes(bytes).map_err(|e| e.to_string())?);
+            }
+        }
+        let fps = stream.fps().max(f64::EPSILON);
+        let startup = link.latency_s + cfg.startup_buffer_s;
+        let deltas = track.as_ref().map(AnnotationDelta::from_track).unwrap_or_default();
+        let deadlines: Vec<f64> =
+            deltas.iter().map(|d| startup + f64::from(d.entry.start_frame) / fps).collect();
+        Ok(Self {
+            chan: FaultyChannel::new(*link, *cfg),
+            deltas,
+            deadlines,
+            bytes: stream.as_bytes().to_vec(),
+            mtu: link.mtu,
+            startup,
+            fps,
+            next_delta: 0,
+            chunk_off: 0,
+            seq: 0,
+        })
+    }
+
+    /// Wall-clock start of playback (latency + startup buffering).
+    #[must_use]
+    pub fn startup_s(&self) -> f64 {
+        self.startup
+    }
+
+    /// The channel's send clock so far, seconds — what a cooperative
+    /// driver sleeps to between pumps.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.chan.clock_s()
+    }
+
+    /// Packets not yet driven (hints + picture chunks).
+    #[must_use]
+    pub fn remaining_packets(&self) -> usize {
+        (self.deltas.len() - self.next_delta) + self.bytes.len().saturating_sub(self.chunk_off).div_ceil(self.mtu)
+    }
+
+    /// Drives the next packet's fate. Returns the `(arrival, wire)`
+    /// copies the receiver sees — primary/recovered first, duplicate
+    /// second — or `None` once the plan is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when a picture packet exhausts even
+    /// the reliable retry budget (only possible under certain loss).
+    pub fn pump(&mut self) -> Result<Option<Vec<(f64, Vec<u8>)>>, String> {
+        // Annotations ride ahead of the data (§3): all hints first.
+        if self.next_delta < self.deltas.len() {
+            let i = self.next_delta;
+            let wire = StreamPacket::delta(self.seq, self.deltas[i].to_bytes()).to_wire();
+            let deadline = self.deadlines[i];
+            // A hint is only worth retrying until its scene starts.
+            let fate = self.chan.try_deliver(wire.len(), |sent_s| {
+                Some(RetryPolicy::annotation().with_deadline((deadline - sent_s).max(0.0)))
+            });
+            self.next_delta += 1;
+            self.seq += 1;
+            return Ok(Some(fate.copies.iter().map(|&a| (a, wire.clone())).collect()));
+        }
+        // Picture data: reliable.
+        if self.chunk_off < self.bytes.len() {
+            let end = (self.chunk_off + self.mtu).min(self.bytes.len());
+            let wire =
+                StreamPacket::picture(self.seq, self.bytes[self.chunk_off..end].to_vec()).to_wire();
+            let fate = self.chan.try_deliver(wire.len(), |_| Some(RetryPolicy::reliable()));
+            if fate.copies.is_empty() {
+                return Err(format!("picture packet {} undeliverable", self.seq));
+            }
+            self.chunk_off = end;
+            self.seq += 1;
+            return Ok(Some(fate.copies.iter().map(|&a| (a, wire.clone())).collect()));
+        }
+        Ok(None)
+    }
+
+    /// Folds the receiver-side state back into the final
+    /// [`LossyDelivery`] once every packet has been pumped and offered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when the reassembled bytes do not
+    /// decode.
+    pub fn finish(self, collector: LossyCollector) -> Result<LossyDelivery, String> {
+        let LossyCollector { buf, picture_packets, mut delta_events, last_arrival, .. } = collector;
+        let delivered = EncodedStream::from_bytes(buf)
+            .map_err(|e| format!("lossy reassembly failed: {e}"))?;
+
+        // The client sees hints in *arrival* order.
+        delta_events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.seq.cmp(&b.1.seq)));
+        let mut tracker = DeltaTracker::new();
+        let mut arrivals: Vec<Option<f64>> = vec![None; self.deltas.len()];
+        for (arrival, d) in &delta_events {
+            let now_frame = if *arrival <= self.startup {
+                0
+            } else {
+                ((*arrival - self.startup) * self.fps).floor() as u32
+            };
+            tracker.offer(d, now_frame);
+            let slot = arrivals.get_mut(d.seq as usize);
+            if let Some(slot) = slot {
+                if slot.is_none_or(|prev| *arrival < prev) {
+                    *slot = Some(*arrival);
+                }
+            }
+        }
+        let n_deltas = self.deltas.len();
+        let arrivals = AnnotationArrivals::new(self.startup, self.fps, self.deadlines, arrivals);
+        let report = FaultReport {
+            channel: self.chan.stats(),
+            delta_packets: n_deltas as u64,
+            deltas_lost: arrivals.lost() as u64,
+            deltas_late: arrivals.late() as u64,
+            delta_duplicates: u64::from(tracker.duplicates()),
+            delta_gaps: u64::from(tracker.gaps()),
+            retransmit_energy_j: 0.0,
+            transfer_time_s: last_arrival,
+        };
+        Ok(LossyDelivery { stream: delivered, picture_packets, arrivals, report })
+    }
+}
+
+/// The receiver half of lossy delivery: reassembles picture bytes
+/// (deduplicating by sequence number) and records hint arrivals, one
+/// non-blocking [`Self::offer`] per delivered copy.
+#[derive(Debug)]
+pub struct LossyCollector {
+    buf: Vec<u8>,
+    picture_packets: usize,
+    next_picture_seq: Option<u32>,
+    delta_events: Vec<(f64, AnnotationDelta)>,
+    last_arrival: f64,
+}
+
+impl LossyCollector {
+    /// A collector expecting roughly `total` picture bytes.
+    #[must_use]
+    pub fn with_capacity(total: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(total),
+            picture_packets: 0,
+            next_picture_seq: None,
+            delta_events: Vec::new(),
+            last_arrival: 0.0,
+        }
+    }
+
+    /// Accepts one delivered copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when the wire bytes do not parse.
+    pub fn offer(&mut self, arrival: f64, wire: &[u8]) -> Result<(), String> {
+        let pkt = StreamPacket::from_wire(wire)?;
+        self.last_arrival = self.last_arrival.max(arrival);
+        match pkt.kind {
+            PacketKind::Picture => {
+                // Duplicates carry a seq the receiver already has.
+                if self.next_picture_seq.is_none_or(|n| pkt.seq >= n) {
+                    self.buf.extend_from_slice(&pkt.payload);
+                    self.picture_packets += 1;
+                    self.next_picture_seq = Some(pkt.seq + 1);
+                }
+            }
+            PacketKind::Delta => {
+                let d = AnnotationDelta::from_bytes(&pkt.payload).map_err(|e| e.to_string())?;
+                self.delta_events.push((arrival, d));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Delivers `stream` over `link` with the faults in `cfg`.
 ///
 /// The annotation hints (one [`AnnotationDelta`] per canonical track
@@ -539,7 +806,10 @@ pub struct LossyDelivery {
 /// its scene starts ([`RetryPolicy::annotation`]), while picture packets
 /// use the generous [`RetryPolicy::reliable`] budget. Sender and receiver
 /// run on separate threads connected by a bounded channel, mirroring the
-/// lossless session pipeline.
+/// lossless session pipeline — but both delegate to the non-blocking
+/// [`LossyEngine`]/[`LossyCollector`] pair, the same machinery the
+/// reactor drives without threads, so the two paths produce
+/// byte-identical fates.
 ///
 /// The embedded track stays inside the (reliable) picture bytes — it
 /// describes the compensation already baked into the pixels. What the
@@ -557,150 +827,36 @@ pub fn deliver_lossy(
     link: &WirelessChannel,
     cfg: &FaultConfig,
 ) -> Result<LossyDelivery, String> {
-    cfg.validate();
-
-    // The sender knows the track (it produced the stream): split it into
-    // sequence-numbered hints.
-    let dec = Decoder::new(stream).map_err(|e| e.to_string())?;
-    let mut track: Option<AnnotationTrack> = None;
-    for bytes in dec.user_data() {
-        if !annolight_core::extensions::is_dvfs_payload(bytes) && track.is_none() {
-            track = Some(AnnotationTrack::from_rle_bytes(bytes).map_err(|e| e.to_string())?);
-        }
-    }
-    let fps = stream.fps().max(f64::EPSILON);
-    let startup = link.latency_s + cfg.startup_buffer_s;
-    let deltas = track.as_ref().map(AnnotationDelta::from_track).unwrap_or_default();
-    let deadlines: Vec<f64> =
-        deltas.iter().map(|d| startup + f64::from(d.entry.start_frame) / fps).collect();
-    let n_deltas = deltas.len();
-
-    let bytes = stream.as_bytes().to_vec();
-    let total = bytes.len();
-    let mtu = link.mtu;
-    let mut chan = FaultyChannel::new(*link, *cfg);
+    let mut engine = LossyEngine::new(stream, link, cfg)?;
+    let total = stream.as_bytes().len();
 
     let (tx, rx) = channel::bounded::<(f64, Vec<u8>)>(64);
-    let send_deadlines = deadlines.clone();
-    let sender = thread::spawn(move || -> Result<FaultyChannel, String> {
-        let mut seq = 0u32;
-        // Annotations ride ahead of the data (§3): all hints first.
-        for (d, deadline) in deltas.iter().zip(&send_deadlines) {
-            let wire = StreamPacket::delta(seq, d.to_bytes()).to_wire();
-            let fate = chan.send(wire.len());
-            let mut copies: Vec<f64> = Vec::new();
-            match fate.arrival_s {
-                Some(a) => {
-                    copies.push(a);
-                    copies.extend(fate.duplicate_arrival_s);
-                }
-                None => {
-                    // A hint is only worth retrying until its scene starts.
-                    let policy = RetryPolicy::annotation()
-                        .with_deadline((deadline - fate.sent_s).max(0.0));
-                    let out = chan.retransmit(wire.len(), &policy, fate.sent_s);
-                    copies.extend(out.delivered_s);
+    let sender = thread::spawn(move || -> Result<LossyEngine, String> {
+        while let Some(copies) = engine.pump()? {
+            for (arrival, wire) in copies {
+                if tx.send((arrival, wire)).is_err() {
+                    return Ok(engine);
                 }
             }
-            for a in copies {
-                if tx.send((a, wire.clone())).is_err() {
-                    return Ok(chan);
-                }
-            }
-            seq += 1;
         }
-        // Picture data: reliable.
-        for chunk in bytes.chunks(mtu) {
-            let wire = StreamPacket::picture(seq, chunk.to_vec()).to_wire();
-            let fate = chan.send(wire.len());
-            let arrival = match fate.arrival_s {
-                Some(a) => a,
-                None => chan
-                    .retransmit(wire.len(), &RetryPolicy::reliable(), fate.sent_s)
-                    .delivered_s
-                    .ok_or_else(|| format!("picture packet {seq} undeliverable"))?,
-            };
-            let dup = fate.duplicate_arrival_s;
-            if tx.send((arrival, wire.clone())).is_err() {
-                return Ok(chan);
-            }
-            if let Some(a) = dup {
-                if tx.send((a, wire)).is_err() {
-                    return Ok(chan);
-                }
-            }
-            seq += 1;
-        }
-        Ok(chan)
+        Ok(engine)
     });
 
-    type Recv = (Vec<u8>, usize, Vec<(f64, AnnotationDelta)>, f64);
-    let receiver = thread::spawn(move || -> Result<Recv, String> {
-        let mut buf = Vec::with_capacity(total);
-        let mut picture_packets = 0usize;
-        let mut next_picture_seq: Option<u32> = None;
-        let mut delta_events: Vec<(f64, AnnotationDelta)> = Vec::new();
-        let mut last_arrival = 0.0f64;
+    let receiver = thread::spawn(move || -> Result<LossyCollector, String> {
+        let mut collector = LossyCollector::with_capacity(total);
         for (arrival, wire) in rx.iter() {
-            let pkt = StreamPacket::from_wire(&wire)?;
-            last_arrival = last_arrival.max(arrival);
-            match pkt.kind {
-                PacketKind::Picture => {
-                    // Duplicates carry a seq the receiver already has.
-                    if next_picture_seq.is_none_or(|n| pkt.seq >= n) {
-                        buf.extend_from_slice(&pkt.payload);
-                        picture_packets += 1;
-                        next_picture_seq = Some(pkt.seq + 1);
-                    }
-                }
-                PacketKind::Delta => {
-                    let d = AnnotationDelta::from_bytes(&pkt.payload).map_err(|e| e.to_string())?;
-                    delta_events.push((arrival, d));
-                }
-            }
+            collector.offer(arrival, &wire)?;
         }
-        Ok((buf, picture_packets, delta_events, last_arrival))
+        Ok(collector)
     });
 
-    let chan = sender
+    let engine = sender
         .join()
         .map_err(|_| "fault sender thread panicked".to_owned())??;
-    let (buf, picture_packets, mut delta_events, last_arrival) = receiver
+    let collector = receiver
         .join()
         .map_err(|_| "fault receiver thread panicked".to_owned())??;
-    let delivered = EncodedStream::from_bytes(buf)
-        .map_err(|e| format!("lossy reassembly failed: {e}"))?;
-
-    // The client sees hints in *arrival* order.
-    delta_events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.seq.cmp(&b.1.seq)));
-    let mut tracker = DeltaTracker::new();
-    let mut arrivals: Vec<Option<f64>> = vec![None; n_deltas];
-    for (arrival, d) in &delta_events {
-        let now_frame = if *arrival <= startup {
-            0
-        } else {
-            ((*arrival - startup) * fps).floor() as u32
-        };
-        tracker.offer(d, now_frame);
-        let slot = arrivals.get_mut(d.seq as usize);
-        if let Some(slot) = slot {
-            if slot.is_none_or(|prev| *arrival < prev) {
-                *slot = Some(*arrival);
-            }
-        }
-    }
-    let arrivals = AnnotationArrivals::new(startup, fps, deadlines, arrivals);
-    let report = FaultReport {
-        channel: chan.stats(),
-        delta_packets: n_deltas as u64,
-        deltas_lost: arrivals.lost() as u64,
-        deltas_late: arrivals.late() as u64,
-        delta_duplicates: u64::from(tracker.duplicates()),
-        delta_gaps: u64::from(tracker.gaps()),
-        retransmit_energy_j: 0.0,
-        transfer_time_s: last_arrival,
-    };
-    Ok(LossyDelivery { stream: delivered, picture_packets, arrivals, report })
+    engine.finish(collector)
 }
 
 /// Client policy when a scene's annotation hint is missing.

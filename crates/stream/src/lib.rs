@@ -19,13 +19,17 @@
 //!   the client's graceful-degradation policy for lost annotation hints;
 //! * [`session`] — end-to-end orchestration (threaded server → client
 //!   delivery over crossbeam channels), producing the measurements behind
-//!   Fig. 10.
+//!   Fig. 10;
+//! * [`machine`] — the same session lifecycle re-hosted as resumable
+//!   state machines on the deterministic reactor, scaling one process to
+//!   10⁵⁺ concurrent sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod faults;
+pub mod machine;
 pub mod message;
 pub mod network;
 pub mod proxy;
@@ -37,6 +41,10 @@ pub use faults::{
     deliver_lossy, AnnotationArrivals, ChannelStats, DegradationConfig, DegradationEvent,
     DegradationKind, DegradedPlayback, FaultConfig, FaultReport, FaultyChannel, LossyDelivery,
     RetryOutcome,
+};
+pub use machine::{
+    run_faulty_sessions_on_reactor, run_sessions_on_reactor, FaultySessionMachine, ScaleOutcome,
+    ScaleSession, ScaleSpec, SessionMachine,
 };
 pub use message::{grant_quality, ClientHello, PacketKind, ServerOffer, StreamPacket};
 pub use network::WirelessChannel;

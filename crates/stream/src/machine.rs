@@ -1,0 +1,683 @@
+//! Sessions as resumable reactor state machines.
+//!
+//! The thread-per-session entry points ([`crate::session::run_session`],
+//! [`crate::session::run_session_faulty`]) pin an OS stack per live
+//! playback — the hard ceiling between a soak test and the "millions of
+//! users" fleet scenarios. This module re-hosts the same session
+//! lifecycle (negotiate → stream → retransmit → degrade → ramp) as
+//! cooperative [`Task`]s on the [`annolight_support::reactor`]:
+//!
+//! * [`SessionMachine`] / [`FaultySessionMachine`] — **full-fidelity**
+//!   machines that reuse the exact negotiation/delivery/playback halves
+//!   of the threaded paths (`negotiate_and_serve`, `play_received`,
+//!   `finish_faulty`, [`LossyEngine`]/[`LossyCollector`]), so their
+//!   reports are byte-identical to the thread-per-session reference by
+//!   construction — the determinism tier pins this.
+//! * [`ScaleSession`] — the **lightweight** tier for 10⁵⁺ concurrent
+//!   sessions: per-session state is one [`FaultyChannel`] plus a few
+//!   counters (≈ a few hundred bytes), the packet plan and annotation
+//!   schedule are shared behind one [`ScaleSpec`] `Arc`, and received
+//!   copies fold into an FNV digest instead of buffering bytes. Fault
+//!   fates still come from the real seeded channel; the degradation tail
+//!   replays the client's hold-then-ramp policy arithmetically.
+
+use crate::faults::{
+    retry::RetryPolicy, DegradationConfig, FaultConfig, FaultyChannel, LossyCollector, LossyEngine,
+};
+use crate::message::StreamPacket;
+use crate::network::WirelessChannel;
+use crate::session::{
+    finish_faulty, negotiate_and_serve, play_received, FaultySessionReport, SessionConfig,
+    SessionError, SessionReport,
+};
+use annolight_codec::{Decoder, EncodedStream};
+use annolight_core::delta::AnnotationDelta;
+use annolight_core::track::AnnotationTrack;
+use annolight_core::QualityLevel;
+use annolight_display::DeviceProfile;
+use annolight_power::SystemPowerModel;
+use annolight_support::channel::{self, Sender};
+use annolight_support::reactor::{Context, Reactor, ReactorConfig, ReactorReport, Step, Task};
+use annolight_support::wheel::ticks_from_secs;
+use std::sync::Arc;
+
+/// MTU chunks a lossless machine moves per cooperative step.
+const CHUNKS_PER_STEP: usize = 16;
+
+/// Packets a faulty machine pumps per cooperative step.
+const PACKETS_PER_STEP: usize = 16;
+
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Full-fidelity lossless machine.
+// ---------------------------------------------------------------------------
+
+struct PlainDeliver {
+    bytes: Vec<u8>,
+    offset: usize,
+    packets: usize,
+    received: Vec<u8>,
+    annotation_bytes: usize,
+    granted: QualityLevel,
+    device: DeviceProfile,
+    system: SystemPowerModel,
+    channel: WirelessChannel,
+    burst_prefetch: bool,
+}
+
+enum PlainState {
+    Init(Box<SessionConfig>),
+    Deliver(Box<PlainDeliver>),
+    Finished,
+}
+
+/// [`crate::session::run_session`] as a resumable state machine:
+/// negotiate/serve in the first step, then move MTU chunks
+/// cooperatively (sleeping the virtual send clock between batches), then
+/// play back through the shared `play_received` tail. The result arrives
+/// on the output channel as `(index, report)`.
+pub struct SessionMachine {
+    state: PlainState,
+    index: usize,
+    out: Sender<(usize, Result<SessionReport, SessionError>)>,
+}
+
+impl SessionMachine {
+    /// A machine for `config`, reporting as session `index` on `out`.
+    #[must_use]
+    pub fn new(
+        config: SessionConfig,
+        index: usize,
+        out: Sender<(usize, Result<SessionReport, SessionError>)>,
+    ) -> Self {
+        Self { state: PlainState::Init(Box::new(config)), index, out }
+    }
+}
+
+impl Task for SessionMachine {
+    fn step(&mut self, _cx: &Context) -> Step {
+        match std::mem::replace(&mut self.state, PlainState::Finished) {
+            PlainState::Init(config) => match negotiate_and_serve(*config) {
+                Ok((stream, annotation_bytes, granted, device, config)) => {
+                    let bytes = stream.as_bytes().to_vec();
+                    self.state = PlainState::Deliver(Box::new(PlainDeliver {
+                        received: Vec::with_capacity(bytes.len()),
+                        bytes,
+                        offset: 0,
+                        packets: 0,
+                        annotation_bytes,
+                        granted,
+                        device,
+                        system: config.system,
+                        channel: config.channel,
+                        burst_prefetch: config.burst_prefetch,
+                    }));
+                    Step::Yield
+                }
+                Err(e) => {
+                    let _ = self.out.send((self.index, Err(e)));
+                    Step::Done
+                }
+            },
+            PlainState::Deliver(mut d) => {
+                let mtu = d.channel.mtu;
+                for _ in 0..CHUNKS_PER_STEP {
+                    if d.offset >= d.bytes.len() {
+                        break;
+                    }
+                    let end = (d.offset + mtu).min(d.bytes.len());
+                    d.received.extend_from_slice(&d.bytes[d.offset..end]);
+                    d.offset = end;
+                    d.packets += 1;
+                }
+                if d.offset >= d.bytes.len() {
+                    let result = play_received(
+                        d.received,
+                        d.packets,
+                        d.annotation_bytes,
+                        d.granted,
+                        d.device,
+                        d.system,
+                        &d.channel,
+                        d.burst_prefetch,
+                    );
+                    let _ = self.out.send((self.index, result));
+                    return Step::Done;
+                }
+                // Sleep to the cumulative send clock — the same
+                // bytes-over-bandwidth expression the channel model uses.
+                let clock =
+                    (d.offset as f64 * 8.0) / d.channel.bandwidth_bps + d.channel.latency_s;
+                self.state = PlainState::Deliver(d);
+                Step::Sleep(ticks_from_secs(clock))
+            }
+            PlainState::Finished => Step::Done,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-fidelity faulty machine.
+// ---------------------------------------------------------------------------
+
+struct FaultyDeliver {
+    engine: LossyEngine,
+    collector: LossyCollector,
+    total: usize,
+    annotation_bytes: usize,
+    granted: QualityLevel,
+    device: DeviceProfile,
+    system: SystemPowerModel,
+    channel: WirelessChannel,
+    burst_prefetch: bool,
+}
+
+enum FaultyState {
+    Init(Box<SessionConfig>),
+    Deliver(Box<FaultyDeliver>),
+    Finished,
+}
+
+/// [`crate::session::run_session_faulty`] as a resumable state machine:
+/// the [`LossyEngine`] pumps packet fates (loss, bursts, retransmission
+/// deadlines) cooperatively into the [`LossyCollector`], then the shared
+/// `finish_faulty` tail degrades/ramps playback — byte-identical to the
+/// threaded path, which pumps the same engine from a thread.
+pub struct FaultySessionMachine {
+    state: FaultyState,
+    index: usize,
+    out: Sender<(usize, Result<FaultySessionReport, SessionError>)>,
+}
+
+impl FaultySessionMachine {
+    /// A machine for `config`, reporting as session `index` on `out`.
+    #[must_use]
+    pub fn new(
+        config: SessionConfig,
+        index: usize,
+        out: Sender<(usize, Result<FaultySessionReport, SessionError>)>,
+    ) -> Self {
+        Self { state: FaultyState::Init(Box::new(config)), index, out }
+    }
+
+    fn fail(&mut self, e: SessionError) -> Step {
+        let _ = self.out.send((self.index, Err(e)));
+        Step::Done
+    }
+}
+
+impl Task for FaultySessionMachine {
+    fn step(&mut self, _cx: &Context) -> Step {
+        match std::mem::replace(&mut self.state, FaultyState::Finished) {
+            FaultyState::Init(config) => match negotiate_and_serve(*config) {
+                Ok((stream, annotation_bytes, granted, device, config)) => {
+                    let total = stream.as_bytes().len();
+                    let engine = match LossyEngine::new(&stream, &config.channel, &config.faults)
+                    {
+                        Ok(engine) => engine,
+                        Err(e) => return self.fail(SessionError::Pipeline(e)),
+                    };
+                    self.state = FaultyState::Deliver(Box::new(FaultyDeliver {
+                        engine,
+                        collector: LossyCollector::with_capacity(total),
+                        total,
+                        annotation_bytes,
+                        granted,
+                        device,
+                        system: config.system,
+                        channel: config.channel,
+                        burst_prefetch: config.burst_prefetch,
+                    }));
+                    Step::Yield
+                }
+                Err(e) => self.fail(e),
+            },
+            FaultyState::Deliver(mut d) => {
+                for _ in 0..PACKETS_PER_STEP {
+                    match d.engine.pump() {
+                        Ok(Some(copies)) => {
+                            for (arrival, wire) in copies {
+                                if let Err(e) = d.collector.offer(arrival, &wire) {
+                                    return self.fail(SessionError::Pipeline(e));
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            let lossy = match d.engine.finish(d.collector) {
+                                Ok(lossy) => lossy,
+                                Err(e) => return self.fail(SessionError::Pipeline(e)),
+                            };
+                            let result = finish_faulty(
+                                lossy,
+                                d.total,
+                                d.annotation_bytes,
+                                d.granted,
+                                d.device,
+                                &d.channel,
+                                &d.system,
+                                d.burst_prefetch,
+                            );
+                            let _ = self.out.send((self.index, result));
+                            return Step::Done;
+                        }
+                        Err(e) => return self.fail(SessionError::Pipeline(e)),
+                    }
+                }
+                let clock = d.engine.clock_s();
+                self.state = FaultyState::Deliver(d);
+                Step::Sleep(ticks_from_secs(clock))
+            }
+            FaultyState::Finished => Step::Done,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lightweight scale tier.
+// ---------------------------------------------------------------------------
+
+/// The shared, immutable part of a fleet of [`ScaleSession`]s: the
+/// per-packet wire lengths (hints first, then MTU picture chunks), the
+/// hint deadlines, and the annotation schedule for the degradation
+/// replay. Built once per stream, shared behind an `Arc` by every
+/// session — per-session memory stays a few hundred bytes.
+#[derive(Debug)]
+pub struct ScaleSpec {
+    delta_lens: Vec<usize>,
+    picture_lens: Vec<usize>,
+    deadlines: Vec<f64>,
+    startup_s: f64,
+    fps: f64,
+    frames: u32,
+    /// `(start_frame, backlight level)` per scene, in frame order.
+    schedule: Vec<(u32, u8)>,
+    link: WirelessChannel,
+}
+
+impl ScaleSpec {
+    /// Negotiates and serves `config`'s clip once (the same
+    /// server-side path the threaded sessions take) and derives the
+    /// fleet's shared packet plan from the served stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates negotiation/pipeline failures.
+    pub fn negotiate(config: SessionConfig) -> Result<Self, SessionError> {
+        let (stream, _, _, _, config) = negotiate_and_serve(config)?;
+        Self::from_stream(&stream, &config.channel, config.faults.startup_buffer_s)
+            .map_err(SessionError::Pipeline)
+    }
+
+    /// Derives the packet plan for delivering `stream` over `link` with
+    /// `startup_buffer_s` of client-side buffering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when the stream or its annotation
+    /// track cannot be decoded.
+    pub fn from_stream(
+        stream: &EncodedStream,
+        link: &WirelessChannel,
+        startup_buffer_s: f64,
+    ) -> Result<Self, String> {
+        let dec = Decoder::new(stream).map_err(|e| e.to_string())?;
+        let mut track: Option<AnnotationTrack> = None;
+        for bytes in dec.user_data() {
+            if !annolight_core::extensions::is_dvfs_payload(bytes) && track.is_none() {
+                track = Some(AnnotationTrack::from_rle_bytes(bytes).map_err(|e| e.to_string())?);
+            }
+        }
+        let fps = stream.fps().max(f64::EPSILON);
+        let startup = link.latency_s + startup_buffer_s;
+        let deltas = track.as_ref().map(AnnotationDelta::from_track).unwrap_or_default();
+        let deadlines: Vec<f64> =
+            deltas.iter().map(|d| startup + f64::from(d.entry.start_frame) / fps).collect();
+        let mut seq = 0u32;
+        let delta_lens: Vec<usize> = deltas
+            .iter()
+            .map(|d| {
+                let len = StreamPacket::delta(seq, d.to_bytes()).to_wire().len();
+                seq += 1;
+                len
+            })
+            .collect();
+        let picture_lens: Vec<usize> = stream
+            .as_bytes()
+            .chunks(link.mtu)
+            .map(|c| {
+                let len = StreamPacket::picture(seq, c.to_vec()).to_wire().len();
+                seq += 1;
+                len
+            })
+            .collect();
+        let schedule = track
+            .as_ref()
+            .map(|t| t.entries().iter().map(|e| (e.start_frame, e.backlight.0)).collect())
+            .unwrap_or_default();
+        Ok(Self {
+            delta_lens,
+            picture_lens,
+            deadlines,
+            startup_s: startup,
+            fps,
+            frames: stream.frame_count(),
+            schedule,
+            link: *link,
+        })
+    }
+
+    /// Packets one session drives (hints + picture chunks).
+    #[must_use]
+    pub fn packets(&self) -> usize {
+        self.delta_lens.len() + self.picture_lens.len()
+    }
+}
+
+/// What one [`ScaleSession`] reports when it finishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleOutcome {
+    /// FNV fold of every arrival time the session observed — the
+    /// per-session fingerprint the scale bench aggregates.
+    pub digest: u64,
+    /// First transmissions offered to the channel.
+    pub packets: u64,
+    /// First transmissions lost.
+    pub dropped: u64,
+    /// Link-layer retransmissions spent.
+    pub retransmits: u64,
+    /// Picture packets that exhausted even the reliable retry budget.
+    pub undeliverable: u32,
+    /// Frames played without their annotation available.
+    pub degraded_frames: u32,
+    /// Mean perceived-intensity error of the degradation replay.
+    pub perceived_error: f64,
+    /// The send clock when the session finished, seconds.
+    pub finish_s: f64,
+}
+
+/// A playback session small enough to run 10⁵⁺ concurrently: real
+/// seeded fault fates from its own [`FaultyChannel`], the shared
+/// [`ScaleSpec`] packet plan, arrivals folded into a digest instead of
+/// buffered, and the client's hold-then-ramp degradation policy replayed
+/// arithmetically over the annotation schedule.
+pub struct ScaleSession {
+    spec: Arc<ScaleSpec>,
+    chan: FaultyChannel,
+    degradation: DegradationConfig,
+    next: usize,
+    arrivals: Vec<Option<f64>>,
+    digest: u64,
+    undeliverable: u32,
+    index: usize,
+    out: Sender<(usize, ScaleOutcome)>,
+}
+
+impl ScaleSession {
+    /// A session driving `spec`'s packet plan through a fresh channel
+    /// with the faults in `faults`.
+    #[must_use]
+    pub fn new(
+        spec: Arc<ScaleSpec>,
+        faults: FaultConfig,
+        index: usize,
+        out: Sender<(usize, ScaleOutcome)>,
+    ) -> Self {
+        let n = spec.delta_lens.len();
+        Self {
+            chan: FaultyChannel::new(spec.link, faults),
+            spec,
+            degradation: DegradationConfig::default(),
+            next: 0,
+            arrivals: vec![None; n],
+            digest: 0xcbf2_9ce4_8422_2325,
+            undeliverable: 0,
+            index,
+            out,
+        }
+    }
+
+    /// The client's graceful-degradation policy
+    /// ([`crate::client::PlaybackClient::play_degraded`]) replayed over
+    /// the annotation schedule: hold the last annotated level briefly,
+    /// then slew toward full backlight, recovering when a hint lands.
+    fn replay_degradation(&self) -> (u32, f64) {
+        let spec = &self.spec;
+        if spec.schedule.is_empty() || spec.frames == 0 {
+            return (0, 0.0);
+        }
+        let mut degraded = 0u32;
+        let mut error_sum = 0.0f64;
+        let mut last_good: u8 = 255;
+        let mut degraded_since: Option<u32> = None;
+        let mut missing_seq: Option<usize> = None;
+        for frame in 0..spec.frames {
+            let now = f64::from(frame) / spec.fps;
+            let idx = match spec.schedule.binary_search_by_key(&frame, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => i.saturating_sub(1),
+            };
+            let annotated = spec.schedule[idx].1;
+            let arrived = self
+                .arrivals
+                .get(idx)
+                .copied()
+                .flatten()
+                .is_some_and(|a| a <= spec.startup_s + now);
+            if arrived {
+                last_good = annotated;
+                degraded_since = None;
+                missing_seq = None;
+                continue;
+            }
+            if missing_seq != Some(idx) {
+                missing_seq = Some(idx);
+                degraded_since = Some(frame);
+            }
+            let held = frame - degraded_since.unwrap_or(frame);
+            let level = if held < self.degradation.hold_frames {
+                last_good
+            } else {
+                let ramp = u32::from(self.degradation.ramp_step_per_frame)
+                    * (held - self.degradation.hold_frames + 1);
+                (u32::from(last_good) + ramp).min(255) as u8
+            };
+            degraded += 1;
+            error_sum += f64::from(level.abs_diff(annotated));
+        }
+        (degraded, error_sum / (255.0 * f64::from(spec.frames)))
+    }
+}
+
+impl Task for ScaleSession {
+    fn step(&mut self, _cx: &Context) -> Step {
+        let n_deltas = self.spec.delta_lens.len();
+        for _ in 0..PACKETS_PER_STEP {
+            if self.next < n_deltas {
+                let i = self.next;
+                let deadline = self.spec.deadlines[i];
+                let len = self.spec.delta_lens[i];
+                let fate = self.chan.try_deliver(len, |sent_s| {
+                    Some(RetryPolicy::annotation().with_deadline((deadline - sent_s).max(0.0)))
+                });
+                if let Some(&first) = fate.copies.first() {
+                    self.arrivals[i] = Some(first);
+                }
+                for &a in &fate.copies {
+                    self.digest = fnv_fold(self.digest, a.to_bits());
+                }
+                self.next += 1;
+            } else if self.next < self.spec.packets() {
+                let len = self.spec.picture_lens[self.next - n_deltas];
+                let fate = self.chan.try_deliver(len, |_| Some(RetryPolicy::reliable()));
+                if fate.copies.is_empty() {
+                    self.undeliverable += 1;
+                }
+                for &a in &fate.copies {
+                    self.digest = fnv_fold(self.digest, a.to_bits());
+                }
+                self.next += 1;
+            } else {
+                let (degraded_frames, perceived_error) = self.replay_degradation();
+                let digest = fnv_fold(self.digest, u64::from(degraded_frames));
+                let stats = self.chan.stats();
+                let _ = self.out.send((
+                    self.index,
+                    ScaleOutcome {
+                        digest,
+                        packets: stats.packets,
+                        dropped: stats.dropped,
+                        retransmits: stats.retransmits,
+                        undeliverable: self.undeliverable,
+                        degraded_frames,
+                        perceived_error,
+                        finish_s: self.chan.clock_s(),
+                    },
+                ));
+                return Step::Done;
+            }
+        }
+        Step::Sleep(ticks_from_secs(self.chan.clock_s()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor runners.
+// ---------------------------------------------------------------------------
+
+fn collect_indexed<T>(
+    rx: channel::Receiver<(usize, T)>,
+    n: usize,
+    what: &str,
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    for (index, value) in rx.iter() {
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("{what} session {i} never reported")))
+        .collect()
+}
+
+/// Runs every config as a [`SessionMachine`] on one reactor; results in
+/// spawn order, plus the reactor's schedule report.
+#[must_use]
+pub fn run_sessions_on_reactor(
+    configs: Vec<SessionConfig>,
+    reactor_config: ReactorConfig,
+) -> (Vec<Result<SessionReport, SessionError>>, ReactorReport) {
+    let n = configs.len();
+    let (tx, rx) = channel::unbounded();
+    let mut reactor = Reactor::with_config(reactor_config);
+    for (index, config) in configs.into_iter().enumerate() {
+        reactor.spawn(Box::new(SessionMachine::new(config, index, tx.clone())));
+    }
+    drop(tx);
+    let report = reactor.run();
+    (collect_indexed(rx, n, "lossless"), report)
+}
+
+/// Runs every config as a [`FaultySessionMachine`] on one reactor;
+/// results in spawn order, plus the reactor's schedule report.
+#[must_use]
+pub fn run_faulty_sessions_on_reactor(
+    configs: Vec<SessionConfig>,
+    reactor_config: ReactorConfig,
+) -> (Vec<Result<FaultySessionReport, SessionError>>, ReactorReport) {
+    let n = configs.len();
+    let (tx, rx) = channel::unbounded();
+    let mut reactor = Reactor::with_config(reactor_config);
+    for (index, config) in configs.into_iter().enumerate() {
+        reactor.spawn(Box::new(FaultySessionMachine::new(config, index, tx.clone())));
+    }
+    drop(tx);
+    let report = reactor.run();
+    (collect_indexed(rx, n, "faulty"), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::run_session;
+    use annolight_video::ClipLibrary;
+
+    fn config(seed: u64) -> SessionConfig {
+        let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(2.0);
+        let mut cfg = SessionConfig::new(clip, QualityLevel::Q10);
+        cfg.faults = FaultConfig::lossless(seed);
+        cfg
+    }
+
+    #[test]
+    fn reactor_session_matches_threaded_reference_byte_for_byte() {
+        let threaded = run_session(config(1)).unwrap();
+        let (results, _) =
+            run_sessions_on_reactor(vec![config(1)], ReactorConfig::default());
+        let hosted = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&threaded),
+            annolight_support::json::to_string(&hosted),
+            "reactor-hosted session must reproduce the threaded report exactly"
+        );
+    }
+
+    #[test]
+    fn reactor_faulty_session_matches_threaded_reference() {
+        let mut cfg = config(42);
+        cfg.faults = FaultConfig::lossy(42, 0.2);
+        let threaded = crate::session::run_session_faulty(cfg.clone()).unwrap();
+        let (results, _) =
+            run_faulty_sessions_on_reactor(vec![cfg], ReactorConfig::default());
+        let hosted = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&threaded),
+            annolight_support::json::to_string(&hosted),
+            "reactor-hosted faulty session must reproduce the threaded report exactly"
+        );
+    }
+
+    #[test]
+    fn scale_sessions_complete_and_replay_deterministically() {
+        let (stream, _, _, _, config) = negotiate_and_serve(config(7)).unwrap();
+        let spec = Arc::new(
+            ScaleSpec::from_stream(&stream, &config.channel, config.faults.startup_buffer_s)
+                .unwrap(),
+        );
+        let run = |seed: u64| {
+            let (tx, rx) = channel::unbounded();
+            let mut reactor = Reactor::new(seed);
+            for i in 0..64usize {
+                let faults = if i % 2 == 0 {
+                    FaultConfig::bursty(seed ^ i as u64)
+                } else {
+                    FaultConfig::lossy(seed ^ i as u64, 0.1)
+                };
+                reactor.spawn(Box::new(ScaleSession::new(
+                    Arc::clone(&spec),
+                    faults,
+                    i,
+                    tx.clone(),
+                )));
+            }
+            drop(tx);
+            let report = reactor.run();
+            (collect_indexed(rx, 64, "scale"), report.digest.value())
+        };
+        let (a, da) = run(3);
+        let (b, db) = run(3);
+        assert_eq!(a, b, "same seed must replay identical outcomes");
+        assert_eq!(da, db);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|o| o.packets > 0 && o.undeliverable == 0));
+        assert!(a.iter().any(|o| o.dropped > 0), "lossy fleet must drop something");
+    }
+}

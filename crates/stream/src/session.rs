@@ -160,9 +160,10 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
 }
 
 /// The wired half of every session — negotiation, then serving or proxy
-/// transcoding — shared by the lossless and fault-injected paths.
+/// transcoding — shared by the lossless and fault-injected paths (and by
+/// the reactor state machines in [`crate::machine`]).
 #[allow(clippy::type_complexity)]
-fn negotiate_and_serve(
+pub(crate) fn negotiate_and_serve(
     config: SessionConfig,
 ) -> Result<(EncodedStream, usize, QualityLevel, DeviceProfile, SessionConfig), SessionError> {
     let clip_name = config.clip.name().to_owned();
@@ -261,12 +262,39 @@ pub fn run_session_faulty(config: SessionConfig) -> Result<FaultySessionReport, 
     let (stream, annotation_bytes, granted, device, config) = negotiate_and_serve(config)?;
     let lossy = deliver_lossy(&stream, &config.channel, &config.faults)
         .map_err(SessionError::Pipeline)?;
-
     let total = stream.as_bytes().len();
-    let transfer_time = config.channel.transfer_time_s(total);
+    finish_faulty(
+        lossy,
+        total,
+        annotation_bytes,
+        granted,
+        device,
+        &config.channel,
+        &config.system,
+        config.burst_prefetch,
+    )
+}
+
+/// The client-side tail of a fault-injected session: degraded playback,
+/// retransmission energy accounting, and report assembly. Shared by
+/// [`run_session_faulty`] and the reactor's resumable faulty session
+/// machine so both produce byte-identical reports from the same
+/// [`LossyDelivery`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_faulty(
+    lossy: crate::faults::LossyDelivery,
+    total: usize,
+    annotation_bytes: usize,
+    granted: QualityLevel,
+    device: DeviceProfile,
+    channel: &WirelessChannel,
+    system: &SystemPowerModel,
+    burst_prefetch: bool,
+) -> Result<FaultySessionReport, SessionError> {
+    let transfer_time = channel.transfer_time_s(total);
     let meter = EnergyMeter::new();
-    let mut client = PlaybackClient::new(device, config.system);
-    if config.burst_prefetch && lossy.stream.frame_count() > 0 {
+    let mut client = PlaybackClient::new(device, system.clone());
+    if burst_prefetch && lossy.stream.frame_count() > 0 {
         let duration =
             f64::from(lossy.stream.frame_count()) / lossy.stream.fps().max(f64::EPSILON);
         let duty = (transfer_time / duration).clamp(0.0, 1.0);
@@ -281,9 +309,9 @@ pub fn run_session_faulty(config: SessionConfig) -> Result<FaultySessionReport, 
         // Each retransmission keeps the radio receiving for one extra
         // packet airtime and transmits a NACK — charged above the
         // baseline the playback already accounts.
-        let slot = (config.channel.mtu as f64 * 8.0) / config.channel.bandwidth_bps;
+        let slot = (channel.mtu as f64 * 8.0) / channel.bandwidth_bps;
         faults.retransmit_energy_j =
-            config.system.retransmit_energy_j(faults.channel.retransmits, slot);
+            system.retransmit_energy_j(faults.channel.retransmits, slot);
         meter.add("wnic_retransmit", faults.retransmit_energy_j);
     }
 
@@ -413,6 +441,35 @@ fn deliver_and_play(
     let (received, packets) = receiver
         .join()
         .map_err(|_| SessionError::Pipeline("receiver thread panicked".into()))?;
+    play_received(
+        received,
+        packets,
+        annotation_bytes,
+        granted,
+        device,
+        system,
+        wireless,
+        burst_prefetch,
+    )
+}
+
+/// The client half of a lossless delivery: reassembly of the received
+/// bytes, then playback with energy accounting. Shared by the threaded
+/// [`deliver_and_play`] pipeline and the reactor's resumable session
+/// machine, which accumulates the same chunks cooperatively — both feed
+/// this function, so their reports are byte-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn play_received(
+    received: Vec<u8>,
+    packets: usize,
+    annotation_bytes: usize,
+    granted: QualityLevel,
+    device: DeviceProfile,
+    system: SystemPowerModel,
+    wireless: &WirelessChannel,
+    burst_prefetch: bool,
+) -> Result<SessionReport, SessionError> {
+    let total = received.len();
     let delivered = EncodedStream::from_bytes(received)
         .map_err(|e| SessionError::Pipeline(format!("reassembly failed: {e}")))?;
 

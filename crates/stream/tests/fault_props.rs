@@ -3,6 +3,7 @@
 //! arbitrary configurations, and the zero-fault path is bit-identical
 //! to the lossless [`WirelessChannel`] timing.
 
+use annolight_stream::faults::retry::RetryPolicy;
 use annolight_stream::{FaultConfig, FaultyChannel, WirelessChannel};
 
 annolight_support::check! {
@@ -106,6 +107,62 @@ annolight_support::check! {
         }
         let s = ch.stats();
         assert_eq!((s.dropped, s.duplicated, s.reordered, s.burst_packets), (0, 0, 0, 0));
+    }
+
+    /// The reactor's non-blocking `try_deliver` is byte-identical to the
+    /// blocking send-then-retransmit sequence the threaded pipeline
+    /// performs: same copies in the same order, same channel statistics,
+    /// for arbitrary fault mixes, packet traces, and retry policies.
+    fn try_deliver_matches_blocking_sequence(g, cases = 24) {
+        let seed = g.any::<u64>();
+        let cfg = FaultConfig {
+            drop_p: f64::from(g.draw(0u32..300)) / 1000.0,
+            dup_p: f64::from(g.draw(0u32..150)) / 1000.0,
+            reorder_p: f64::from(g.draw(0u32..150)) / 1000.0,
+            reorder_window: g.draw(1u32..5),
+            jitter_s: f64::from(g.draw(0u32..3000)) / 1_000_000.0,
+            burst_enter_p: f64::from(g.draw(0u32..50)) / 1000.0,
+            burst_exit_p: 0.3,
+            burst_drop_p: 0.8,
+            ..FaultConfig::lossless(seed)
+        };
+        let link = WirelessChannel::wifi_80211b();
+        let mut nonblocking = FaultyChannel::new(link, cfg);
+        let mut blocking = FaultyChannel::new(link, cfg);
+        let n = g.draw(50usize..400);
+        for i in 0..n {
+            let bytes = 40 + (i * 53) % 1400;
+            let reliable = i % 3 == 0;
+            let policy = if reliable {
+                RetryPolicy::reliable()
+            } else {
+                RetryPolicy::annotation().with_deadline(0.05)
+            };
+            let got = nonblocking.try_deliver(bytes, |_| Some(policy.clone()));
+
+            // The threaded discipline: send, and on loss retransmit.
+            let fate = blocking.send(bytes);
+            let mut want = Vec::new();
+            match fate.arrival_s {
+                Some(a) => {
+                    want.push(a);
+                    want.extend(fate.duplicate_arrival_s);
+                }
+                None => {
+                    let out = blocking.retransmit(bytes, &policy, fate.sent_s);
+                    want.extend(out.delivered_s);
+                }
+            }
+            assert_eq!(got.sent_s.to_bits(), fate.sent_s.to_bits(), "packet {i} send clock");
+            assert_eq!(got.lost_first, fate.arrival_s.is_none(), "packet {i} loss fate");
+            assert_eq!(
+                got.copies.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|a| a.to_bits()).collect::<Vec<_>>(),
+                "packet {i} copies diverged (seed {seed:#x})"
+            );
+        }
+        assert_eq!(nonblocking.stats(), blocking.stats(), "stats diverged (seed {seed:#x})");
+        assert_eq!(nonblocking.clock_s().to_bits(), blocking.clock_s().to_bits());
     }
 
     /// Identical configuration => identical per-packet fates, even with

@@ -82,6 +82,28 @@ impl std::fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::try_send`], distinguishing a full
+/// bounded channel from a hung-up receiver; carries the undelivered
+/// message back either way (the crossbeam shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the receiver still exists.
+    Full(T),
+    /// The receiving side has hung up.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a closed channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
 impl<T> Sender<T> {
     /// Delivers `value`, blocking while a bounded channel is full.
     ///
@@ -92,6 +114,27 @@ impl<T> Sender<T> {
         match &self.inner {
             SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
             SenderKind::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+        }
+    }
+
+    /// Non-blocking send: never parks the calling thread, which makes
+    /// it safe inside a reactor task step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when a bounded channel is at
+    /// capacity (unbounded channels are never full) and
+    /// [`TrySendError::Disconnected`] when the receiver is gone, the
+    /// value handed back in both cases.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.inner {
+            SenderKind::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+            SenderKind::Unbounded(s) => {
+                s.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+            }
         }
     }
 }
@@ -253,6 +296,27 @@ mod tests {
         drop(tx);
         assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(2), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn try_send_unbounded_never_full() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..1_000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        assert_eq!(tx.try_send(0), Err(TrySendError::Disconnected(0)));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! | [`check`] | `proptest` | deterministic property runner, [`check!`] |
 //! | [`retry`] | `backoff`/`retry` | deadline-aware [`retry::RetryPolicy`] |
 //! | [`bench`] | `criterion` | wall-clock median-of-N harness |
+//! | [`wheel`] | `tokio-util` timers | hierarchical virtual-time [`wheel::TimerWheel`] |
+//! | [`reactor`] | `tokio`/`mio` | deterministic cooperative [`reactor::Reactor`] |
 //!
 //! All modules are `std`-only. Determinism is a design goal throughout:
 //! the PRNG is seedable, the property runner prints a replayable seed on
@@ -29,6 +31,8 @@ pub mod bytes;
 pub mod channel;
 pub mod check;
 pub mod json;
+pub mod reactor;
 pub mod retry;
 pub mod rng;
 pub mod sync;
+pub mod wheel;

@@ -6,7 +6,7 @@
 //! interleaving, so the poison flag is noise — we take the guard anyway,
 //! exactly as `parking_lot` semantics did.
 
-use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` never returns `Err`.
@@ -85,6 +85,89 @@ impl Condvar {
     }
 }
 
+/// A permit-based parked waker (`crossbeam::sync::Parker` shape) built
+/// on [`Mutex`] + [`Condvar::wait_timeout`]: the reactor's idle loop
+/// *sleeps* on it instead of spin-polling. One thread parks; any number
+/// of [`Unparker`] clones may wake it. The permit is a single-slot flag,
+/// not a counter: an `unpark` before `park` makes exactly the next
+/// `park` return immediately, and repeated `unpark`s coalesce.
+#[derive(Debug)]
+pub struct Parker {
+    inner: Arc<ParkInner>,
+}
+
+/// The waking half of a [`Parker`]; cloneable and sendable to other
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Unparker {
+    inner: Arc<ParkInner>,
+}
+
+#[derive(Debug, Default)]
+struct ParkInner {
+    permit: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// A parker with no pending permit.
+    #[must_use]
+    pub fn new() -> Self {
+        Parker { inner: Arc::new(ParkInner::default()) }
+    }
+
+    /// A handle that wakes this parker from another thread.
+    #[must_use]
+    pub fn unparker(&self) -> Unparker {
+        Unparker { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Blocks until a permit is available, then consumes it.
+    pub fn park(&self) {
+        let guard = self.inner.permit.lock();
+        let mut guard = self.inner.cv.wait_while(guard, |permit| !*permit);
+        *guard = false;
+    }
+
+    /// Blocks until a permit arrives or `timeout` elapses. Returns
+    /// `true` when unparked (permit consumed), `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.inner.permit.lock();
+        // Loop against spurious wakeups, re-deriving the remaining
+        // budget so the total wait never exceeds `timeout`.
+        while !*guard {
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return false;
+            };
+            if left.is_zero() {
+                return false;
+            }
+            let (g, timed_out) = self.inner.cv.wait_timeout(guard, left);
+            guard = g;
+            if timed_out && !*guard {
+                return false;
+            }
+        }
+        *guard = false;
+        true
+    }
+}
+
+impl Unparker {
+    /// Deposits the permit and wakes the parked thread, if any.
+    pub fn unpark(&self) {
+        *self.inner.permit.lock() = true;
+        self.inner.cv.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +231,84 @@ mod tests {
         let (_guard, timed_out) =
             cv.wait_timeout(m.lock(), std::time::Duration::from_millis(5));
         assert!(timed_out);
+    }
+
+    #[test]
+    fn parker_unpark_before_park_returns_immediately() {
+        // Wake ordering: a permit deposited *before* the park must let
+        // the very next park pass without blocking.
+        let p = Parker::new();
+        p.unparker().unpark();
+        let start = std::time::Instant::now();
+        p.park();
+        assert!(start.elapsed() < Duration::from_millis(100));
+        // The permit was consumed: the next timed park must time out.
+        assert!(!p.park_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn parker_permits_coalesce_to_one() {
+        let p = Parker::new();
+        let u = p.unparker();
+        u.unpark();
+        u.unpark();
+        u.unpark();
+        assert!(p.park_timeout(Duration::from_millis(5)));
+        // Only one permit despite three unparks.
+        assert!(!p.park_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn parker_wakes_parked_thread_from_another_thread() {
+        let p = Arc::new(Parker::new());
+        let u = p.unparker();
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                p.park();
+                true
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        u.unpark();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn parker_timeout_expires_without_permit() {
+        let p = Parker::new();
+        let start = std::time::Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn parker_park_unpark_cycles_stay_ordered() {
+        // Each unpark wakes exactly the park paired with it; the
+        // sequence of observed wakes equals the sequence of permits.
+        let p = Arc::new(Parker::new());
+        let u = p.unparker();
+        let rounds = 50;
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let mut woken = 0u32;
+                for _ in 0..rounds {
+                    p.park();
+                    woken += 1;
+                }
+                woken
+            })
+        };
+        for _ in 0..rounds {
+            u.unpark();
+            // Give the waiter a moment to consume before the next
+            // permit so permits don't coalesce.
+            while *p.inner.permit.lock() {
+                thread::yield_now();
+            }
+        }
+        assert_eq!(waiter.join().unwrap(), rounds);
     }
 
     #[test]

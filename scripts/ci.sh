@@ -29,7 +29,9 @@ CODEC_LOG_A="$(mktemp)"
 CODEC_LOG_B="$(mktemp)"
 SLO_LOG_A="$(mktemp)"
 SLO_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B"' EXIT
+REACTOR_LOG_A="$(mktemp)"
+REACTOR_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -68,6 +70,18 @@ ANNOLIGHT_SLO_LOG="$SLO_LOG_B" \
 test -s "$SLO_LOG_A" || { echo "workload SLO summary log was not written"; exit 1; }
 cmp "$SLO_LOG_A" "$SLO_LOG_B" \
   || { echo "workload SLO summaries diverged between identical runs"; exit 1; }
+
+echo "== reactor determinism guard (same seed twice, diff schedule logs) =="
+ANNOLIGHT_REACTOR_LOG="$REACTOR_LOG_A" \
+  cargo test -q --release --offline --test reactor_determinism
+ANNOLIGHT_REACTOR_LOG="$REACTOR_LOG_B" \
+  cargo test -q --release --offline --test reactor_determinism
+test -s "$REACTOR_LOG_A" || { echo "reactor schedule log was not written"; exit 1; }
+cmp "$REACTOR_LOG_A" "$REACTOR_LOG_B" \
+  || { echo "reactor schedule logs diverged between identical runs"; exit 1; }
+
+echo "== reactor scale smoke (--test mode, >=100k sessions, double-run deterministic) =="
+cargo run -q --release --offline -p annolight-bench --bin reactor_scale -- --test
 
 echo "== fleet SLO smoke (--test mode, double-run deterministic) =="
 cargo run -q --release --offline -p annolight-bench --bin serve_slo -- --test

@@ -1,0 +1,214 @@
+//! Tier-2 determinism suite for the session reactor.
+//!
+//! The reactor's contract, pinned end to end:
+//!
+//! * **Seeded schedule replay** — the same seed produces the identical
+//!   step-trace digest across two runs *and* across worker counts
+//!   (`workers ∈ {1, 4}`): parallel stepping may reorder execution but
+//!   never observation.
+//! * **Byte-identity to the threaded reference** — a zero-fault
+//!   reactor-hosted session serialises byte-for-byte equal to
+//!   [`run_session`], and a faulty one to [`run_session_faulty`], for
+//!   every seed in the matrix.
+//! * **Scale-tier replay** — a mixed lossy/bursty [`ScaleSession`]
+//!   fleet replays identical per-session outcome digests.
+//!
+//! Set `ANNOLIGHT_REACTOR_LOG=/path` to export the canonical schedule +
+//! outcome log as JSON (the CI script runs the suite twice and `cmp`s
+//! the two files).
+
+use annolight::core::QualityLevel;
+use annolight::stream::machine::{ScaleOutcome, ScaleSession, ScaleSpec};
+use annolight::stream::{
+    run_faulty_sessions_on_reactor, run_session, run_session_faulty, run_sessions_on_reactor,
+    FaultConfig, SessionConfig,
+};
+use annolight::video::{Clip, ClipLibrary};
+use annolight_support::channel;
+use annolight_support::reactor::{Reactor, ReactorConfig};
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [1, 42, 0xA110];
+
+fn test_clip() -> Clip {
+    ClipLibrary::paper_clips()
+        .into_iter()
+        .next()
+        .expect("paper clip library is non-empty")
+        .preview(2.0)
+}
+
+fn faulty_configs(clip: &Clip, seed: u64) -> Vec<SessionConfig> {
+    (0..4)
+        .map(|i| {
+            let mut config = SessionConfig::new(clip.clone(), QualityLevel::Q10);
+            config.faults = match i % 3 {
+                0 => FaultConfig::lossless(seed ^ i),
+                1 => FaultConfig::lossy(seed ^ i, 0.1),
+                _ => FaultConfig::bursty(seed ^ i),
+            };
+            config
+        })
+        .collect()
+}
+
+fn reactor_config(seed: u64, workers: usize) -> ReactorConfig {
+    ReactorConfig { seed, workers, ..ReactorConfig::default() }
+}
+
+#[test]
+fn same_seed_same_digest_across_runs_and_worker_counts() {
+    let clip = test_clip();
+    for seed in SEEDS {
+        let run = |workers: usize| {
+            let (reports, reactor) =
+                run_faulty_sessions_on_reactor(faulty_configs(&clip, seed), reactor_config(seed, workers));
+            let serialized: Vec<String> = reports
+                .into_iter()
+                .map(|r| annolight_support::json::to_string(&r.expect("session succeeds")))
+                .collect();
+            (serialized, reactor.digest.value())
+        };
+        let (r1a, d1a) = run(1);
+        let (r1b, d1b) = run(1);
+        assert_eq!(d1a, d1b, "seed {seed}: two single-worker runs must share a digest");
+        assert_eq!(r1a, r1b, "seed {seed}: two single-worker runs must share reports");
+        let (r4, d4) = run(4);
+        assert_eq!(d1a, d4, "seed {seed}: digest must be invariant under workers=4");
+        assert_eq!(r1a, r4, "seed {seed}: reports must be invariant under workers=4");
+    }
+    // Different seeds shuffle differently (schedules are seed-driven).
+    let digest_of = |seed: u64| {
+        run_faulty_sessions_on_reactor(faulty_configs(&clip, seed), reactor_config(seed, 1))
+            .1
+            .digest
+            .value()
+    };
+    assert_ne!(digest_of(SEEDS[0]), digest_of(SEEDS[1]));
+}
+
+#[test]
+fn zero_fault_reactor_sessions_match_threaded_reference_byte_for_byte() {
+    let clip = test_clip();
+    let plain = run_session(SessionConfig::new(clip.clone(), QualityLevel::Q10))
+        .expect("plain session succeeds");
+    let want = annolight_support::json::to_string_pretty(&plain);
+    for seed in SEEDS {
+        let (results, _) = run_sessions_on_reactor(
+            vec![SessionConfig::new(clip.clone(), QualityLevel::Q10)],
+            reactor_config(seed, 1),
+        );
+        let hosted = results.into_iter().next().unwrap().expect("reactor session succeeds");
+        assert_eq!(
+            annolight_support::json::to_string_pretty(&hosted),
+            want,
+            "seed {seed}: reactor-hosted session must reproduce run_session exactly"
+        );
+    }
+}
+
+#[test]
+fn faulty_reactor_sessions_match_threaded_reference_byte_for_byte() {
+    let clip = test_clip();
+    for seed in SEEDS {
+        for config in faulty_configs(&clip, seed) {
+            let threaded =
+                run_session_faulty(config.clone()).expect("threaded faulty session succeeds");
+            let (results, _) =
+                run_faulty_sessions_on_reactor(vec![config], reactor_config(seed, 1));
+            let hosted = results.into_iter().next().unwrap().expect("reactor session succeeds");
+            assert_eq!(
+                annolight_support::json::to_string_pretty(&hosted),
+                annolight_support::json::to_string_pretty(&threaded),
+                "seed {seed}: reactor-hosted faulty session must reproduce run_session_faulty"
+            );
+        }
+    }
+}
+
+fn scale_fleet(seed: u64, workers: usize) -> (Vec<ScaleOutcome>, u64) {
+    let clip = test_clip();
+    let spec = Arc::new(
+        ScaleSpec::negotiate(SessionConfig::new(clip, QualityLevel::Q10))
+            .expect("fleet spec negotiates"),
+    );
+    let (tx, rx) = channel::unbounded();
+    let mut reactor = Reactor::with_config(reactor_config(seed, workers));
+    let n = 48usize;
+    for i in 0..n {
+        let faults = if i % 2 == 0 {
+            FaultConfig::lossy(seed ^ i as u64, 0.15)
+        } else {
+            FaultConfig::bursty(seed ^ i as u64)
+        };
+        reactor.spawn(Box::new(ScaleSession::new(Arc::clone(&spec), faults, i, tx.clone())));
+    }
+    drop(tx);
+    let report = reactor.run();
+    let mut outcomes: Vec<Option<ScaleOutcome>> = vec![None; n];
+    for (i, o) in rx.iter() {
+        outcomes[i] = Some(o);
+    }
+    (outcomes.into_iter().map(|o| o.expect("every session reports")).collect(),
+     report.digest.value())
+}
+
+#[test]
+fn scale_fleet_replays_identically_across_runs_and_workers() {
+    let (a, da) = scale_fleet(7, 1);
+    let (b, db) = scale_fleet(7, 1);
+    assert_eq!(a, b, "same-seed scale fleets must produce identical outcomes");
+    assert_eq!(da, db);
+    let (c, dc) = scale_fleet(7, 4);
+    assert_eq!(a, c, "outcomes must be invariant under workers=4");
+    assert_eq!(da, dc, "digest must be invariant under workers=4");
+    assert!(a.iter().any(|o| o.dropped > 0), "a lossy fleet must drop packets");
+    assert!(a.iter().all(|o| o.undeliverable == 0), "reliable retries must deliver pictures");
+}
+
+/// The canonical deterministic artefact: per-seed schedule digests and
+/// session/fleet outcomes, as JSON. `scripts/ci.sh` runs this twice and
+/// `cmp`s the files.
+fn reactor_log() -> String {
+    let clip = test_clip();
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for seed in SEEDS {
+        let (reports, reactor) =
+            run_faulty_sessions_on_reactor(faulty_configs(&clip, seed), reactor_config(seed, 1));
+        let sessions: Vec<annolight::stream::FaultySessionReport> =
+            reports.into_iter().map(|r| r.expect("session succeeds")).collect();
+        let (fleet, fleet_digest) = scale_fleet(seed, 1);
+        let scale_digests: Vec<String> =
+            fleet.iter().map(|o| format!("{:016x}", o.digest)).collect();
+        let entry = annolight_support::json_obj!({
+            "seed": seed,
+            "schedule_digest": reactor.digest.to_hex(),
+            "rounds": reactor.rounds,
+            "steps": reactor.steps,
+            "sessions": sessions,
+            "scale_schedule_digest": format!("{fleet_digest:016x}"),
+            "scale_session_digests": scale_digests,
+        });
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&entry.pretty());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[test]
+fn reactor_logs_replay_byte_identically_and_export_for_ci() {
+    let a = reactor_log();
+    let b = reactor_log();
+    assert_eq!(a, b, "same seeds must replay byte-identical reactor logs in-process");
+    if let Ok(path) = std::env::var("ANNOLIGHT_REACTOR_LOG") {
+        if !path.is_empty() {
+            std::fs::write(&path, &a)
+                .unwrap_or_else(|e| panic!("writing reactor log to {path}: {e}"));
+        }
+    }
+}
