@@ -24,6 +24,7 @@ fn main() {
     let rl = tab_loss::run(if quick { 4.0 } else { 8.0 }, 42);
     let rpt = pipeline_throughput::run(if quick { 1.0 } else { 8.0 }, if quick { 1 } else { 3 });
     let rct = codec_throughput::run(if quick { 1.0 } else { 6.0 }, if quick { 1 } else { 3 });
+    let rg = ext_governor::run(if quick { 6.0 } else { 20.0 });
 
     if json {
         let doc = annolight_support::json_obj!({
@@ -32,6 +33,7 @@ fn main() {
             "tab_overhead": ro, "tab_baselines": rb, "tab_loss": rl,
             "pipeline_throughput": rpt,
             "codec_throughput": rct,
+            "ext_governor": rg,
         });
         println!("{}", doc.pretty());
     } else {
@@ -48,5 +50,6 @@ fn main() {
         println!("{}", tab_loss::render(&rl));
         println!("{}", pipeline_throughput::render(&rpt));
         println!("{}", codec_throughput::render(&rct));
+        println!("{}", ext_governor::render(&rg));
     }
 }

@@ -1,0 +1,44 @@
+//! Regenerates the energy-budget governor extension experiment.
+//!
+//! * `ext_governor` — full budget sweep, table to stdout.
+//! * `ext_governor --test` — CI smoke: short sweep, double-run
+//!   determinism check (identical trace digests) plus within-budget
+//!   assertions on every cell.
+
+use annolight_bench::figures::ext_governor;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    if smoke {
+        let a = ext_governor::run(6.0);
+        let b = ext_governor::run(6.0);
+        assert_eq!(
+            ext_governor::deterministic_log(&a),
+            ext_governor::deterministic_log(&b),
+            "same-seed double run must replay identical governor traces"
+        );
+        print!("{}", ext_governor::render(&a));
+        assert!(!a.rows.is_empty(), "smoke must run at least one cell");
+        for r in &a.rows {
+            assert!(
+                r.within_budget && r.spent_j <= r.budget_j + 1e-9,
+                "{} frac {}: spent {} of {} J",
+                r.clip,
+                r.budget_frac,
+                r.spent_j,
+                r.budget_j
+            );
+            assert!(r.quality_error <= 0.5, "{}: quality error {}", r.clip, r.quality_error);
+        }
+        assert!(
+            a.rows.iter().any(|r| r.degrades > 0),
+            "the tight cells must force at least one degrade"
+        );
+        println!("\next_governor --test: ok ({} cells, double-run deterministic)", a.rows.len());
+        return;
+    }
+
+    let e = ext_governor::run(20.0);
+    print!("{}", ext_governor::render(&e));
+}

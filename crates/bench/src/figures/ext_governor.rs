@@ -1,0 +1,179 @@
+//! Extension experiment — closed-loop energy-budgeted playback.
+//!
+//! The paper's annotations are open-loop: the quality level is fixed at
+//! negotiation and the session costs whatever it costs. This experiment
+//! closes the loop: "fit this playback into N joules". For dark and
+//! bright clip classes, sweep the joule budget from loose to tight and
+//! let the per-scene governor (`annolight_stream::governor`) search the
+//! quality knob against the remaining budget, battery charge and the
+//! thermal model — then report where each session actually landed.
+
+use crate::table::Table;
+use annolight_core::governor::GovernorAction;
+use annolight_core::QualityLevel;
+use annolight_stream::{
+    governed_projections, run_session_governed, GovernorSessionConfig, SessionConfig,
+};
+use annolight_video::ClipLibrary;
+
+/// Seed for the ambient light sensor stream.
+pub const BASELINE_SEED: u64 = 0xA110;
+
+/// Budget pressure points, as the fraction of the floor→full projection
+/// span granted above the floor.
+pub const BUDGET_FRACS: [f64; 3] = [0.9, 0.5, 0.08];
+
+/// One (clip, budget) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorRow {
+    /// Clip name.
+    pub clip: String,
+    /// Budget pressure (fraction of the floor→full span).
+    pub budget_frac: f64,
+    /// The joule budget handed to the governor.
+    pub budget_j: f64,
+    /// What the governed playback actually spent, joules.
+    pub spent_j: f64,
+    /// What the open-loop session at the requested quality would have
+    /// spent, joules.
+    pub open_loop_j: f64,
+    /// Whether the session landed within the budget.
+    pub within_budget: bool,
+    /// Mean perceived-quality shortfall vs. the requested plan.
+    pub quality_error: f64,
+    /// Scenes that stepped the knob down (more aggressive).
+    pub degrades: u32,
+    /// Scenes that stepped the knob back up.
+    pub improves: u32,
+    /// FNV digest of the governor trace, hex.
+    pub trace_hex: String,
+}
+
+annolight_support::impl_json!(struct GovernorRow { clip, budget_frac, budget_j, spent_j, open_loop_j, within_budget, quality_error, degrades, improves, trace_hex });
+
+/// The extension experiment data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtGovernor {
+    /// Per-cell rows.
+    pub rows: Vec<GovernorRow>,
+}
+
+annolight_support::impl_json!(struct ExtGovernor { rows });
+
+fn governed(clip_name: &str, preview_s: f64, budget_j: f64) -> GovernorSessionConfig {
+    let clip = ClipLibrary::paper_clip(clip_name).expect("library clip").preview(preview_s);
+    GovernorSessionConfig::new(SessionConfig::new(clip, QualityLevel::Q10), budget_j)
+        .with_ambient_seed(BASELINE_SEED)
+}
+
+/// Runs the budget sweep over a dark and a bright clip.
+pub fn run(preview_s: f64) -> ExtGovernor {
+    let mut rows = Vec::new();
+    for clip_name in ["themovie", "shrek2"] {
+        let ladder = governed_projections(&governed(clip_name, preview_s, 0.0))
+            .expect("projection ladder");
+        let floor = *ladder.last().expect("non-empty ladder");
+        for frac in BUDGET_FRACS {
+            let budget = floor + frac * (ladder[0] - floor);
+            let r = run_session_governed(governed(clip_name, preview_s, budget))
+                .expect("governed session succeeds");
+            rows.push(GovernorRow {
+                clip: clip_name.to_owned(),
+                budget_frac: frac,
+                budget_j: budget,
+                spent_j: r.total_j,
+                open_loop_j: r.requested_energy_j,
+                within_budget: r.within_budget,
+                quality_error: r.quality_error,
+                degrades: r
+                    .events
+                    .iter()
+                    .filter(|e| e.action == GovernorAction::Degrade)
+                    .count() as u32,
+                improves: r
+                    .events
+                    .iter()
+                    .filter(|e| e.action == GovernorAction::Improve)
+                    .count() as u32,
+                trace_hex: r.trace_hex,
+            });
+        }
+    }
+    ExtGovernor { rows }
+}
+
+/// The deterministic double-run artefact: every cell's trace digest and
+/// landing point.
+#[must_use]
+pub fn deterministic_log(e: &ExtGovernor) -> String {
+    let mut out = String::new();
+    for r in &e.rows {
+        out.push_str(&format!(
+            "{} frac={} budget={:.6} spent={:.6} trace={}\n",
+            r.clip, r.budget_frac, r.budget_j, r.spent_j, r.trace_hex
+        ));
+    }
+    out
+}
+
+/// Renders the experiment as text.
+pub fn render(e: &ExtGovernor) -> String {
+    let mut out = String::new();
+    out.push_str("Extension — closed-loop energy-budgeted playback (10% request, governed)\n\n");
+    let mut t = Table::new([
+        "clip", "budget", "budget J", "spent J", "open-loop J", "within", "q-error", "deg/imp",
+    ]);
+    for r in &e.rows {
+        t.row([
+            r.clip.clone(),
+            format!("{:.0}%", r.budget_frac * 100.0),
+            format!("{:.1}", r.budget_j),
+            format!("{:.1}", r.spent_j),
+            format!("{:.1}", r.open_loop_j),
+            if r.within_budget { "yes".into() } else { "NO".into() },
+            format!("{:.3}", r.quality_error),
+            format!("{}/{}", r.degrades, r.improves),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_lands_within_its_budget() {
+        let e = run(8.0);
+        assert_eq!(e.rows.len(), 6);
+        for r in &e.rows {
+            assert!(r.within_budget, "{} frac {}: over budget", r.clip, r.budget_frac);
+            assert!(r.spent_j <= r.budget_j + 1e-9);
+            assert!(r.quality_error <= 0.5);
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_spend_no_more_than_looser_ones() {
+        let e = run(8.0);
+        for pair in e.rows.chunks(BUDGET_FRACS.len()) {
+            for w in pair.windows(2) {
+                assert!(
+                    w[1].spent_j <= w[0].spent_j + 1e-9,
+                    "{}: frac {} spent more than frac {}",
+                    w[0].clip,
+                    w[1].budget_frac,
+                    w[0].budget_frac
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_run_is_deterministic() {
+        let a = run(4.0);
+        let b = run(4.0);
+        assert_eq!(deterministic_log(&a), deterministic_log(&b));
+    }
+}

@@ -16,6 +16,7 @@ pub mod fig09;
 pub mod ext_ambient;
 pub mod ext_burst;
 pub mod ext_dvfs;
+pub mod ext_governor;
 pub mod fig10;
 pub mod pipeline_throughput;
 pub mod reactor_scale;

@@ -49,6 +49,7 @@ pub mod delta;
 pub mod digest;
 pub mod error;
 pub mod extensions;
+pub mod governor;
 pub mod online;
 pub mod parallel;
 pub mod plan;
@@ -63,6 +64,10 @@ pub use delta::{AnnotationDelta, DeltaStatus, DeltaTracker};
 pub use apply::{apply_annotation, client_side_levels, compensate_frame};
 pub use digest::clip_digest;
 pub use error::CoreError;
+pub use governor::{
+    fit_knob, trace_digest, GovernorAction, GovernorControl, GovernorDecision, GovernorEvent,
+    GovernorFeedback, KnobSearch, QualityGovernor, ThermalModel, ThermalState,
+};
 pub use online::OnlineAnnotator;
 pub use parallel::{chunk_ranges, chunked_map, ParallelConfig};
 pub use plan::{plan_levels_ambient, BacklightPlan, ScenePlan};

@@ -1,0 +1,156 @@
+//! Property tier for the governor control law, on the in-tree seeded
+//! `check` harness. Pins the three contract invariants the budget
+//! conformance tier leans on:
+//!
+//! * the knob search probes at most `⌈log₂ K⌉ + 1` projections and is
+//!   an exact partition point;
+//! * a governed session **never overshoots** a feasible budget, for any
+//!   monotone energy model, any throttle pattern and any start knob;
+//! * under constant inputs the governor **converges within
+//!   `dwell + K` scenes** (one improvement step per scene past the
+//!   dwell) and is **idempotent** from then on.
+
+use annolight_core::governor::{fit_knob, GovernorAction, GovernorControl, QualityGovernor};
+use annolight_core::QualityLevel;
+use annolight_support::check::Gen;
+
+/// A random quality ladder of `k` levels (the governor treats the
+/// levels as labels; only projection monotonicity matters).
+fn ladder_levels(g: &mut Gen, k: usize) -> Vec<QualityLevel> {
+    (0..k)
+        .map(|_| {
+            let i = g.draw(0..QualityLevel::PAPER_LEVELS.len());
+            QualityLevel::PAPER_LEVELS[i]
+        })
+        .collect()
+}
+
+/// Monotone non-increasing per-knob scale factors, `f[0] = 1`.
+fn knob_factors(g: &mut Gen, k: usize) -> Vec<f64> {
+    let mut f = Vec::with_capacity(k);
+    let mut cur = 1.0f64;
+    for _ in 0..k {
+        f.push(cur);
+        cur *= g.draw(0.5f64..=1.0);
+    }
+    f
+}
+
+fn probe_bound(k: usize) -> u32 {
+    (usize::BITS - (k - 1).max(1).leading_zeros()) + 1
+}
+
+annolight_support::check! {
+    /// `fit_knob` is an exact partition point and probes at most
+    /// `⌈log₂ K⌉ + 1` entries, for any monotone ladder and any budget.
+    fn knob_search_is_exact_and_logarithmic(g) {
+        let k = g.draw(1..33usize);
+        let base: f64 = g.draw(1.0f64..1000.0);
+        let projections: Vec<f64> =
+            knob_factors(g, k).into_iter().map(|f| base * f).collect();
+        let budget: f64 = match g.draw(0..4u32) {
+            0 => g.draw(-10.0f64..0.0),
+            1 => g.draw(0.0f64..1000.0),
+            2 => projections[g.draw(0..k)],
+            _ => g.draw(1000.0f64..10_000.0),
+        };
+        let s = fit_knob(&projections, budget);
+        assert!(s.probes <= probe_bound(k), "{} probes for k = {k}", s.probes);
+        if s.fits {
+            assert!(projections[s.knob] <= budget);
+            if s.knob > 0 {
+                assert!(
+                    projections[s.knob - 1] > budget,
+                    "not the least aggressive fitting knob"
+                );
+            }
+        } else {
+            assert_eq!(s.knob, k - 1, "best effort must pin the floor");
+            assert!(projections.iter().all(|&p| p > budget));
+        }
+    }
+
+    /// A governed session never overshoots a feasible budget: for any
+    /// monotone energy model, any throttle pattern, any start knob and
+    /// any budget at least the floor-knob total, the realised spend
+    /// stays within budget.
+    fn governor_never_overshoots_feasible_budget(g) {
+        let k = g.draw(1..9usize);
+        let scenes = g.draw(1..40usize);
+        let factors = knob_factors(g, k);
+        let base: Vec<f64> = (0..scenes).map(|_| g.draw(0.1f64..5.0)).collect();
+        // energy[s][j] = base[s] · f[j]: monotone non-increasing in the
+        // knob, so every suffix sum is too.
+        let energy = |s: usize, j: usize| base[s] * factors[j];
+        let totals: Vec<f64> =
+            (0..k).map(|j| (0..scenes).map(|s| energy(s, j)).sum()).collect();
+        // Feasible by construction: at least the most aggressive total,
+        // plus an absolute margin that keeps the knife edge clear of
+        // float summation-order noise (per-scene projections are fresh
+        // suffix sums while `remaining` is decremented incrementally).
+        let budget =
+            totals[k - 1] + g.draw(0.0f64..=1.5) * (totals[0] - totals[k - 1]) + 1e-6;
+
+        let control = GovernorControl {
+            levels: ladder_levels(g, k),
+            headroom: g.draw(0.0f64..0.3),
+            dwell_scenes: g.draw(0..5u32),
+        };
+        let start = g.draw(0..k);
+        let mut governor = QualityGovernor::new(control).with_knob(start);
+        let mut spent = 0.0f64;
+        for s in 0..scenes {
+            let remaining = budget - spent;
+            let projections: Vec<f64> =
+                (0..k).map(|j| (s..scenes).map(|t| energy(t, j)).sum()).collect();
+            let throttled = g.any::<bool>();
+            let d = governor.decide(remaining, &projections, throttled);
+            assert!(d.fits, "a feasible budget must stay feasible (scene {s})");
+            assert!(
+                projections[d.knob] <= remaining + 1e-9,
+                "chosen knob overshoots at scene {s}: {} > {remaining}",
+                projections[d.knob]
+            );
+            spent += energy(s, d.knob);
+        }
+        assert!(
+            spent <= budget + 1e-9,
+            "session overshot: spent {spent} of budget {budget}"
+        );
+    }
+
+    /// Under constant inputs the governor converges within
+    /// `(dwell + 1) · K` scenes — each improvement step resets the
+    /// dwell counter, so a full-ladder climb costs `dwell + 1` scenes
+    /// per knob — and is idempotent from then on: every later decision
+    /// is a `Hold` at the same knob, and the search keeps its probe
+    /// bound.
+    fn governor_converges_then_holds(g, cases = 128) {
+        let k = g.draw(1..9usize);
+        let base: f64 = g.draw(10.0f64..100.0);
+        let projections: Vec<f64> =
+            knob_factors(g, k).into_iter().map(|f| base * f).collect();
+        let budget: f64 = projections[k - 1] + g.draw(0.0f64..=2.0) * base;
+        let dwell = g.draw(0..4u32);
+        let control = GovernorControl {
+            levels: ladder_levels(g, k),
+            headroom: g.draw(0.0f64..0.2),
+            dwell_scenes: dwell,
+        };
+        let mut governor = QualityGovernor::new(control).with_knob(g.draw(0..k));
+        let window = (dwell as usize + 1) * k + 1;
+        for _ in 0..window {
+            let d = governor.decide(budget, &projections, false);
+            assert!(d.probes <= probe_bound(k));
+        }
+        let knob = governor.knob();
+        for i in 0..2 * window + 4 {
+            let d = governor.decide(budget, &projections, false);
+            assert_eq!(
+                (d.knob, d.action),
+                (knob, GovernorAction::Hold),
+                "not idempotent at post-convergence step {i}"
+            );
+        }
+    }
+}

@@ -38,7 +38,7 @@ pub mod daq;
 pub mod meter;
 pub mod model;
 
-pub use battery::Battery;
+pub use battery::{Battery, BatteryState};
 pub use daq::{DaqBoard, Measurement};
 pub use meter::EnergyMeter;
 pub use model::SystemPowerModel;

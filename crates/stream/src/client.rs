@@ -20,7 +20,7 @@ use std::fmt;
 
 /// Fraction of CPU time spent decoding while playing (XScale 400 MHz
 /// decoding QVGA-class MPEG in software runs near saturation).
-const DECODE_CPU_BUSY: f64 = 0.75;
+pub(crate) const DECODE_CPU_BUSY: f64 = 0.75;
 
 /// Extra CPU-busy fraction charged per backlight switch — "because
 /// adjustments are not performed very often, the amount of work is

@@ -22,13 +22,18 @@
 //!   Fig. 10;
 //! * [`machine`] — the same session lifecycle re-hosted as resumable
 //!   state machines on the deterministic reactor, scaling one process to
-//!   10⁵⁺ concurrent sessions.
+//!   10⁵⁺ concurrent sessions;
+//! * [`governor`] — closed-loop battery/thermal-aware quality governance:
+//!   fit a whole playback into an N-joule budget by searching the quality
+//!   knob per scene and shipping the decision upstream over the hint
+//!   channel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod faults;
+pub mod governor;
 pub mod machine;
 pub mod message;
 pub mod network;
@@ -42,9 +47,14 @@ pub use faults::{
     DegradationKind, DegradedPlayback, FaultConfig, FaultReport, FaultyChannel, LossyDelivery,
     RetryOutcome,
 };
+pub use governor::{
+    governed_projections, run_session_governed, run_session_governed_faulty,
+    GovernedSessionReport, GovernorSessionConfig,
+};
 pub use machine::{
-    run_faulty_sessions_on_reactor, run_sessions_on_reactor, FaultySessionMachine, ScaleOutcome,
-    ScaleSession, ScaleSpec, SessionMachine,
+    run_faulty_sessions_on_reactor, run_governed_faulty_sessions_on_reactor,
+    run_governed_sessions_on_reactor, run_sessions_on_reactor, FaultySessionMachine,
+    GovernedSessionMachine, ScaleOutcome, ScaleSession, ScaleSpec, SessionMachine,
 };
 pub use message::{grant_quality, ClientHello, PacketKind, ServerOffer, StreamPacket};
 pub use network::WirelessChannel;

@@ -24,6 +24,10 @@
 use crate::faults::{
     retry::RetryPolicy, DegradationConfig, FaultConfig, FaultyChannel, LossyCollector, LossyEngine,
 };
+use crate::governor::{
+    governed_fault_inputs, prepare_governed, GovernedFaultInputs, GovernedSessionReport,
+    GovernorDriver, GovernorSessionConfig,
+};
 use crate::message::StreamPacket;
 use crate::network::WirelessChannel;
 use crate::session::{
@@ -275,6 +279,147 @@ impl Task for FaultySessionMachine {
                 Step::Sleep(ticks_from_secs(clock))
             }
             FaultyState::Finished => Step::Done,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-fidelity governed machine.
+// ---------------------------------------------------------------------------
+
+struct GovernedDeliver {
+    engine: LossyEngine,
+    collector: LossyCollector,
+    cfg: GovernorSessionConfig,
+    config: SessionConfig,
+    prep: Option<crate::governor::GovernedPrep>,
+}
+
+enum GovernedState {
+    Init(Box<GovernorSessionConfig>),
+    Deliver(Box<GovernedDeliver>),
+    Govern(Box<GovernorDriver>),
+    Finished,
+}
+
+/// [`crate::governor::run_session_governed`] /
+/// [`crate::governor::run_session_governed_faulty`] as a resumable state
+/// machine: negotiate/serve and build the plan ladder in the first step,
+/// (optionally) pump the hint stream through the seeded lossy channel
+/// cooperatively, then govern **one scene per step**, sleeping the
+/// playback clock to each scene boundary. The machine drives the same
+/// [`GovernorDriver`] the threaded entry points drive, so governor
+/// traces are byte-identical across hosts and worker counts by
+/// construction — the reactor parity tier pins this.
+pub struct GovernedSessionMachine {
+    state: GovernedState,
+    faulty: bool,
+    index: usize,
+    out: Sender<(usize, Result<GovernedSessionReport, SessionError>)>,
+}
+
+impl GovernedSessionMachine {
+    /// A machine that runs `cfg` with the hint stream crossing the
+    /// faulty hop in `cfg.session.faults`.
+    #[must_use]
+    pub fn new(
+        cfg: GovernorSessionConfig,
+        index: usize,
+        out: Sender<(usize, Result<GovernedSessionReport, SessionError>)>,
+    ) -> Self {
+        Self { state: GovernedState::Init(Box::new(cfg)), faulty: true, index, out }
+    }
+
+    /// A machine that runs `cfg` over the lossless reference hop.
+    #[must_use]
+    pub fn reference(
+        cfg: GovernorSessionConfig,
+        index: usize,
+        out: Sender<(usize, Result<GovernedSessionReport, SessionError>)>,
+    ) -> Self {
+        Self { state: GovernedState::Init(Box::new(cfg)), faulty: false, index, out }
+    }
+
+    fn fail(&mut self, e: SessionError) -> Step {
+        let _ = self.out.send((self.index, Err(e)));
+        Step::Done
+    }
+}
+
+impl Task for GovernedSessionMachine {
+    fn step(&mut self, _cx: &Context) -> Step {
+        match std::mem::replace(&mut self.state, GovernedState::Finished) {
+            GovernedState::Init(cfg) => {
+                let (stream, prep, config) = match prepare_governed(&cfg) {
+                    Ok(parts) => parts,
+                    Err(e) => return self.fail(e),
+                };
+                if self.faulty {
+                    let engine =
+                        match LossyEngine::new(&stream, &config.channel, &config.faults) {
+                            Ok(engine) => engine,
+                            Err(e) => return self.fail(SessionError::Pipeline(e)),
+                        };
+                    let total = stream.as_bytes().len();
+                    self.state = GovernedState::Deliver(Box::new(GovernedDeliver {
+                        engine,
+                        collector: LossyCollector::with_capacity(total),
+                        cfg: *cfg,
+                        config,
+                        prep: Some(prep),
+                    }));
+                } else {
+                    self.state = GovernedState::Govern(Box::new(GovernorDriver::new(
+                        prep,
+                        &cfg,
+                        GovernedFaultInputs::default(),
+                    )));
+                }
+                Step::Yield
+            }
+            GovernedState::Deliver(mut d) => {
+                for _ in 0..PACKETS_PER_STEP {
+                    match d.engine.pump() {
+                        Ok(Some(copies)) => {
+                            for (arrival, wire) in copies {
+                                if let Err(e) = d.collector.offer(arrival, &wire) {
+                                    return self.fail(SessionError::Pipeline(e));
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            let lossy = match d.engine.finish(d.collector) {
+                                Ok(lossy) => lossy,
+                                Err(e) => return self.fail(SessionError::Pipeline(e)),
+                            };
+                            let prep = d.prep.take().expect("prep consumed once");
+                            self.state = GovernedState::Govern(Box::new(GovernorDriver::new(
+                                prep,
+                                &d.cfg,
+                                governed_fault_inputs(&lossy, &d.config),
+                            )));
+                            return Step::Yield;
+                        }
+                        Err(e) => return self.fail(SessionError::Pipeline(e)),
+                    }
+                }
+                let clock = d.engine.clock_s();
+                self.state = GovernedState::Deliver(d);
+                Step::Sleep(ticks_from_secs(clock))
+            }
+            GovernedState::Govern(mut driver) => {
+                if driver.done() {
+                    let _ = self.out.send((self.index, Ok(driver.finish())));
+                    return Step::Done;
+                }
+                if let Err(e) = driver.step_scene() {
+                    return self.fail(e);
+                }
+                let clock = driver.scene_end_s();
+                self.state = GovernedState::Govern(driver);
+                Step::Sleep(ticks_from_secs(clock))
+            }
+            GovernedState::Finished => Step::Done,
         }
     }
 }
@@ -604,6 +749,43 @@ pub fn run_faulty_sessions_on_reactor(
     (collect_indexed(rx, n, "faulty"), report)
 }
 
+/// Runs every config as a reference (lossless) [`GovernedSessionMachine`]
+/// on one reactor; results in spawn order, plus the reactor's schedule
+/// report.
+#[must_use]
+pub fn run_governed_sessions_on_reactor(
+    configs: Vec<GovernorSessionConfig>,
+    reactor_config: ReactorConfig,
+) -> (Vec<Result<GovernedSessionReport, SessionError>>, ReactorReport) {
+    let n = configs.len();
+    let (tx, rx) = channel::unbounded();
+    let mut reactor = Reactor::with_config(reactor_config);
+    for (index, cfg) in configs.into_iter().enumerate() {
+        reactor.spawn(Box::new(GovernedSessionMachine::reference(cfg, index, tx.clone())));
+    }
+    drop(tx);
+    let report = reactor.run();
+    (collect_indexed(rx, n, "governed"), report)
+}
+
+/// Runs every config as a faulty [`GovernedSessionMachine`] on one
+/// reactor; results in spawn order, plus the reactor's schedule report.
+#[must_use]
+pub fn run_governed_faulty_sessions_on_reactor(
+    configs: Vec<GovernorSessionConfig>,
+    reactor_config: ReactorConfig,
+) -> (Vec<Result<GovernedSessionReport, SessionError>>, ReactorReport) {
+    let n = configs.len();
+    let (tx, rx) = channel::unbounded();
+    let mut reactor = Reactor::with_config(reactor_config);
+    for (index, cfg) in configs.into_iter().enumerate() {
+        reactor.spawn(Box::new(GovernedSessionMachine::new(cfg, index, tx.clone())));
+    }
+    drop(tx);
+    let report = reactor.run();
+    (collect_indexed(rx, n, "governed-faulty"), report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +824,41 @@ mod tests {
             annolight_support::json::to_string(&threaded),
             annolight_support::json::to_string(&hosted),
             "reactor-hosted faulty session must reproduce the threaded report exactly"
+        );
+    }
+
+    #[test]
+    fn reactor_governed_session_matches_threaded_reference() {
+        let governed = |faults: Option<FaultConfig>| {
+            let mut cfg = GovernorSessionConfig::new(config(3), 400.0).with_ambient_seed(3);
+            if let Some(f) = faults {
+                cfg.session.faults = f;
+            }
+            cfg
+        };
+        // Reference hop.
+        let threaded = crate::governor::run_session_governed(governed(None)).unwrap();
+        let (results, _) =
+            run_governed_sessions_on_reactor(vec![governed(None)], ReactorConfig::default());
+        let hosted = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&threaded),
+            annolight_support::json::to_string(&hosted),
+            "reactor-hosted governed session must reproduce the threaded report exactly"
+        );
+        // Faulty hop.
+        let faults = Some(FaultConfig::lossy(42, 0.2));
+        let threaded =
+            crate::governor::run_session_governed_faulty(governed(faults)).unwrap();
+        let (results, _) = run_governed_faulty_sessions_on_reactor(
+            vec![governed(faults)],
+            ReactorConfig::default(),
+        );
+        let hosted = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            annolight_support::json::to_string(&threaded),
+            annolight_support::json::to_string(&hosted),
+            "reactor-hosted faulty governed session must reproduce the threaded report"
         );
     }
 

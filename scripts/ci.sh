@@ -31,7 +31,9 @@ SLO_LOG_A="$(mktemp)"
 SLO_LOG_B="$(mktemp)"
 REACTOR_LOG_A="$(mktemp)"
 REACTOR_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B"' EXIT
+GOVERNOR_LOG_A="$(mktemp)"
+GOVERNOR_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B" "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -79,6 +81,18 @@ ANNOLIGHT_REACTOR_LOG="$REACTOR_LOG_B" \
 test -s "$REACTOR_LOG_A" || { echo "reactor schedule log was not written"; exit 1; }
 cmp "$REACTOR_LOG_A" "$REACTOR_LOG_B" \
   || { echo "reactor schedule logs diverged between identical runs"; exit 1; }
+
+echo "== governor budget-conformance guard (same seed twice, diff decision logs) =="
+ANNOLIGHT_GOVERNOR_LOG="$GOVERNOR_LOG_A" \
+  cargo test -q --release --offline --test governor_budget
+ANNOLIGHT_GOVERNOR_LOG="$GOVERNOR_LOG_B" \
+  cargo test -q --release --offline --test governor_budget
+test -s "$GOVERNOR_LOG_A" || { echo "governor decision log was not written"; exit 1; }
+cmp "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B" \
+  || { echo "governor decision logs diverged between identical runs"; exit 1; }
+
+echo "== governor budget smoke (--test mode, within-budget, double-run deterministic) =="
+cargo run -q --release --offline -p annolight-bench --bin ext_governor -- --test
 
 echo "== reactor scale smoke (--test mode, >=100k sessions, double-run deterministic) =="
 cargo run -q --release --offline -p annolight-bench --bin reactor_scale -- --test

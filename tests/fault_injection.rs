@@ -18,7 +18,10 @@
 //! `cmp`s the two files).
 
 use annolight::core::QualityLevel;
-use annolight::stream::{run_session, run_session_faulty, FaultConfig, SessionConfig};
+use annolight::stream::{
+    governed_projections, run_session, run_session_faulty, run_session_governed,
+    run_session_governed_faulty, FaultConfig, GovernorSessionConfig, SessionConfig,
+};
 use annolight::video::{Clip, ClipLibrary};
 
 const SEEDS: [u64; 3] = [1, 42, 0xA110];
@@ -96,6 +99,82 @@ fn lossless_faulty_session_matches_plain_session_byte_for_byte() {
             "seed {seed}: lossless fault path must reproduce run_session exactly"
         );
         assert!(faulty.events.is_empty(), "seed {seed}: lossless run logged events");
+    }
+}
+
+/// A governed session config over the faulty hop at `loss_pct`, with a
+/// mid-ladder joule budget (tight enough to exert pressure, loose
+/// enough to absorb the fault tier's retransmit debit and full-backlight
+/// fallback scenes).
+fn governed(clip: &Clip, seed: u64, loss_pct: f64, budget_j: f64) -> GovernorSessionConfig {
+    GovernorSessionConfig::new(config(clip, seed, loss_pct), budget_j).with_ambient_seed(seed)
+}
+
+fn mid_budget(clip: &Clip) -> f64 {
+    let ladder =
+        governed_projections(&governed(clip, 0, 0.0, 0.0)).expect("projection ladder");
+    let floor = *ladder.last().expect("non-empty ladder");
+    floor + 0.6 * (ladder[0] - floor)
+}
+
+#[test]
+fn governed_lossy_matrix_lands_within_budget_with_retransmits_charged() {
+    let clip = test_clip();
+    let budget = mid_budget(&clip);
+    for seed in SEEDS {
+        for loss_pct in [5.0, 10.0, 20.0] {
+            let r = run_session_governed_faulty(governed(&clip, seed, loss_pct, budget))
+                .unwrap_or_else(|e| panic!("seed {seed} loss {loss_pct}%: {e}"));
+            let cell = format!("seed {seed} loss {loss_pct}%");
+            // Every scene still governed and played.
+            assert_eq!(r.events.len(), r.scenes as usize, "{cell}: scenes");
+            // Retransmission energy is charged against the budget, not
+            // accounted off the books.
+            if r.retransmits > 0 {
+                assert!(r.retransmit_energy_j > 0.0, "{cell}: free retransmits");
+            }
+            assert!(
+                (r.total_j - (r.playback_energy_j + r.retransmit_energy_j)).abs() < 1e-9,
+                "{cell}: budget accounting leak"
+            );
+            // The governor absorbs the loss and still lands inside the
+            // budget (projections price hint-missing scenes at full
+            // backlight, and the debit happens before scene 0).
+            assert!(!r.infeasible, "{cell}: mid-ladder budget must stay feasible");
+            assert!(
+                r.within_budget,
+                "{cell}: spent {} of {} J ({} J retransmit)",
+                r.total_j,
+                r.effective_budget_j,
+                r.retransmit_energy_j
+            );
+            assert!(r.quality_error <= 0.5, "{cell}: quality error {}", r.quality_error);
+        }
+    }
+}
+
+#[test]
+fn zero_fault_governed_trace_is_byte_identical_to_reference() {
+    let clip = test_clip();
+    let budget = mid_budget(&clip);
+    let reference = {
+        let mut cfg = governed(&clip, 7, 0.0, budget);
+        cfg.session.faults = FaultConfig::default();
+        run_session_governed(cfg).expect("reference governed session succeeds")
+    };
+    for seed in SEEDS {
+        // Same ambient sensor stream; only the (lossless, hence inert)
+        // channel seed varies — no channel randomness may reach the
+        // governor.
+        let faulty = run_session_governed_faulty(
+            governed(&clip, seed, 0.0, budget).with_ambient_seed(7),
+        )
+        .expect("lossless governed session succeeds");
+        assert_eq!(
+            annolight_support::json::to_string_pretty(&faulty),
+            annolight_support::json::to_string_pretty(&reference),
+            "seed {seed}: zero-fault governed path must reproduce the reference byte for byte"
+        );
     }
 }
 

@@ -1,0 +1,226 @@
+//! Tier-2 energy-budget conformance suite: "fit this playback into N
+//! joules".
+//!
+//! A seeded scenario matrix of governed sessions — dark and bright clip
+//! classes × loose/median/tight joule budgets × ambient-sensor seeds.
+//! The contract under test, end to end:
+//!
+//! * **budget compliance** — every feasible cell lands within its
+//!   effective budget (battery-derated), with the governor degrading
+//!   exactly as far as the budget demands;
+//! * **bounded quality error** — the perceived-quality error the
+//!   governor admits stays bounded in every cell, and is zero when the
+//!   budget never forces a knob below the request;
+//! * **infeasible budgets degrade gracefully** — a budget below the
+//!   floor-knob projection pins best effort, still plays every scene,
+//!   and says so (`infeasible`);
+//! * **trace identity** — identical seeds replay byte-identical
+//!   governor traces, the property the CI determinism guard
+//!   double-runs.
+//!
+//! Set `ANNOLIGHT_GOVERNOR_LOG=/path` to export the canonical decision
+//! log as JSON (the CI script runs the suite twice and `cmp`s the two
+//! files).
+
+use annolight::core::governor::GovernorAction;
+use annolight::core::QualityLevel;
+use annolight::stream::{
+    governed_projections, run_session_governed, GovernedSessionReport, GovernorSessionConfig,
+    SessionConfig,
+};
+use annolight::video::{Clip, ClipLibrary};
+
+const SEEDS: [u64; 3] = [1, 42, 0xA110];
+
+/// Budget pressure as a fraction of the span between the floor-knob and
+/// full-quality projections: loose, median, tight.
+const BUDGET_FRACS: [f64; 3] = [0.9, 0.5, 0.08];
+
+/// One dark and one bright clip class (the governor's headroom differs
+/// by an order of magnitude between them).
+const CLIPS: [&str; 2] = ["themovie", "shrek2"];
+
+fn clip(name: &str) -> Clip {
+    // Long enough for several scenes — the improvement side of the
+    // hysteresis needs the knob to dwell before stepping back up.
+    ClipLibrary::paper_clip(name).expect("known paper clip").preview(16.0)
+}
+
+fn governed(clip_name: &str, budget_j: f64, seed: u64) -> GovernorSessionConfig {
+    GovernorSessionConfig::new(SessionConfig::new(clip(clip_name), QualityLevel::Q10), budget_j)
+        .with_ambient_seed(seed)
+}
+
+/// The per-knob whole-session projections for a clip, and the budget at
+/// `frac` of the way from the floor-knob total to the full-quality
+/// total — always feasible, increasingly tight as `frac` shrinks.
+fn ladder_and_budget(clip_name: &str, frac: f64) -> (Vec<f64>, f64) {
+    let ladder =
+        governed_projections(&governed(clip_name, 0.0, 0)).expect("projection ladder");
+    let floor = *ladder.last().expect("non-empty ladder");
+    let budget = floor + frac * (ladder[0] - floor);
+    (ladder, budget)
+}
+
+#[test]
+fn budget_matrix_always_lands_within_budget_with_bounded_quality_error() {
+    let mut degraded_cells = 0u32;
+    let mut improved_cells = 0u32;
+    for clip_name in CLIPS {
+        for frac in BUDGET_FRACS {
+            let (ladder, budget) = ladder_and_budget(clip_name, frac);
+            for seed in SEEDS {
+                let r = run_session_governed(governed(clip_name, budget, seed))
+                    .unwrap_or_else(|e| panic!("{clip_name} frac {frac} seed {seed}: {e}"));
+                let cell = format!("{clip_name} frac {frac} seed {seed}");
+                // Budget compliance: feasible by construction, so the
+                // governor must land inside it.
+                assert!(!r.infeasible, "{cell}: feasible budget reported infeasible");
+                assert!(
+                    r.within_budget && r.total_j <= r.effective_budget_j + 1e-9,
+                    "{cell}: spent {} of {} J",
+                    r.total_j,
+                    r.effective_budget_j
+                );
+                // Every scene's decision fit the remaining budget.
+                assert!(r.events.iter().all(|e| e.fits), "{cell}: a scene overshot");
+                // Every scene governed, battery never below empty.
+                assert_eq!(r.events.len(), r.scenes as usize, "{cell}: scenes");
+                assert!(r.final_battery_j >= 0.0);
+                // Bounded quality error: never worse than half the
+                // backlight range, and zero when nothing ever degraded
+                // below the request.
+                assert!(
+                    r.quality_error <= 0.5,
+                    "{cell}: quality error {} unbounded",
+                    r.quality_error
+                );
+                let requested_knob = ladder
+                    .iter()
+                    .position(|&e| (e - r.requested_energy_j).abs() < 1e-6)
+                    .unwrap_or(2) as u32;
+                if r.events.iter().all(|e| e.knob <= requested_knob) {
+                    assert!(
+                        r.quality_error <= f64::EPSILON,
+                        "{cell}: error {} without degradation below the request",
+                        r.quality_error
+                    );
+                }
+                if r.events.iter().any(|e| e.action == GovernorAction::Degrade) {
+                    degraded_cells += 1;
+                }
+                if r.events.iter().any(|e| e.action == GovernorAction::Improve) {
+                    improved_cells += 1;
+                }
+                // The reference hop has no fault-tier spend.
+                assert_eq!(r.retransmit_energy_j, 0.0, "{cell}");
+                assert_eq!(r.retransmits, 0, "{cell}");
+            }
+        }
+    }
+    // The matrix must exercise both directions of the control law.
+    assert!(degraded_cells > 0, "no cell ever degraded — budgets too loose");
+    assert!(improved_cells > 0, "no cell ever improved — hysteresis never released");
+}
+
+#[test]
+fn tight_budgets_spend_less_than_loose_ones() {
+    for clip_name in CLIPS {
+        let spend_at = |frac: f64| {
+            let (_, budget) = ladder_and_budget(clip_name, frac);
+            run_session_governed(governed(clip_name, budget, 42))
+                .expect("governed session succeeds")
+                .playback_energy_j
+        };
+        let loose = spend_at(BUDGET_FRACS[0]);
+        let tight = spend_at(BUDGET_FRACS[2]);
+        assert!(
+            tight <= loose + 1e-9,
+            "{clip_name}: tight budget spent {tight} > loose {loose}"
+        );
+    }
+}
+
+#[test]
+fn infeasible_budget_pins_best_effort_and_still_plays_everything() {
+    for clip_name in CLIPS {
+        let (ladder, _) = ladder_and_budget(clip_name, 0.5);
+        let floor = *ladder.last().unwrap();
+        let r = run_session_governed(governed(clip_name, floor * 0.5, 42))
+            .expect("governed session succeeds");
+        assert!(r.infeasible, "{clip_name}: sub-floor budget must be infeasible");
+        assert!(!r.within_budget);
+        // Best effort: pinned at the most aggressive knob throughout,
+        // every scene still plays.
+        let floor_knob = (ladder.len() - 1) as u32;
+        assert!(r.events.iter().all(|e| e.knob == floor_knob), "{clip_name}: floor");
+        assert_eq!(r.events.len(), r.scenes as usize);
+        assert!((r.playback_energy_j - floor).abs() <= floor * 0.01 + 1e-9);
+    }
+}
+
+#[test]
+fn battery_charge_derates_the_budget_below_the_configured_value() {
+    let (_, budget) = ladder_and_budget("themovie", 0.9);
+    let mut cfg = governed("themovie", budget, 1);
+    // A pack holding less than the configured budget: the governor must
+    // plan against the charge, not the configuration.
+    cfg.battery_fraction = budget * 0.6 / 15_318.0;
+    let r = run_session_governed(cfg).expect("governed session succeeds");
+    assert!(r.effective_budget_j < r.budget_j, "charge must derate the budget");
+    assert!(
+        (r.effective_budget_j - budget * 0.6).abs() < 1.0,
+        "effective {} vs derated {}",
+        r.effective_budget_j,
+        budget * 0.6
+    );
+    if !r.infeasible {
+        assert!(r.total_j <= r.effective_budget_j + 1e-9);
+    }
+}
+
+/// The canonical deterministic artefact: the full governor decision log
+/// of the seeded matrix, as JSON. Identical builds must produce
+/// identical bytes; `scripts/ci.sh` runs this twice and `cmp`s the
+/// files.
+fn governor_log() -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for clip_name in CLIPS {
+        for frac in BUDGET_FRACS {
+            let (_, budget) = ladder_and_budget(clip_name, frac);
+            for seed in SEEDS {
+                let r: GovernedSessionReport =
+                    run_session_governed(governed(clip_name, budget, seed))
+                        .expect("matrix session succeeds");
+                let entry = annolight_support::json_obj!({
+                    "clip": clip_name,
+                    "budget_frac": frac,
+                    "seed": seed,
+                    "trace_hex": r.trace_hex,
+                    "report": r,
+                });
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&entry.pretty());
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[test]
+fn governor_traces_replay_byte_identically_and_export_for_ci() {
+    let a = governor_log();
+    let b = governor_log();
+    assert_eq!(a, b, "same seeds must replay byte-identical governor logs in-process");
+    if let Ok(path) = std::env::var("ANNOLIGHT_GOVERNOR_LOG") {
+        if !path.is_empty() {
+            std::fs::write(&path, &a)
+                .unwrap_or_else(|e| panic!("writing governor log to {path}: {e}"));
+        }
+    }
+}

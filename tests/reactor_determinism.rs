@@ -20,8 +20,10 @@
 use annolight::core::QualityLevel;
 use annolight::stream::machine::{ScaleOutcome, ScaleSession, ScaleSpec};
 use annolight::stream::{
-    run_faulty_sessions_on_reactor, run_session, run_session_faulty, run_sessions_on_reactor,
-    FaultConfig, SessionConfig,
+    governed_projections, run_faulty_sessions_on_reactor, run_governed_faulty_sessions_on_reactor,
+    run_governed_sessions_on_reactor, run_session, run_session_faulty, run_session_governed,
+    run_session_governed_faulty, run_sessions_on_reactor, FaultConfig, GovernorSessionConfig,
+    SessionConfig,
 };
 use annolight::video::{Clip, ClipLibrary};
 use annolight_support::channel;
@@ -122,6 +124,64 @@ fn faulty_reactor_sessions_match_threaded_reference_byte_for_byte() {
                 annolight_support::json::to_string_pretty(&threaded),
                 "seed {seed}: reactor-hosted faulty session must reproduce run_session_faulty"
             );
+        }
+    }
+}
+
+/// A governed session config over the test clip with a mid-ladder
+/// budget — tight enough that the governor actually moves the knob.
+fn governed_config(clip: &Clip, seed: u64, lossy: bool) -> GovernorSessionConfig {
+    let mut session = SessionConfig::new(clip.clone(), QualityLevel::Q10);
+    if lossy {
+        session.faults = FaultConfig::lossy(seed, 0.1);
+    }
+    let probe = GovernorSessionConfig::new(session.clone(), 0.0);
+    let ladder = governed_projections(&probe).expect("projection ladder");
+    let floor = *ladder.last().expect("non-empty ladder");
+    GovernorSessionConfig::new(session, floor + 0.6 * (ladder[0] - floor))
+        .with_ambient_seed(seed)
+}
+
+#[test]
+fn governed_reactor_sessions_match_threaded_reference_across_worker_counts() {
+    let clip = test_clip();
+    for seed in SEEDS {
+        // Reference (lossless) hop.
+        let cfg = governed_config(&clip, seed, false);
+        let threaded = run_session_governed(cfg.clone()).expect("threaded governed session");
+        let want = annolight_support::json::to_string_pretty(&threaded);
+        for workers in [1usize, 4] {
+            let (results, _) = run_governed_sessions_on_reactor(
+                vec![cfg.clone()],
+                reactor_config(seed, workers),
+            );
+            let hosted = results.into_iter().next().unwrap().expect("reactor session");
+            // Identical GovernorEvent logs, trace digest and final
+            // battery/thermal state — the whole report, byte for byte.
+            assert_eq!(
+                annolight_support::json::to_string_pretty(&hosted),
+                want,
+                "seed {seed} workers {workers}: governed reactor parity"
+            );
+        }
+        // Faulty hop: the hint stream crosses the seeded lossy channel.
+        let cfg = governed_config(&clip, seed, true);
+        let threaded =
+            run_session_governed_faulty(cfg.clone()).expect("threaded governed faulty session");
+        let want = annolight_support::json::to_string_pretty(&threaded);
+        for workers in [1usize, 4] {
+            let (results, _) = run_governed_faulty_sessions_on_reactor(
+                vec![cfg.clone()],
+                reactor_config(seed, workers),
+            );
+            let hosted = results.into_iter().next().unwrap().expect("reactor session");
+            assert_eq!(
+                annolight_support::json::to_string_pretty(&hosted),
+                want,
+                "seed {seed} workers {workers}: faulty governed reactor parity"
+            );
+            assert_eq!(hosted.final_battery_j, threaded.final_battery_j);
+            assert_eq!(hosted.trace_hex, threaded.trace_hex);
         }
     }
 }
