@@ -28,6 +28,7 @@ fn request() -> AnnotationRequest {
         device: DeviceProfile::ipaq_5555(),
         quality: QualityLevel::Q10,
         mode: AnnotationMode::PerScene,
+        policy: annolight_core::PolicyKind::PeakClip,
     }
 }
 

@@ -21,6 +21,7 @@ fn main() {
     let r10 = fig10::run(f10_s);
     let ro = tab_overhead::run(overhead_s);
     let rb = tab_baselines::run(tab_s);
+    let rp = tab_policies::run(if quick { 4.0 } else { 12.0 });
     let rl = tab_loss::run(if quick { 4.0 } else { 8.0 }, 42);
     let rpt = pipeline_throughput::run(if quick { 1.0 } else { 8.0 }, if quick { 1 } else { 3 });
     let rct = codec_throughput::run(if quick { 1.0 } else { 6.0 }, if quick { 1 } else { 3 });
@@ -30,7 +31,8 @@ fn main() {
         let doc = annolight_support::json_obj!({
             "fig03": r03, "fig04": r04, "fig05": r05, "fig06": r06,
             "fig07": r07, "fig08": r08, "fig09": r09, "fig10": r10,
-            "tab_overhead": ro, "tab_baselines": rb, "tab_loss": rl,
+            "tab_overhead": ro, "tab_baselines": rb, "tab_policies": rp,
+            "tab_loss": rl,
             "pipeline_throughput": rpt,
             "codec_throughput": rct,
             "ext_governor": rg,
@@ -47,6 +49,7 @@ fn main() {
         println!("{}", fig10::render(&r10));
         println!("{}", tab_overhead::render(&ro));
         println!("{}", tab_baselines::render(&rb));
+        println!("{}", tab_policies::render(&rp));
         println!("{}", tab_loss::render(&rl));
         println!("{}", pipeline_throughput::render(&rpt));
         println!("{}", codec_throughput::render(&rct));

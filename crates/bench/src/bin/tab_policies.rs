@@ -1,0 +1,44 @@
+//! Policy tournament driver.
+//!
+//! * `tab_policies` — full-size run, table to stdout.
+//! * `tab_policies --out PATH` — full-size run, also writes the
+//!   `BENCH_policies.json` artefact.
+//! * `tab_policies --test` — CI smoke: short previews, double-run
+//!   determinism check, SLO assertions on every cell.
+
+use annolight_bench::figures::tab_policies;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if smoke {
+        let a = tab_policies::run(3.0);
+        let b = tab_policies::run(3.0);
+        assert_eq!(
+            annolight_support::json::to_string(&a),
+            annolight_support::json::to_string(&b),
+            "double run must produce identical tournament tables"
+        );
+        print!("{}", tab_policies::render(&a));
+        assert_eq!(a.rows.len(), 27, "3 clips × 3 devices × 3 policies");
+        for r in &a.rows {
+            assert!(r.slo_ok, "{}/{}/{}: quality SLO violated (see table)", r.clip, r.device, r.policy);
+        }
+        println!("\ntab_policies --test: ok (27 cells, double-run deterministic)");
+        return;
+    }
+
+    let t = tab_policies::run(12.0);
+    print!("{}", tab_policies::render(&t));
+    if let Some(path) = out {
+        std::fs::write(&path, annolight_support::json::to_string_pretty(&t) + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

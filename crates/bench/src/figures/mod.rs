@@ -25,6 +25,7 @@ pub mod tab_baselines;
 pub mod tab_devices;
 pub mod tab_loss;
 pub mod tab_overhead;
+pub mod tab_policies;
 pub mod tab_serve;
 
 /// The five quality levels of the paper's sweeps, as display labels.

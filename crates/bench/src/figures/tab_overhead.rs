@@ -58,7 +58,8 @@ pub fn run(preview_s: Option<f64>) -> TabOverhead {
                     device: device.clone(),
                     quality: QualityLevel::Q10,
                     mode: AnnotationMode::PerScene,
-                dvfs: false,
+                    dvfs: false,
+                    policy: annolight_core::PolicyKind::PeakClip,
                 })
                 .expect("serving library clips succeeds");
             let frame = server
@@ -67,7 +68,8 @@ pub fn run(preview_s: Option<f64>) -> TabOverhead {
                     device: device.clone(),
                     quality: QualityLevel::Q10,
                     mode: AnnotationMode::PerFrame,
-                dvfs: false,
+                    dvfs: false,
+                    policy: annolight_core::PolicyKind::PeakClip,
                 })
                 .expect("serving library clips succeeds");
             OverheadRow {

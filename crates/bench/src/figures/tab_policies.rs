@@ -1,0 +1,246 @@
+//! Policy tournament table — the three annotation backends
+//! (peak-clip, HEBS, spatial scaling) priced head-to-head per clip class
+//! and device.
+//!
+//! Each cell runs the *same* clip/device/quality point through one
+//! policy, reporting planner-level metrics (backlight savings, clipped
+//! fraction against the quality budget) and a full burst-prefetch
+//! session's total-device savings — so backlight wins (HEBS on dark
+//! content) and network/decode wins (spatial scaling) land in one
+//! comparable column. Exported as `BENCH_policies.json` and snapshotted
+//! by the golden tier.
+
+use crate::table::Table;
+use annolight_core::{
+    BacklightPlan, LuminanceProfile, ParallelConfig, PolicyKind, QualityLevel, SceneDetector,
+    ScenePlan,
+};
+use annolight_display::DeviceProfile;
+use annolight_stream::{run_session, SessionConfig};
+use annolight_video::ClipLibrary;
+
+/// Quality-violation SLO: how far the mean clipped fraction may exceed
+/// the negotiated budget. The slack is the channel-vs-luminance epsilon
+/// (a colored pixel's maximum channel sits slightly above its luminance),
+/// the same tolerance the serve-tier tests allow.
+pub const VIOLATION_SLO: f64 = 0.02;
+
+/// One (clip, device, policy) cell of the tournament.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCell {
+    /// Clip name.
+    pub clip: String,
+    /// Device name.
+    pub device: String,
+    /// Policy display name ([`PolicyKind::name`]).
+    pub policy: String,
+    /// Frames-weighted mean fractional backlight power saving vs. full.
+    pub backlight_savings: f64,
+    /// Frames-weighted mean clipped pixel fraction (planner-level).
+    pub mean_clipped: f64,
+    /// How far `mean_clipped` exceeds the quality budget (0 when within).
+    pub violation: f64,
+    /// Total-device energy saving of a burst-prefetch session vs. the
+    /// full-backlight baseline.
+    pub total_savings: f64,
+    /// Delivered stream size, bytes (spatial scaling shrinks this).
+    pub stream_bytes: u64,
+    /// Whether the cell honours the quality-violation SLO.
+    pub slo_ok: bool,
+}
+
+annolight_support::impl_json!(struct PolicyCell { clip, device, policy, backlight_savings, mean_clipped, violation, total_savings, stream_bytes, slo_ok });
+
+/// The full tournament: every policy on every clip × device cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabPolicies {
+    /// Clips included (dark trailer, bright cartoon, mixed content).
+    pub clips: Vec<String>,
+    /// One row per (clip, device, policy), in nested iteration order.
+    pub rows: Vec<PolicyCell>,
+}
+
+annolight_support::impl_json!(struct TabPolicies { clips, rows });
+
+/// Runs the tournament at 10 % quality over the baseline-table clip set
+/// and the paper's three devices.
+pub fn run(preview_s: f64) -> TabPolicies {
+    let quality = QualityLevel::Q10;
+    let budget = quality.clip_fraction();
+    let clip_names = ["themovie", "ice_age", "shrek2"];
+    let mut rows = Vec::new();
+    for name in clip_names {
+        let clip = ClipLibrary::paper_clip(name).expect("library clip").preview(preview_s);
+        let profile = LuminanceProfile::of_clip(&clip).expect("non-empty clip");
+        let spans = SceneDetector::default().detect(&profile);
+        for device in DeviceProfile::paper_devices() {
+            for policy in PolicyKind::ALL {
+                let plan = BacklightPlan::compute_policy(
+                    &profile,
+                    &spans,
+                    &device,
+                    quality,
+                    policy,
+                    &ParallelConfig::serial(),
+                );
+                let frames: f64 =
+                    plan.scenes().iter().map(|s| f64::from(s.span.end - s.span.start)).sum();
+                let weighted = |f: &dyn Fn(&ScenePlan) -> f64| {
+                    plan.scenes()
+                        .iter()
+                        .map(|s| f(s) * f64::from(s.span.end - s.span.start))
+                        .sum::<f64>()
+                        / frames
+                };
+                let mean_clipped = weighted(&|s| s.clipped_fraction);
+                let violation = (mean_clipped - budget).max(0.0);
+
+                // A full session prices what the planner cannot: the WNIC
+                // energy of delivering the (possibly rescaled) stream.
+                let mut cfg = SessionConfig::new(clip.clone(), quality).with_policy(policy);
+                cfg.device = device.clone();
+                cfg.burst_prefetch = true;
+                let report = run_session(cfg).expect("library sessions succeed");
+
+                rows.push(PolicyCell {
+                    clip: clip.name().to_owned(),
+                    device: device.name().to_owned(),
+                    policy: policy.name().to_owned(),
+                    backlight_savings: weighted(&|s| s.power_savings),
+                    mean_clipped,
+                    violation,
+                    total_savings: report.playback.total_savings(),
+                    stream_bytes: report.stream_bytes as u64,
+                    slo_ok: violation <= VIOLATION_SLO,
+                });
+            }
+        }
+    }
+    TabPolicies { clips: clip_names.iter().map(|n| (*n).to_owned()).collect(), rows }
+}
+
+/// Renders the tournament as text.
+pub fn render(t: &TabPolicies) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Annotation-policy tournament at 10% quality over {:?}\n\n", t.clips));
+    let mut tbl = Table::new([
+        "clip",
+        "device",
+        "policy",
+        "backlight saved",
+        "mean clipped",
+        "violation",
+        "total saved",
+        "stream bytes",
+        "slo",
+    ]);
+    for r in &t.rows {
+        tbl.row([
+            r.clip.clone(),
+            r.device.clone(),
+            r.policy.clone(),
+            format!("{:.1}%", r.backlight_savings * 100.0),
+            format!("{:.2}%", r.mean_clipped * 100.0),
+            format!("{:.2}%", r.violation * 100.0),
+            format!("{:.1}%", r.total_savings * 100.0),
+            format!("{}", r.stream_bytes),
+            if r.slo_ok { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> TabPolicies {
+        run(4.0)
+    }
+
+    fn cell<'a>(t: &'a TabPolicies, clip: &str, device: &str, policy: &str) -> &'a PolicyCell {
+        t.rows
+            .iter()
+            .find(|r| r.clip == clip && r.device == device && r.policy == policy)
+            .unwrap_or_else(|| panic!("missing cell {clip}/{device}/{policy}"))
+    }
+
+    #[test]
+    fn every_cell_present_and_within_slo() {
+        let t = quick();
+        assert_eq!(t.rows.len(), 3 * 3 * 3, "clips × devices × policies");
+        for r in &t.rows {
+            assert!(r.slo_ok, "{}/{}/{} violates the SLO: {}", r.clip, r.device, r.policy, r.violation);
+            assert!(r.backlight_savings >= 0.0 && r.backlight_savings < 1.0);
+            assert!(r.stream_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn hebs_beats_peak_clip_somewhere_on_backlight() {
+        // The acceptance cell: on the dark trailer, histogram
+        // equalisation reshapes the dominant dark mass and dims further
+        // than clipping alone — on at least one device.
+        let t = quick();
+        let beats = t.rows.iter().any(|r| {
+            r.policy == "hebs"
+                && r.backlight_savings
+                    > cell(&t, &r.clip, &r.device, "peak-clip").backlight_savings + 0.01
+        });
+        assert!(beats, "HEBS never beat peak-clip on backlight savings");
+    }
+
+    #[test]
+    fn hebs_never_dims_less_than_peak_clip() {
+        let t = quick();
+        for r in t.rows.iter().filter(|r| r.policy == "hebs") {
+            let peak = cell(&t, &r.clip, &r.device, "peak-clip");
+            assert!(
+                r.backlight_savings + 1e-9 >= peak.backlight_savings,
+                "{}/{}: hebs {} vs peak {}",
+                r.clip,
+                r.device,
+                r.backlight_savings,
+                peak.backlight_savings
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_scale_beats_peak_clip_somewhere_on_total_energy() {
+        // The other acceptance cell: quarter-area streams slash WNIC
+        // receive time under burst prefetch.
+        let t = quick();
+        let beats = t.rows.iter().any(|r| {
+            r.policy == "spatial-scale"
+                && r.total_savings > cell(&t, &r.clip, &r.device, "peak-clip").total_savings + 0.01
+        });
+        assert!(beats, "spatial scaling never beat peak-clip on total savings");
+    }
+
+    #[test]
+    fn spatial_scale_shrinks_every_stream() {
+        let t = quick();
+        for r in t.rows.iter().filter(|r| r.policy == "spatial-scale") {
+            let peak = cell(&t, &r.clip, &r.device, "peak-clip");
+            assert!(
+                r.stream_bytes * 2 < peak.stream_bytes,
+                "{}/{}: spatial {} vs full {}",
+                r.clip,
+                r.device,
+                r.stream_bytes,
+                peak.stream_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn table_serialises_and_round_trips() {
+        let t = quick();
+        let json = annolight_support::json::to_string(&t);
+        let back: TabPolicies = annolight_support::json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(!render(&t).is_empty());
+    }
+}

@@ -87,6 +87,7 @@ fn request(clip: usize, device: &DeviceProfile) -> AnnotationRequest {
         device: device.clone(),
         quality: QualityLevel::Q10,
         mode: AnnotationMode::PerScene,
+        policy: annolight_core::PolicyKind::PeakClip,
     }
 }
 

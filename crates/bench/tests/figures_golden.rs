@@ -21,7 +21,7 @@
 //! its shape-level test (`fig9_shape.rs`), and the tables include
 //! wall-clock measurements that are inherently non-reproducible.
 
-use annolight_bench::figures::{fig03, fig04, fig05, fig06, fig07, fig08, fig10};
+use annolight_bench::figures::{fig03, fig04, fig05, fig06, fig07, fig08, fig10, tab_policies};
 use annolight_core::QualityLevel;
 use annolight_support::json::{to_string_pretty, ToJson};
 use std::path::PathBuf;
@@ -99,4 +99,15 @@ fn fig08_white_transfer_matches_golden() {
 fn fig10_total_power_matches_golden() {
     // 6-second previews — the quick-mode parameter, frozen.
     assert_golden("fig10", &fig10::run(6.0));
+}
+
+#[test]
+fn tab_policies_matches_golden() {
+    // Unlike the throughput tables, the policy tournament contains no
+    // wall-clock measurements — planner metrics and simulated-session
+    // energy only — so it snapshots byte-exactly. This is the
+    // differential lock on all three policy backends at once: any drift
+    // in HEBS equalisation, spatial pricing, or the peak-clip reference
+    // shows up as a diff here. 3-second previews, the `--test` parameter.
+    assert_golden("tab_policies", &tab_policies::run(3.0));
 }

@@ -9,6 +9,7 @@ use crate::error::CoreError;
 use crate::extensions::CreditsGuard;
 use crate::parallel::ParallelConfig;
 use crate::plan::BacklightPlan;
+use crate::policy::PolicyKind;
 use crate::profile::LuminanceProfile;
 use crate::quality::QualityLevel;
 use crate::scenes::{SceneDetector, SceneSpan};
@@ -38,6 +39,7 @@ pub struct Annotator {
     mode: AnnotationMode,
     credits_guard: Option<CreditsGuard>,
     parallelism: ParallelConfig,
+    policy: PolicyKind,
 }
 
 impl Annotator {
@@ -51,7 +53,21 @@ impl Annotator {
             mode: AnnotationMode::PerScene,
             credits_guard: None,
             parallelism: ParallelConfig::serial(),
+            policy: PolicyKind::PeakClip,
         }
+    }
+
+    /// Selects the annotation-policy backend (default:
+    /// [`PolicyKind::PeakClip`], the paper's planner). See
+    /// [`crate::policy`] for the alternatives.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The selected annotation-policy backend.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// Uses a custom scene detector.
@@ -126,15 +142,18 @@ impl Annotator {
                 .collect(),
         };
         let plan = match &self.credits_guard {
-            None => BacklightPlan::compute_parallel(
+            None => BacklightPlan::compute_policy(
                 profile,
                 &spans,
                 &self.device,
                 self.quality,
+                self.policy,
                 &self.parallelism,
             ),
             // The credits guard re-plans flagged scenes with data-dependent
-            // quality caps; it stays on the serial reference path.
+            // quality caps; it stays on the serial reference path and the
+            // peak-clip policy (its scene heuristics are defined against
+            // the paper's planner).
             Some(guard) => guard.guarded_plan(profile, &spans, &self.device, self.quality),
         };
         let track = AnnotationTrack::from_plan(&plan, self.mode, profile.len() as u32);

@@ -53,6 +53,7 @@ pub mod governor;
 pub mod online;
 pub mod parallel;
 pub mod plan;
+pub mod policy;
 pub mod profile;
 pub mod quality;
 pub mod roi;
@@ -71,6 +72,10 @@ pub use governor::{
 pub use online::OnlineAnnotator;
 pub use parallel::{chunk_ranges, chunked_map, ParallelConfig};
 pub use plan::{plan_levels_ambient, BacklightPlan, ScenePlan};
+pub use policy::{
+    hebs_levels, AnnotationPolicy, HebsRemapSet, PolicyKind, ResolutionCost, ResolutionDecision,
+    SPATIAL_MARGIN,
+};
 pub use profile::{FrameStats, LuminanceProfile};
 pub use quality::QualityLevel;
 pub use roi::{plan_scene_with_roi, Rect, RegionOfInterest};

@@ -86,11 +86,34 @@ impl BacklightPlan {
         quality: QualityLevel,
         cfg: &ParallelConfig,
     ) -> Self {
+        Self::compute_policy(profile, spans, device, quality, crate::policy::PolicyKind::PeakClip, cfg)
+    }
+
+    /// [`compute_parallel`](Self::compute_parallel) with the scene planner
+    /// dispatched through an [`AnnotationPolicy`](crate::policy::AnnotationPolicy)
+    /// backend. `PolicyKind::PeakClip` reproduces the legacy planner
+    /// byte-for-byte (it *is* the extracted legacy scene kernel); other
+    /// backends substitute their own per-scene levels while keeping the
+    /// same chunked fan-out, so every policy is byte-identical across
+    /// worker counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is empty or does not lie within the profile.
+    pub fn compute_policy(
+        profile: &LuminanceProfile,
+        spans: &[SceneSpan],
+        device: &DeviceProfile,
+        quality: QualityLevel,
+        policy: crate::policy::PolicyKind,
+        cfg: &ParallelConfig,
+    ) -> Self {
         assert!(!spans.is_empty(), "cannot plan zero scenes");
+        let backend = policy.policy();
         let chunks = chunked_map(spans.len(), cfg, |range| {
             spans[range]
                 .iter()
-                .map(|&span| Self::plan_scene(profile, span, device, quality))
+                .map(|&span| backend.plan_scene(profile, span, device, quality))
                 .collect::<Vec<_>>()
         });
         let scenes = chunks.into_iter().flatten().collect();
@@ -99,29 +122,6 @@ impl BacklightPlan {
             quality,
             fps: profile.fps(),
             scenes,
-        }
-    }
-
-    fn plan_scene(
-        profile: &LuminanceProfile,
-        span: SceneSpan,
-        device: &DeviceProfile,
-        quality: QualityLevel,
-    ) -> ScenePlan {
-        let hist = profile.merged_histogram(span.start, span.end);
-        let raw_max = hist.max_nonzero().unwrap_or(0);
-        let effective = hist.clip_level(quality.clip_fraction());
-        let clipped_fraction = hist.fraction_above(effective);
-        let (k, backlight) = plan_levels(device, effective);
-        let power_savings = device.backlight_power().savings_vs_full(backlight);
-        ScenePlan {
-            span,
-            raw_max_luma: raw_max,
-            effective_max_luma: effective,
-            clipped_fraction,
-            compensation: k,
-            backlight,
-            power_savings,
         }
     }
 
@@ -178,6 +178,33 @@ impl BacklightPlan {
             .map(|s| s.clipped_fraction * f64::from(s.span.len()))
             .sum::<f64>()
             / f64::from(total)
+    }
+}
+
+/// The paper's peak-clipping scene planner, extracted verbatim from the
+/// pre-policy `BacklightPlan` so the `PeakClip` backend is the
+/// byte-identity reference: merged histogram → clip-budget effective
+/// maximum → [`plan_levels`] → backlight power saving.
+pub(crate) fn peak_clip_scene(
+    profile: &LuminanceProfile,
+    span: SceneSpan,
+    device: &DeviceProfile,
+    quality: QualityLevel,
+) -> ScenePlan {
+    let hist = profile.merged_histogram(span.start, span.end);
+    let raw_max = hist.max_nonzero().unwrap_or(0);
+    let effective = hist.clip_level(quality.clip_fraction());
+    let clipped_fraction = hist.fraction_above(effective);
+    let (k, backlight) = plan_levels(device, effective);
+    let power_savings = device.backlight_power().savings_vs_full(backlight);
+    ScenePlan {
+        span,
+        raw_max_luma: raw_max,
+        effective_max_luma: effective,
+        clipped_fraction,
+        compensation: k,
+        backlight,
+        power_savings,
     }
 }
 

@@ -37,6 +37,7 @@ pub mod color;
 pub mod compensate;
 pub mod error;
 pub mod frame;
+pub mod hebs;
 pub mod histogram;
 pub mod quality;
 pub mod scale;
@@ -48,6 +49,7 @@ pub use compensate::{
 };
 pub use error::ImageError;
 pub use frame::{Frame, LumaFrame, Yuv420Frame};
+pub use hebs::{hebs_remap_scalar, hebs_stretch_value, HebsLut};
 pub use histogram::Histogram;
 pub use quality::ssim_luma;
 pub use scale::{crop, downscale_2x, letterbox};

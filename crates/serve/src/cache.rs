@@ -21,7 +21,7 @@
 //!   would guarantee thrashing).
 
 use annolight_core::track::{AnnotationMode, AnnotationTrack};
-use annolight_core::QualityLevel;
+use annolight_core::{PolicyKind, QualityLevel};
 use annolight_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,17 +42,28 @@ pub struct CacheKey {
     pub quality_key: u16,
     /// Per-scene or per-frame annotation.
     pub mode: AnnotationMode,
+    /// Annotation-policy backend the track was planned with. Part of the
+    /// key so cached tracks never cross policies: a HEBS track and a
+    /// peak-clip track for the same bytes are different artefacts.
+    pub policy: PolicyKind,
 }
 
 impl CacheKey {
     /// Builds a key from request parameters.
     #[must_use]
-    pub fn new(clip_digest: u64, device: &str, quality: QualityLevel, mode: AnnotationMode) -> Self {
+    pub fn new(
+        clip_digest: u64,
+        device: &str,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+        policy: PolicyKind,
+    ) -> Self {
         Self {
             clip_digest,
             device: device.to_owned(),
             quality_key: (quality.clip_fraction() * 10_000.0).round() as u16,
             mode,
+            policy,
         }
     }
 
@@ -67,7 +78,8 @@ impl CacheKey {
             .write_u32(match self.mode {
                 AnnotationMode::PerScene => 0,
                 AnnotationMode::PerFrame => 1,
-            });
+            })
+            .write_u32(u32::from(self.policy.id()));
         d.finish()
     }
 }
@@ -275,7 +287,7 @@ mod tests {
     }
 
     fn key(n: u64) -> CacheKey {
-        CacheKey::new(n, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene)
+        CacheKey::new(n, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene, PolicyKind::PeakClip)
     }
 
     #[test]
@@ -294,9 +306,15 @@ mod tests {
         let cache = AnnotationCache::new(4, 1 << 20);
         let base = key(1);
         cache.insert(base.clone(), track(100, 4));
-        let other_device = CacheKey::new(1, "zaurus-sl5600", QualityLevel::Q10, AnnotationMode::PerScene);
-        let other_quality = CacheKey::new(1, "ipaq-5555", QualityLevel::Q20, AnnotationMode::PerScene);
-        let other_mode = CacheKey::new(1, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerFrame);
+        let other_device = CacheKey::new(
+            1, "zaurus-sl5600", QualityLevel::Q10, AnnotationMode::PerScene, PolicyKind::PeakClip,
+        );
+        let other_quality = CacheKey::new(
+            1, "ipaq-5555", QualityLevel::Q20, AnnotationMode::PerScene, PolicyKind::PeakClip,
+        );
+        let other_mode = CacheKey::new(
+            1, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerFrame, PolicyKind::PeakClip,
+        );
         assert!(cache.get(&other_device).is_none());
         assert!(cache.get(&other_quality).is_none());
         assert!(cache.get(&other_mode).is_none());
@@ -304,10 +322,33 @@ mod tests {
     }
 
     #[test]
+    fn policy_keyed_entries_never_collide() {
+        // Tentpole guarantee: a cached track can never be served to a
+        // request planned under a different policy backend.
+        let cache = AnnotationCache::new(4, 1 << 20);
+        for p in PolicyKind::ALL {
+            let k = CacheKey::new(7, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene, p);
+            assert!(cache.get(&k).is_none());
+            cache.insert(k, track(100, 4));
+        }
+        assert_eq!(cache.stats().resident, 3, "one entry per policy");
+        for p in PolicyKind::ALL {
+            for q in PolicyKind::ALL {
+                let kp = CacheKey::new(7, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene, p);
+                let kq = CacheKey::new(7, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene, q);
+                assert_eq!(kp == kq, p == q);
+                assert_eq!(kp.digest() == kq.digest(), p == q, "{p:?} vs {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn named_and_custom_quality_share_an_entry() {
         let cache = AnnotationCache::new(2, 1 << 20);
         cache.insert(key(9), track(50, 2));
-        let custom = CacheKey::new(9, "ipaq-5555", QualityLevel::Custom(0.10), AnnotationMode::PerScene);
+        let custom = CacheKey::new(
+            9, "ipaq-5555", QualityLevel::Custom(0.10), AnnotationMode::PerScene, PolicyKind::PeakClip,
+        );
         assert!(cache.get(&custom).is_some(), "Q10 and Custom(0.10) must alias");
     }
 

@@ -35,6 +35,7 @@
 //!     device: DeviceProfile::ipaq_5555(),
 //!     quality: QualityLevel::Q10,
 //!     mode: AnnotationMode::PerScene,
+//!     policy: annolight_core::PolicyKind::PeakClip,
 //! };
 //! let cold = svc.call(req.clone()).unwrap();
 //! let warm = svc.call(req).unwrap();

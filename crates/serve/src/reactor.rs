@@ -215,6 +215,7 @@ mod tests {
             device: DeviceProfile::ipaq_5555(),
             quality: q,
             mode: AnnotationMode::PerScene,
+            policy: annolight_core::PolicyKind::PeakClip,
         }
     }
 

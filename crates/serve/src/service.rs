@@ -28,7 +28,7 @@ use crate::cache::{AnnotationCache, CacheKey};
 use crate::counters::{Counters, CountersReport};
 use crate::pool::WorkerPool;
 use annolight_core::track::{AnnotationMode, AnnotationTrack};
-use annolight_core::{clip_digest, Annotator, LuminanceProfile, QualityLevel};
+use annolight_core::{clip_digest, Annotator, LuminanceProfile, PolicyKind, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_support::channel::{self, Receiver, Sender};
 use annolight_support::retry::RetryPolicy;
@@ -129,6 +129,9 @@ pub struct AnnotationRequest {
     pub quality: QualityLevel,
     /// Per-scene or per-frame annotation.
     pub mode: AnnotationMode,
+    /// Annotation-policy backend to plan with (keyed into the cache, so
+    /// tracks never cross policies).
+    pub policy: PolicyKind,
 }
 
 /// The service's answer: a shared annotation track plus provenance.
@@ -196,6 +199,7 @@ struct PendingJob {
     device: DeviceProfile,
     quality: QualityLevel,
     mode: AnnotationMode,
+    policy: PolicyKind,
     reply: Sender<Reply>,
 }
 
@@ -358,7 +362,7 @@ impl AnnotationService {
                 .ok_or_else(|| ServeError::UnknownClip(req.clip.clone()))?;
             (Arc::clone(&entry.clip), entry.digest)
         };
-        let key = CacheKey::new(digest, req.device.name(), req.quality, req.mode);
+        let key = CacheKey::new(digest, req.device.name(), req.quality, req.mode, req.policy);
         if let Some(track) = self.cache.get(&key) {
             Counters::bump(&self.counters.hits);
             Counters::bump(&self.counters.completed);
@@ -376,6 +380,7 @@ impl AnnotationService {
             device: req.device,
             quality: req.quality,
             mode: req.mode,
+            policy: req.policy,
             reply: tx,
         };
         {
@@ -460,6 +465,7 @@ impl AnnotationService {
         let profile = self.profile_of(job.digest, &job.clip)?;
         let annotated = Annotator::new(job.device.clone(), job.quality)
             .with_mode(job.mode)
+            .with_policy(job.policy)
             .with_parallelism(self.intra)
             .annotate_profile(&profile)
             .map_err(|e| ServeError::Internal(e.to_string()))?;
@@ -542,8 +548,9 @@ impl AnnotationService {
         device: &DeviceProfile,
         quality: QualityLevel,
         mode: AnnotationMode,
+        policy: PolicyKind,
     ) -> Result<AnnotationResponse, ServeError> {
-        let key = CacheKey::new(content_digest, device.name(), quality, mode);
+        let key = CacheKey::new(content_digest, device.name(), quality, mode, policy);
         if let Some(track) = self.cache.get(&key) {
             Counters::bump(&self.counters.hits);
             Counters::bump(&self.counters.completed);
@@ -552,6 +559,7 @@ impl AnnotationService {
         let started = Instant::now();
         let annotated = Annotator::new(device.clone(), quality)
             .with_mode(mode)
+            .with_policy(policy)
             .with_parallelism(self.intra)
             .annotate_profile(profile)
             .map_err(|e| ServeError::Internal(e.to_string()))?;
@@ -693,6 +701,7 @@ mod tests {
             device: DeviceProfile::ipaq_5555(),
             quality: QualityLevel::Q10,
             mode: AnnotationMode::PerScene,
+            policy: PolicyKind::PeakClip,
         }
     }
 
@@ -727,6 +736,34 @@ mod tests {
         let second = svc.call(req).unwrap();
         assert!(!second.cache_hit);
         assert_ne!(first.track.device_name(), second.track.device_name());
+    }
+
+    #[test]
+    fn distinct_policies_do_not_share() {
+        // Same bytes, device, quality and mode — only the policy differs.
+        // Each backend must miss and then hit its own entry, and the HEBS
+        // track must actually differ from the peak-clip one (dimmer
+        // levels on dark content), proving the key really separates them.
+        let svc = AnnotationService::new(ServiceConfig::default());
+        svc.register_clip(test_clip("a", 7));
+        let mut tracks = Vec::new();
+        for p in PolicyKind::ALL {
+            let mut req = request("t0", "a");
+            req.policy = p;
+            let cold = svc.call(req.clone()).unwrap();
+            assert!(!cold.cache_hit, "{p:?} first call must miss");
+            let warm = svc.call(req).unwrap();
+            assert!(warm.cache_hit, "{p:?} second call must hit");
+            assert!(Arc::ptr_eq(&cold.track, &warm.track));
+            tracks.push(cold.track);
+        }
+        // One shared pixel scan across all three policies' cold plans.
+        assert_eq!(svc.report().clip_profiles, 1);
+        let (peak, hebs) = (&tracks[0], &tracks[1]);
+        assert!(
+            peak.entries().iter().zip(hebs.entries()).any(|(a, b)| a.backlight != b.backlight),
+            "hebs must dim at least one entry below peak-clip"
+        );
     }
 
     #[test]
@@ -843,6 +880,7 @@ mod tests {
                 &DeviceProfile::ipaq_5555(),
                 QualityLevel::Q10,
                 AnnotationMode::PerScene,
+                PolicyKind::PeakClip,
             )
             .unwrap();
         assert!(via_proxy.cache_hit, "proxy path hits the catalogue path's entry");
@@ -866,6 +904,7 @@ mod tests {
                     device,
                     quality: QualityLevel::Q10,
                     mode: AnnotationMode::PerScene,
+                    policy: PolicyKind::PeakClip,
                 })
                 .unwrap()
             })

@@ -985,6 +985,7 @@ pub fn replay_trace(
             device: devices[req.device].clone(),
             quality: req.quality,
             mode: if req.per_frame { AnnotationMode::PerFrame } else { AnnotationMode::PerScene },
+            policy: annolight_core::PolicyKind::PeakClip,
         };
         let started = Instant::now();
         match svc.submit(request) {

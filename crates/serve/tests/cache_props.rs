@@ -35,7 +35,13 @@ fn track(frames: u32, entries: u32) -> Arc<AnnotationTrack> {
 }
 
 fn key(n: u64) -> CacheKey {
-    CacheKey::new(n, "ipaq-5555", QualityLevel::Q10, AnnotationMode::PerScene)
+    CacheKey::new(
+        n,
+        "ipaq-5555",
+        QualityLevel::Q10,
+        AnnotationMode::PerScene,
+        annolight_core::PolicyKind::PeakClip,
+    )
 }
 
 annolight_support::check! {

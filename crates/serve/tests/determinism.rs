@@ -66,6 +66,7 @@ fn trace(seed: u64, len: usize) -> Vec<AnnotationRequest> {
             device: devices[rng.next(3) as usize].clone(),
             quality: qualities[rng.next(3) as usize],
             mode: if rng.next(2) == 0 { AnnotationMode::PerScene } else { AnnotationMode::PerFrame },
+            policy: annolight_core::PolicyKind::PeakClip,
         })
         .collect()
 }
@@ -117,6 +118,7 @@ fn unknown_clip_is_a_typed_rejection_not_a_panic() {
         device: DeviceProfile::ipaq_5555(),
         quality: QualityLevel::Q10,
         mode: AnnotationMode::PerScene,
+        policy: annolight_core::PolicyKind::PeakClip,
     }) {
         Err(ServeError::UnknownClip(name)) => assert_eq!(name, "missing"),
         other => panic!("expected UnknownClip, got {other:?}"),

@@ -38,6 +38,7 @@ fn unique_request(tenant: &str, clip: &str, n: u32) -> AnnotationRequest {
         device: DeviceProfile::ipaq_5555(),
         quality: QualityLevel::Custom(0.01 + f64::from(n % 400) * 0.002),
         mode: AnnotationMode::PerScene,
+        policy: annolight_core::PolicyKind::PeakClip,
     }
 }
 

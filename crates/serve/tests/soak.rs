@@ -74,6 +74,7 @@ fn soak_64_tenants_fixed_seed() {
             device: devices[rng.next(3) as usize].clone(),
             quality: qualities[rng.next(4) as usize],
             mode: if rng.next(4) == 0 { AnnotationMode::PerFrame } else { AnnotationMode::PerScene },
+            policy: annolight_core::PolicyKind::PeakClip,
         };
         match svc.submit(req) {
             Ok(t) => tickets.push(t),
@@ -156,6 +157,7 @@ fn churned_soak_conserves_under_threads() {
             device: devices[req.device].clone(),
             quality: req.quality,
             mode: if req.per_frame { AnnotationMode::PerFrame } else { AnnotationMode::PerScene },
+            policy: annolight_core::PolicyKind::PeakClip,
         };
         match svc.submit(r) {
             Ok(t) => {
@@ -216,6 +218,7 @@ fn churned_counters_match_churn_free_replay_of_same_multiset() {
                 } else {
                     AnnotationMode::PerScene
                 },
+                policy: annolight_core::PolicyKind::PeakClip,
             })
             .expect("unbounded-queue replay never rejects");
         }

@@ -421,7 +421,8 @@ mod tests {
                 device: DeviceProfile::ipaq_5555(),
                 quality,
                 mode: AnnotationMode::PerScene,
-            dvfs: false,
+                dvfs: false,
+                policy: annolight_core::PolicyKind::PeakClip,
             })
             .unwrap()
             .stream

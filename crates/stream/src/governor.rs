@@ -36,7 +36,7 @@
 use crate::client::DECODE_CPU_BUSY;
 use crate::faults::{deliver_lossy, AnnotationArrivals};
 use crate::message::StreamPacket;
-use crate::session::{negotiate_and_serve, SessionConfig, SessionError};
+use crate::session::{negotiate_and_serve_at, SessionConfig, SessionError};
 use annolight_codec::{Decoder, EncodedStream};
 use annolight_core::extensions::DvfsHint;
 use annolight_core::governor::{
@@ -239,6 +239,7 @@ impl GovernedPrep {
         for &level in &control.levels {
             let annotated = Annotator::new(config.device.clone(), level)
                 .with_mode(AnnotationMode::PerScene)
+                .with_policy(config.policy)
                 .annotate_profile(&profile)
                 .map_err(|e| pipeline(e.to_string()))?;
             let plan = annotated.plan();
@@ -624,7 +625,9 @@ impl GovernorDriver {
 pub(crate) fn prepare_governed(
     cfg: &GovernorSessionConfig,
 ) -> Result<(EncodedStream, GovernedPrep, SessionConfig), SessionError> {
-    let (stream, _, granted, _, config) = negotiate_and_serve(cfg.session.clone())?;
+    // Full resolution always: the governor's ladders price quality levels
+    // against a fixed stream geometry, so spatial rescaling is pinned off.
+    let (stream, _, granted, _, config) = negotiate_and_serve_at(cfg.session.clone(), false)?;
     let prep = GovernedPrep::build(&stream, granted, &config, &cfg.control)?;
     Ok((stream, prep, config))
 }

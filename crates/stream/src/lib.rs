@@ -26,7 +26,9 @@
 //! * [`governor`] — closed-loop battery/thermal-aware quality governance:
 //!   fit a whole playback into an N-joule budget by searching the quality
 //!   knob per scene and shipping the decision upstream over the hint
-//!   channel.
+//!   channel;
+//! * [`spatial`] — energy pricing of half-resolution streaming, feeding
+//!   the spatial-scale annotation policy's resolution decision.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub mod network;
 pub mod proxy;
 pub mod server;
 pub mod session;
+pub mod spatial;
 
 pub use client::{PlaybackClient, PlaybackReport};
 pub use faults::{
@@ -64,3 +67,4 @@ pub use session::{
     run_session, run_session_faulty, run_session_with_server, run_shared_sessions,
     FaultySessionReport, SessionConfig, SessionError, SessionReport, SharedSessionOptions,
 };
+pub use spatial::{resolution_cost, spatial_decision, DECODE_PIXELS_PER_S};

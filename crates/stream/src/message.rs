@@ -8,7 +8,7 @@
 //! stream parameters.
 
 use annolight_core::track::AnnotationMode;
-use annolight_core::QualityLevel;
+use annolight_core::{PolicyKind, QualityLevel};
 use annolight_display::DeviceProfile;
 
 /// Client → server: session opening.
@@ -24,11 +24,14 @@ pub struct ClientHello {
     /// Whether the client's backlight driver prefers per-scene or
     /// per-frame updates.
     pub mode: AnnotationMode,
+    /// The annotation-policy backend the client asks the server/proxy to
+    /// plan with (peak-clip, HEBS, or spatial scaling).
+    pub policy: PolicyKind,
     /// Protocol version, for forward compatibility.
     pub version: u16,
 }
 
-annolight_support::impl_json!(struct ClientHello { clip_name, device, quality, mode, version });
+annolight_support::impl_json!(struct ClientHello { clip_name, device, quality, mode, policy, version });
 
 /// Server → client: the offer.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +65,21 @@ impl ClientHello {
         quality: QualityLevel,
         mode: AnnotationMode,
     ) -> Self {
-        Self { clip_name: clip_name.into(), device, quality, mode, version: PROTOCOL_VERSION }
+        Self {
+            clip_name: clip_name.into(),
+            device,
+            quality,
+            mode,
+            policy: PolicyKind::PeakClip,
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    /// Selects the annotation-policy backend negotiated for the session.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Serialises to the JSON wire form.
@@ -202,6 +219,22 @@ mod tests {
         assert_eq!(hello, back);
         assert_eq!(back.version, PROTOCOL_VERSION);
         assert_eq!(back.device.name(), "ipaq-5555");
+        assert_eq!(back.policy, PolicyKind::PeakClip, "default policy is the paper's");
+    }
+
+    #[test]
+    fn hello_policy_survives_the_wire() {
+        for p in PolicyKind::ALL {
+            let hello = ClientHello::new(
+                "themovie",
+                DeviceProfile::ipaq_5555(),
+                QualityLevel::Q10,
+                AnnotationMode::PerScene,
+            )
+            .with_policy(p);
+            let back = ClientHello::from_wire(&hello.to_wire()).unwrap();
+            assert_eq!(back.policy, p);
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use annolight_codec::{CodecError, Decoder, EncodedStream, Encoder, EncoderConfig
 use annolight_core::digest::Digester;
 use annolight_core::track::{AnnotationMode, AnnotationTrack};
 use annolight_core::parallel::{self, ParallelConfig};
-use annolight_core::{CoreError, LuminanceProfile, QualityLevel};
+use annolight_core::{CoreError, HebsRemapSet, LuminanceProfile, PolicyKind, QualityLevel};
+use annolight_imgproc::Frame;
 use annolight_display::DeviceProfile;
 use annolight_serve::{AnnotationService, ServiceConfig};
 use std::error::Error;
@@ -73,6 +74,7 @@ pub struct Proxy {
     encoder_template: EncoderConfig,
     service: Arc<AnnotationService>,
     parallel: ParallelConfig,
+    policy: PolicyKind,
 }
 
 impl Proxy {
@@ -85,7 +87,26 @@ impl Proxy {
     /// Creates a proxy sharing `service` (and its annotation cache) with
     /// other proxies/servers.
     pub fn with_service(encoder_template: EncoderConfig, service: Arc<AnnotationService>) -> Self {
-        Self { encoder_template, service, parallel: ParallelConfig::serial() }
+        Self {
+            encoder_template,
+            service,
+            parallel: ParallelConfig::serial(),
+            policy: PolicyKind::PeakClip,
+        }
+    }
+
+    /// Selects the annotation-policy backend the proxy plans (and
+    /// compensates) with. Distinct policies never share cached tracks —
+    /// the policy is part of the service's cache key.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The annotation-policy backend in use.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// Fans the proxy's decode, profiling, compensation and re-encode
@@ -130,9 +151,35 @@ impl Proxy {
         mode: AnnotationMode,
     ) -> Result<Arc<AnnotationTrack>, ProxyError> {
         self.service
-            .annotate_profile(digest, profile, device, quality, mode)
+            .annotate_profile(digest, profile, device, quality, mode, self.policy)
             .map(|resp| resp.track)
             .map_err(ProxyError::Serve)
+    }
+
+    /// Policy-aware compensation: HEBS reshapes pixels through its
+    /// per-scene equalisation remap; every other policy applies the
+    /// track's linear gain on the worker pool.
+    fn compensate(
+        &self,
+        frames: &mut [Frame],
+        track: &AnnotationTrack,
+        profile: &LuminanceProfile,
+        quality: QualityLevel,
+        mode: AnnotationMode,
+    ) -> Result<(), ProxyError> {
+        if self.policy == PolicyKind::Hebs {
+            // Rebuilt from the same profile/mode/quality the planner saw,
+            // so the remap's scene spans match the track's entries.
+            let set = HebsRemapSet::new(profile, mode, quality);
+            for (i, f) in frames.iter_mut().enumerate() {
+                set.apply_frame(f, i as u32);
+            }
+            Ok(())
+        } else {
+            parallel::compensate_frames(frames, track, &self.parallel)
+                .map_err(ProxyError::Core)?;
+            Ok(())
+        }
     }
 
     /// Transcodes `input` into an annotated, compensated stream for
@@ -164,7 +211,7 @@ impl Proxy {
         })?
         .with_parallelism(self.parallel);
         enc.push_user_data(&track.to_rle_bytes());
-        parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
+        self.compensate(&mut frames, &track, &profile, quality, mode)?;
         enc.push_frames(&frames)?;
         Ok(enc.finish())
     }
@@ -204,7 +251,7 @@ impl Proxy {
         })?
         .with_parallelism(self.parallel);
         enc.push_user_data(&track.to_rle_bytes());
-        parallel::compensate_frames(&mut frames, &track, &self.parallel).map_err(ProxyError::Core)?;
+        self.compensate(&mut frames, &track, &profile, quality, mode)?;
         enc.push_frames(&frames)?;
         Ok(enc.finish())
     }
@@ -296,6 +343,30 @@ mod tests {
             .unwrap();
         assert_eq!(down.width(), input.width() / 2);
         assert_eq!(proxy.service().report().misses, 2);
+    }
+
+    #[test]
+    fn hebs_proxy_plans_darker_than_peak_clip() {
+        let input = raw_stream();
+        let service = AnnotationService::new(ServiceConfig::default());
+        let peak = Proxy::with_service(EncoderConfig::default(), Arc::clone(&service));
+        let hebs = peak.clone().with_policy(PolicyKind::Hebs);
+        let a = peak
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        let b = hebs
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        let track = |s: &EncodedStream| {
+            AnnotationTrack::from_rle_bytes(&Decoder::new(s).unwrap().user_data()[0]).unwrap()
+        };
+        let (ta, tb) = (track(&a), track(&b));
+        assert_eq!(ta.entries().len(), tb.entries().len(), "same scene structure");
+        for (p, h) in ta.entries().iter().zip(tb.entries()) {
+            assert!(h.backlight.0 <= p.backlight.0, "scene at {}", p.start_frame);
+        }
+        // Distinct policies are distinct cache entries on the shared service.
+        assert_eq!(service.report().misses, 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::message::{grant_quality, ClientHello, ServerOffer};
 use annolight_codec::{Encoder, EncoderConfig};
 use annolight_core::track::AnnotationTrack;
-use annolight_core::{apply::compensate_frame, QualityLevel, SceneSpan};
+use annolight_core::{apply::compensate_frame, HebsRemapSet, PolicyKind, QualityLevel, SceneSpan};
 use annolight_display::DeviceProfile;
 use annolight_serve::{AnnotationRequest, AnnotationService, Service, ServiceConfig};
 use annolight_video::Clip;
@@ -43,10 +43,13 @@ pub struct ServeRequest {
     /// Also embed per-scene DVFS hints (§3's frequency/voltage-scaling
     /// application of annotations).
     pub dvfs: bool,
+    /// The annotation-policy backend to plan (and compensate) with.
+    pub policy: PolicyKind,
 }
 
 impl ServeRequest {
-    /// A request with the defaults (per-scene mode, no DVFS hints).
+    /// A request with the defaults (per-scene mode, no DVFS hints,
+    /// peak-clip policy).
     pub fn new(clip_name: impl Into<String>, device: DeviceProfile, quality: QualityLevel) -> Self {
         Self {
             clip_name: clip_name.into(),
@@ -54,6 +57,7 @@ impl ServeRequest {
             quality,
             mode: AnnotationMode::PerScene,
             dvfs: false,
+            policy: PolicyKind::PeakClip,
         }
     }
 
@@ -66,6 +70,13 @@ impl ServeRequest {
     /// Selects the annotation mode.
     pub fn with_mode(mut self, mode: AnnotationMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects the annotation-policy backend.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -245,6 +256,7 @@ impl MediaServer {
                 device: req.device.clone(),
                 quality: req.quality,
                 mode: req.mode,
+                policy: req.policy,
             })
             .map_err(ServeError::from)?;
         let track = response.track;
@@ -268,12 +280,26 @@ impl MediaServer {
             enc.push_user_data(&annolight_core::extensions::hints_to_bytes(&hints));
         }
 
+        // HEBS compensates through a per-scene histogram-equalisation
+        // remap rather than the linear gain baked into the track; the
+        // remap tables are rebuilt over the track's own entry spans so
+        // server-side pixels and the embedded annotations always agree.
+        let remaps = if req.policy == PolicyKind::Hebs {
+            let profile = self.service.profile_for(&req.clip_name).map_err(ServeError::from)?;
+            Some(HebsRemapSet::for_spans(&profile, entry_spans(&track), req.quality))
+        } else {
+            None
+        };
+
         let mut clipped = 0u64;
         let mut total = 0u64;
         for i in 0..clip.frame_count() {
             let mut frame = clip.frame(i);
-            let stats = compensate_frame(&mut frame, &track, i)
-                .map_err(|e| ServeError::Internal(e.to_string()))?;
+            let stats = match &remaps {
+                Some(set) => set.apply_frame(&mut frame, i),
+                None => compensate_frame(&mut frame, &track, i)
+                    .map_err(|e| ServeError::Internal(e.to_string()))?,
+            };
             clipped += stats.clipped_pixels;
             total += stats.total_pixels;
             enc.push_frame(&frame).map_err(|e| ServeError::Internal(e.to_string()))?;
@@ -309,6 +335,7 @@ mod tests {
             quality: QualityLevel::Q10,
             mode: AnnotationMode::PerScene,
             dvfs: false,
+            policy: PolicyKind::PeakClip,
         }
     }
 
@@ -426,6 +453,23 @@ mod tests {
             server.negotiate(&bad).unwrap_err(),
             ServeError::UnknownClip("missing".into())
         );
+    }
+
+    #[test]
+    fn hebs_policy_plans_darker_and_stays_within_budget() {
+        let (server, name) = server_with("themovie", 4.0);
+        let peak = server.serve(&request(&name)).unwrap();
+        let hebs = server.serve(&request(&name).with_policy(PolicyKind::Hebs)).unwrap();
+        // HEBS reshapes pixels to tolerate a dimmer backlight: entrywise
+        // never brighter than the peak-clip plan for the same scenes.
+        for (p, h) in peak.track.entries().iter().zip(hebs.track.entries()) {
+            assert!(h.backlight.0 <= p.backlight.0, "scene at {}", p.start_frame);
+        }
+        // The remap honours the same clip budget the track was planned to.
+        let frac = hebs.clipped_pixels as f64 / hebs.total_pixels as f64;
+        assert!(frac <= 0.10 + 0.02, "hebs clipped fraction {frac}");
+        // Distinct policy => distinct cache entry, not a collision.
+        assert!(!hebs.cache_hit);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::proxy::Proxy;
 use crate::server::{MediaServer, ServeError, ServeRequest};
 use annolight_codec::{EncodedStream, EncoderConfig};
 use annolight_core::track::AnnotationMode;
-use annolight_core::QualityLevel;
+use annolight_core::{PolicyKind, QualityLevel};
 use annolight_display::DeviceProfile;
 use annolight_power::{EnergyMeter, SystemPowerModel};
 use annolight_video::Clip;
@@ -61,6 +61,9 @@ pub struct SessionConfig {
     /// Fault injection on the wireless hop. The default is lossless;
     /// [`run_session`] ignores it, [`run_session_faulty`] honours it.
     pub faults: FaultConfig,
+    /// The annotation-policy backend the client asks for. Carried in the
+    /// hello, so the serving side plans (and compensates) with it.
+    pub policy: PolicyKind,
 }
 
 impl SessionConfig {
@@ -79,7 +82,15 @@ impl SessionConfig {
             dvfs: false,
             burst_prefetch: false,
             faults: FaultConfig::lossless(0),
+            policy: PolicyKind::PeakClip,
         }
+    }
+
+    /// Selects the annotation-policy backend for the session.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -166,6 +177,20 @@ pub fn run_session(config: SessionConfig) -> Result<SessionReport, SessionError>
 pub(crate) fn negotiate_and_serve(
     config: SessionConfig,
 ) -> Result<(EncodedStream, usize, QualityLevel, DeviceProfile, SessionConfig), SessionError> {
+    negotiate_and_serve_at(config, true)
+}
+
+/// [`negotiate_and_serve`] with the spatial-scaling escape hatch.
+///
+/// `allow_spatial: false` pins the stream to full resolution even when the
+/// negotiated policy is [`PolicyKind::SpatialScale`] — the governor uses
+/// this, because its energy ladders are calibrated against full-resolution
+/// playback and a mid-session geometry change would invalidate them.
+#[allow(clippy::type_complexity)]
+pub(crate) fn negotiate_and_serve_at(
+    config: SessionConfig,
+    allow_spatial: bool,
+) -> Result<(EncodedStream, usize, QualityLevel, DeviceProfile, SessionConfig), SessionError> {
     let clip_name = config.clip.name().to_owned();
 
     // --- Server-side preparation (Fig. 1, wired segment) ----------------
@@ -179,49 +204,93 @@ pub(crate) fn negotiate_and_serve(
         config.device.clone(),
         config.quality,
         config.mode,
-    );
+    )
+    .with_policy(config.policy);
     let hello = crate::message::ClientHello::from_wire(&hello.to_wire())
         .map_err(SessionError::Pipeline)?;
     let offer = server.negotiate(&hello).map_err(SessionError::Negotiation)?;
     let granted = offer.granted_quality;
-    let config = SessionConfig { quality: granted, device: hello.device, ..config };
+    let config =
+        SessionConfig { quality: granted, device: hello.device, policy: hello.policy, ..config };
 
-    let (stream, annotation_bytes) = match config.site {
-        AnnotationSite::Server => {
-            let served = server
-                .serve(&ServeRequest {
-                    clip_name,
-                    device: config.device.clone(),
-                    quality: config.quality,
-                    mode: config.mode,
-                    dvfs: config.dvfs,
-                })
-                .map_err(SessionError::Serve)?;
-            (served.stream, served.annotation_bytes)
-        }
-        AnnotationSite::Proxy => {
-            // Legacy server: plain stream; proxy annotates on the fly.
-            let plain = server
-                .serve(&ServeRequest {
-                    clip_name,
-                    device: config.device.clone(),
-                    quality: QualityLevel::Q0,
-                    mode: config.mode,
-                    dvfs: false,
-                })
-                .map_err(SessionError::Serve)?;
-            // Strip annotations by re-encoding without user data is what a
-            // legacy server would emit; transcode from the clean pictures.
-            let proxy = Proxy::new(config.encoder);
-            let out = proxy
-                .transcode(&plain.stream, &config.device, config.quality, config.mode)
-                .map_err(SessionError::Proxy)?;
-            let annotation = annolight_codec::Decoder::new(&out)
-                .map_err(|e| SessionError::Pipeline(e.to_string()))?
-                .user_data()
-                .first()
-                .map_or(0, |b| b.len());
-            (out, annotation)
+    // --- Spatial scaling (§3): the policy prices full vs. half --------
+    // --- resolution with *this* client's channel and power model ------
+    let downscale = allow_spatial
+        && config.policy == PolicyKind::SpatialScale
+        && crate::spatial::spatial_decision(
+            config.policy,
+            offer.width,
+            offer.height,
+            config.clip.frame_count(),
+            offer.fps,
+            &config.channel,
+            &config.system,
+        )
+        .use_half;
+
+    let (stream, annotation_bytes) = if downscale {
+        // The data-shaping role of the Fig. 1 proxy: fetch the pictures
+        // losslessly, downscale 2×, and annotate the reshaped frames.
+        let plain = server
+            .serve(&ServeRequest {
+                clip_name,
+                device: config.device.clone(),
+                quality: QualityLevel::Q0,
+                mode: config.mode,
+                dvfs: false,
+                policy: PolicyKind::PeakClip,
+            })
+            .map_err(SessionError::Serve)?;
+        let proxy = Proxy::new(config.encoder).with_policy(config.policy);
+        let out = proxy
+            .transcode_downscaled(&plain.stream, &config.device, config.quality, config.mode)
+            .map_err(SessionError::Proxy)?;
+        let annotation = annolight_codec::Decoder::new(&out)
+            .map_err(|e| SessionError::Pipeline(e.to_string()))?
+            .user_data()
+            .first()
+            .map_or(0, |b| b.len());
+        (out, annotation)
+    } else {
+        match config.site {
+            AnnotationSite::Server => {
+                let served = server
+                    .serve(&ServeRequest {
+                        clip_name,
+                        device: config.device.clone(),
+                        quality: config.quality,
+                        mode: config.mode,
+                        dvfs: config.dvfs,
+                        policy: config.policy,
+                    })
+                    .map_err(SessionError::Serve)?;
+                (served.stream, served.annotation_bytes)
+            }
+            AnnotationSite::Proxy => {
+                // Legacy server: plain stream; proxy annotates on the fly.
+                let plain = server
+                    .serve(&ServeRequest {
+                        clip_name,
+                        device: config.device.clone(),
+                        quality: QualityLevel::Q0,
+                        mode: config.mode,
+                        dvfs: false,
+                        policy: PolicyKind::PeakClip,
+                    })
+                    .map_err(SessionError::Serve)?;
+                // Strip annotations by re-encoding without user data is what a
+                // legacy server would emit; transcode from the clean pictures.
+                let proxy = Proxy::new(config.encoder).with_policy(config.policy);
+                let out = proxy
+                    .transcode(&plain.stream, &config.device, config.quality, config.mode)
+                    .map_err(SessionError::Proxy)?;
+                let annotation = annolight_codec::Decoder::new(&out)
+                    .map_err(|e| SessionError::Pipeline(e.to_string()))?
+                    .user_data()
+                    .first()
+                    .map_or(0, |b| b.len());
+                (out, annotation)
+            }
         }
     };
     let device = config.device.clone();
@@ -390,6 +459,7 @@ pub fn run_session_with_server(
             quality: granted,
             mode: hello.mode,
             dvfs: options.dvfs,
+            policy: hello.policy,
         })
         .map_err(SessionError::Serve)?;
     deliver_and_play(
@@ -578,6 +648,38 @@ mod tests {
             burst.playback.total_savings(),
             plain.playback.total_savings()
         );
+    }
+
+    #[test]
+    fn hebs_session_dims_the_backlight_at_least_as_far() {
+        let peak = run_session(config(QualityLevel::Q10)).unwrap();
+        let hebs = run_session(config(QualityLevel::Q10).with_policy(PolicyKind::Hebs)).unwrap();
+        assert!(hebs.playback.annotated);
+        assert!(
+            hebs.playback.mean_backlight <= peak.playback.mean_backlight + 1e-9,
+            "hebs {} vs peak-clip {}",
+            hebs.playback.mean_backlight,
+            peak.playback.mean_backlight
+        );
+        assert!(hebs.playback.total_savings() + 1e-9 >= peak.playback.total_savings());
+    }
+
+    #[test]
+    fn spatial_scale_session_halves_the_stream() {
+        let peak = run_session(config(QualityLevel::Q10)).unwrap();
+        let spatial =
+            run_session(config(QualityLevel::Q10).with_policy(PolicyKind::SpatialScale)).unwrap();
+        // 128×96 over 802.11b clears the energy margin, so the policy
+        // reshapes the stream to quarter area and far fewer bytes.
+        assert!(
+            spatial.stream_bytes * 2 < peak.stream_bytes,
+            "spatial {} vs full {}",
+            spatial.stream_bytes,
+            peak.stream_bytes
+        );
+        assert!(spatial.playback.annotated, "downscaled stream is still annotated");
+        assert_eq!(spatial.playback.frames, peak.playback.frames);
+        assert!(spatial.transfer_time_s < peak.transfer_time_s);
     }
 
     #[test]

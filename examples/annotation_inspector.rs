@@ -27,7 +27,8 @@ fn main() {
             device: DeviceProfile::ipaq_5555(),
             quality: QualityLevel::Q15,
             mode: AnnotationMode::PerScene,
-        dvfs: false,
+            dvfs: false,
+            policy: annolight::core::PolicyKind::PeakClip,
         })
         .expect("serving library clip succeeds");
 

@@ -61,6 +61,7 @@ fn main() {
                         device: device.clone(),
                         quality: qualities[r % qualities.len()],
                         mode: AnnotationMode::PerScene,
+                        policy: annolight_core::PolicyKind::PeakClip,
                     };
                     let resp = service.call(req).expect("catalogue clips annotate");
                     hits += u32::from(resp.cache_hit);

@@ -33,7 +33,9 @@ REACTOR_LOG_A="$(mktemp)"
 REACTOR_LOG_B="$(mktemp)"
 GOVERNOR_LOG_A="$(mktemp)"
 GOVERNOR_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B" "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B"' EXIT
+POLICY_LOG_A="$(mktemp)"
+POLICY_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B" "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B" "$POLICY_LOG_A" "$POLICY_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -90,6 +92,18 @@ ANNOLIGHT_GOVERNOR_LOG="$GOVERNOR_LOG_B" \
 test -s "$GOVERNOR_LOG_A" || { echo "governor decision log was not written"; exit 1; }
 cmp "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B" \
   || { echo "governor decision logs diverged between identical runs"; exit 1; }
+
+echo "== policy conformance guard (same matrix twice, diff plan-digest logs) =="
+ANNOLIGHT_POLICY_LOG="$POLICY_LOG_A" \
+  cargo test -q --release --offline --test policy_conformance
+ANNOLIGHT_POLICY_LOG="$POLICY_LOG_B" \
+  cargo test -q --release --offline --test policy_conformance
+test -s "$POLICY_LOG_A" || { echo "policy plan-digest log was not written"; exit 1; }
+cmp "$POLICY_LOG_A" "$POLICY_LOG_B" \
+  || { echo "policy plan digests diverged between identical runs"; exit 1; }
+
+echo "== policy tournament smoke (--test mode, 27 cells, double-run deterministic) =="
+cargo run -q --release --offline -p annolight-bench --bin tab_policies -- --test
 
 echo "== governor budget smoke (--test mode, within-budget, double-run deterministic) =="
 cargo run -q --release --offline -p annolight-bench --bin ext_governor -- --test

@@ -24,7 +24,8 @@ fn serve_and_play_every_paper_device() {
                 device: device.clone(),
                 quality: QualityLevel::Q10,
                 mode: AnnotationMode::PerScene,
-            dvfs: false,
+                dvfs: false,
+                policy: annolight::core::PolicyKind::PeakClip,
             })
             .expect("serve succeeds");
         let client = PlaybackClient::new(device.clone(), SystemPowerModel::ipaq_5555());
@@ -57,7 +58,8 @@ fn annotations_survive_the_whole_pipeline_byte_exact() {
             device: DeviceProfile::ipaq_5555(),
             quality: QualityLevel::Q5,
             mode: AnnotationMode::PerScene,
-        dvfs: false,
+            dvfs: false,
+            policy: annolight::core::PolicyKind::PeakClip,
         })
         .unwrap();
     let sent = served.track.to_rle_bytes();
@@ -82,7 +84,8 @@ fn per_frame_mode_plays_end_to_end() {
             device: DeviceProfile::ipaq_5555(),
             quality: QualityLevel::Q10,
             mode: AnnotationMode::PerFrame,
-        dvfs: false,
+            dvfs: false,
+            policy: annolight::core::PolicyKind::PeakClip,
         })
         .unwrap();
     let client = PlaybackClient::new(DeviceProfile::ipaq_5555(), SystemPowerModel::ipaq_5555());

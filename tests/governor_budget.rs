@@ -179,6 +179,62 @@ fn battery_charge_derates_the_budget_below_the_configured_value() {
     }
 }
 
+#[test]
+fn non_default_policies_honour_the_budget_and_replay_identically() {
+    // The governor pins full resolution (its ladder projections assume
+    // fixed stream geometry), but the *planning* backend still follows
+    // the session policy — HEBS ladders project less energy than
+    // peak-clip, and both alternates must keep every budget guarantee.
+    use annolight::core::PolicyKind;
+    for policy in [PolicyKind::Hebs, PolicyKind::SpatialScale] {
+        for clip_name in CLIPS {
+            let governed_with = |budget_j: f64, seed: u64| {
+                let mut cfg = governed(clip_name, budget_j, seed);
+                cfg.session.policy = policy;
+                cfg
+            };
+            // The budget comes from the policy's *own* ladder, so every
+            // cell is feasible by construction.
+            let ladder =
+                governed_projections(&governed_with(0.0, 0)).expect("projection ladder");
+            let floor = *ladder.last().expect("non-empty ladder");
+            let budget = floor + 0.5 * (ladder[0] - floor);
+            for seed in [SEEDS[0], SEEDS[1]] {
+                let cell = format!("{clip_name}/{}/seed {seed}", policy.name());
+                let r = run_session_governed(governed_with(budget, seed))
+                    .unwrap_or_else(|e| panic!("{cell}: {e}"));
+                assert!(!r.infeasible, "{cell}: own-ladder budget must be feasible");
+                assert!(
+                    r.within_budget && r.total_j <= r.effective_budget_j + 1e-9,
+                    "{cell}: spent {} of {} J",
+                    r.total_j,
+                    r.effective_budget_j
+                );
+                assert_eq!(r.events.len(), r.scenes as usize, "{cell}: scenes");
+                assert!(r.quality_error <= 0.5, "{cell}: quality error unbounded");
+                let again = run_session_governed(governed_with(budget, seed))
+                    .expect("replay succeeds");
+                assert_eq!(r.trace_hex, again.trace_hex, "{cell}: trace must replay");
+            }
+        }
+        // A dimmer planner projects a cheaper ladder: HEBS entrywise at
+        // or below peak-clip on the dark clip.
+        if policy == PolicyKind::Hebs {
+            let peak = ladder_and_budget("themovie", 0.5).0;
+            let mut cfg = governed("themovie", 0.0, 0);
+            cfg.session.policy = policy;
+            let hebs = governed_projections(&cfg).expect("projection ladder");
+            assert_eq!(peak.len(), hebs.len());
+            for (knob, (p, h)) in peak.iter().zip(hebs.iter()).enumerate() {
+                assert!(
+                    h <= &(p + 1e-9),
+                    "knob {knob}: HEBS ladder {h} J above peak-clip {p} J"
+                );
+            }
+        }
+    }
+}
+
 /// The canonical deterministic artefact: the full governor decision log
 /// of the seeded matrix, as JSON. Identical builds must produce
 /// identical bytes; `scripts/ci.sh` runs this twice and `cmp`s the

@@ -128,6 +128,53 @@ fn faulty_reactor_sessions_match_threaded_reference_byte_for_byte() {
     }
 }
 
+#[test]
+fn non_default_policy_sessions_replay_identically_on_the_reactor() {
+    // The machines reuse the threaded `negotiate_and_serve`, so the
+    // policy thread (HEBS remaps, spatial downscaling) must survive
+    // reactor hosting byte-for-byte — including across worker counts.
+    use annolight::core::PolicyKind;
+    let clip = test_clip();
+    for policy in [PolicyKind::Hebs, PolicyKind::SpatialScale] {
+        let mut config = SessionConfig::new(clip.clone(), QualityLevel::Q10);
+        config.policy = policy;
+        let threaded = run_session(config.clone()).expect("threaded session succeeds");
+        let want = annolight_support::json::to_string_pretty(&threaded);
+        let digest_at = |workers: usize| {
+            let (results, reactor) =
+                run_sessions_on_reactor(vec![config.clone()], reactor_config(42, workers));
+            let hosted = results.into_iter().next().unwrap().expect("reactor session");
+            assert_eq!(
+                annolight_support::json::to_string_pretty(&hosted),
+                want,
+                "{} workers {workers}: reactor-hosted session must match run_session",
+                policy.name()
+            );
+            reactor.digest.value()
+        };
+        assert_eq!(digest_at(1), digest_at(1), "{}: replay digest", policy.name());
+        digest_at(4);
+    }
+    // The policies actually reached the wire: HEBS re-plans the
+    // backlight, spatial scaling shrinks the stream.
+    let run_with = |policy: PolicyKind| {
+        let mut config = SessionConfig::new(clip.clone(), QualityLevel::Q10);
+        config.policy = policy;
+        run_session(config).expect("session succeeds")
+    };
+    let peak = run_with(PolicyKind::PeakClip);
+    let spatial = run_with(PolicyKind::SpatialScale);
+    assert!(
+        spatial.stream_bytes * 2 < peak.stream_bytes,
+        "library geometry must take the downscale path"
+    );
+    let hebs = run_with(PolicyKind::Hebs);
+    assert!(
+        hebs.playback.mean_backlight <= peak.playback.mean_backlight + 1e-12,
+        "HEBS must not brighten the mean backlight"
+    );
+}
+
 /// A governed session config over the test clip with a mid-ladder
 /// budget — tight enough that the governor actually moves the knob.
 fn governed_config(clip: &Clip, seed: u64, lossy: bool) -> GovernorSessionConfig {
