@@ -21,7 +21,9 @@
 //! its shape-level test (`fig9_shape.rs`), and the tables include
 //! wall-clock measurements that are inherently non-reproducible.
 
-use annolight_bench::figures::{fig03, fig04, fig05, fig06, fig07, fig08, fig10, tab_policies};
+use annolight_bench::figures::{
+    fig03, fig04, fig05, fig06, fig07, fig08, fig10, pipeline_throughput, tab_policies,
+};
 use annolight_core::QualityLevel;
 use annolight_support::json::{to_string_pretty, ToJson};
 use std::path::PathBuf;
@@ -99,6 +101,19 @@ fn fig08_white_transfer_matches_golden() {
 fn fig10_total_power_matches_golden() {
     // 6-second previews — the quick-mode parameter, frozen.
     assert_golden("fig10", &fig10::run(6.0));
+}
+
+#[test]
+fn pipeline_conformance_matches_golden() {
+    // The wall-clock throughput table itself cannot snapshot, but its
+    // deterministic projection can: every kernel tier, worker count and
+    // batched-scheduler configuration collapsed to the output digests
+    // they all share. Any drift in a SIMD kernel, the fixed-point LUT,
+    // the planner, or the batched dispatch order shows up as a diff
+    // here — on any host, since unavailable tiers clamp to available
+    // ones that are byte-identical by construction. 1-second preview,
+    // frozen.
+    assert_golden("pipeline", &pipeline_throughput::conformance(1.0));
 }
 
 #[test]

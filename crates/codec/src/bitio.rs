@@ -51,6 +51,22 @@ impl BitWriter {
         Self { bitwise: true, ..Self::default() }
     }
 
+    /// Creates an empty writer that reuses `buf`'s allocation (word-level
+    /// fast path). The buffer is cleared; its capacity is kept, so a
+    /// scratch-driven encode loop reaches a steady state with zero
+    /// allocator traffic once the buffer has grown to its peak size.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { bytes: buf, ..Self::default() }
+    }
+
+    /// Like [`BitWriter::from_vec`] but running the retained
+    /// bit-at-a-time reference loop.
+    pub fn from_vec_reference(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { bytes: buf, bitwise: true, ..Self::default() }
+    }
+
     /// Appends the lowest `count` bits of `value`, MSB first.
     ///
     /// # Panics

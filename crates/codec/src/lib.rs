@@ -59,4 +59,7 @@ pub mod zigzag;
 
 pub use error::CodecError;
 pub use metrics::{psnr, psnr_luma};
-pub use stream::{Decoder, EncodedStream, Encoder, EncoderConfig, Packet, PacketKind};
+pub use stream::{
+    decode_all_yuv_batched, encode_yuv_batched, Decoder, EncodedStream, Encoder, EncoderConfig,
+    Packet, PacketKind,
+};

@@ -292,9 +292,35 @@ enum MbMode {
 /// One macroblock's compute-stage output: mode plus the six quantised
 /// blocks (4 luma, U, V). Intra DC is stored *absolute*; the serial
 /// entropy stage applies the prediction chain.
+#[derive(Debug)]
 struct MbOut {
     mode: MbMode,
     blocks: [QBlock; 6],
+}
+
+/// Output sink for one macroblock row of reconstruction: the destination
+/// planes (either a band's strip buffers or a full frame's planes) plus
+/// the first macroblock row those planes cover.
+struct RowSink<'a> {
+    y: &'a mut [u8],
+    u: &'a mut [u8],
+    v: &'a mut [u8],
+    /// Macroblock row that `y[0..]` / `u[0..]` / `v[0..]` start at.
+    mb_row0: usize,
+}
+
+/// Reusable per-codec working memory for the `*_into` entry points:
+/// quantised macroblock levels, the motion-predictor rows and the
+/// entropy writer's output buffer all persist across pictures, so a
+/// steady-state encode/decode loop performs no per-picture allocations.
+#[derive(Debug, Default)]
+pub(crate) struct CodecScratch {
+    mbs: Vec<MbOut>,
+    up_mvs: Vec<Option<MotionVector>>,
+    cur_mvs: Vec<Option<MotionVector>>,
+    /// Encoded payload of the last picture (qscale byte + entropy bits);
+    /// doubles as the recycled [`BitWriter`] buffer.
+    pub(crate) payload: Vec<u8>,
 }
 
 /// One band's compute-stage output: macroblocks in raster order plus the
@@ -389,63 +415,137 @@ fn encode_picture(
     qscale: QScale,
     opts: &CodecOptions,
 ) -> CodedPicture {
+    let mut scratch = CodecScratch::default();
+    let mut recon = Yuv420Frame::new(frame.width(), frame.height())
+        .expect("source frame dimensions are valid");
+    encode_picture_into(frame, reference, qscale, opts, &mut scratch, &mut recon);
+    CodedPicture { bytes: scratch.payload, reconstruction: recon }
+}
+
+/// Encodes one picture into caller-owned buffers: the reconstruction into
+/// `recon` and the payload into `scratch.payload`. Byte-identical to
+/// [`encode_intra_opts`] / [`encode_inter_opts`] for every configuration.
+///
+/// Serial configurations (`workers <= 1`, where the band fan-out would
+/// run inline anyway) take a direct-write path: macroblock rows write
+/// straight into `recon`'s planes, with the motion-predictor rows reset
+/// at every [`BAND_MB_ROWS`] boundary — the invariant that keeps the
+/// bitstream identical to the banded path without allocating band strips.
+///
+/// # Panics
+///
+/// Panics if `reference` or `recon` dimensions don't match `frame`.
+pub(crate) fn encode_picture_into(
+    frame: &Yuv420Frame,
+    reference: Option<&Yuv420Frame>,
+    qscale: QScale,
+    opts: &CodecOptions,
+    scratch: &mut CodecScratch,
+    recon: &mut Yuv420Frame,
+) {
+    if let Some(r) = reference {
+        assert_eq!(
+            (frame.width(), frame.height()),
+            (r.width(), r.height()),
+            "reference dimensions must match"
+        );
+    }
+    assert_eq!(
+        (frame.width(), frame.height()),
+        (recon.width(), recon.height()),
+        "reconstruction dimensions must match"
+    );
     let (luma, chroma) = plane_dims(frame);
     let mbs_x = luma.w / 16;
     let mbs_y = luma.h / 16;
     let kernels = Kernels::new(qscale, opts.reference_kernels);
-
-    let bands = map_bands(mbs_y, &opts.parallel, |b| {
-        encode_band(b, frame, reference, &kernels, opts.search, &luma, &chroma, mbs_x, mbs_y)
-    });
-
-    let mut recon = Yuv420Frame::new(frame.width(), frame.height())
-        .expect("source frame dimensions are valid");
-    stitch_bands(&bands, &mut recon, mbs_y);
-
-    // Serial entropy stage: bit I/O plus the intra-DC prediction chain.
-    // The reference path keeps the retained bit-at-a-time writer
-    // (byte-identical output).
-    let mut w = if opts.reference_kernels {
-        BitWriter::new_reference()
-    } else {
-        // Reserve roughly a quarter of the luma plane: comfortably above
-        // a typical coded picture, so the output Vec never regrows.
-        BitWriter::with_capacity(luma.w * luma.h / 4 + 64)
-    };
-    let mut dc = [0i16; 3];
     let intra_picture = reference.is_none();
-    for band in &bands {
-        for mb in &band.mbs {
-            if intra_picture {
-                for blk in &mb.blocks[..4] {
-                    dc[0] = encode_block(&mut w, blk, dc[0]);
-                }
-                dc[1] = encode_block(&mut w, &mb.blocks[4], dc[1]);
-                dc[2] = encode_block(&mut w, &mb.blocks[5], dc[2]);
-            } else {
-                match mb.mode {
-                    MbMode::Inter(mv) => {
-                        w.put_bit(true);
-                        w.put_se(i32::from(mv.dx2));
-                        w.put_se(i32::from(mv.dy2));
-                        for blk in &mb.blocks {
-                            encode_block(&mut w, blk, 0);
-                        }
+
+    // Recycled entropy writer: the first (byte-aligned) write emits
+    // exactly the leading qscale byte the payload format starts with.
+    // Reserve roughly a quarter of the luma plane: comfortably above a
+    // typical coded picture, so the buffer regrows at most once ever.
+    let mut payload = std::mem::take(&mut scratch.payload);
+    payload.reserve(luma.w * luma.h / 4 + 64);
+    let mut w = if opts.reference_kernels {
+        BitWriter::from_vec_reference(payload)
+    } else {
+        BitWriter::from_vec(payload)
+    };
+    w.put_bits(u32::from(qscale.value()), 8);
+
+    scratch.mbs.clear();
+    if opts.parallel.workers <= 1 {
+        scratch.up_mvs.clear();
+        scratch.up_mvs.resize(mbs_x, None);
+        scratch.cur_mvs.clear();
+        scratch.cur_mvs.resize(mbs_x, None);
+        let (py, pu, pv) = recon.planes_mut();
+        let mut sink = RowSink { y: py, u: pu, v: pv, mb_row0: 0 };
+        for mby in 0..mbs_y {
+            if mby % BAND_MB_ROWS == 0 {
+                scratch.up_mvs.fill(None);
+            }
+            scratch.cur_mvs.fill(None);
+            encode_mb_row(
+                mby,
+                frame,
+                reference,
+                &kernels,
+                opts.search,
+                &luma,
+                &chroma,
+                mbs_x,
+                &scratch.up_mvs,
+                &mut scratch.cur_mvs,
+                &mut sink,
+                &mut scratch.mbs,
+            );
+            std::mem::swap(&mut scratch.up_mvs, &mut scratch.cur_mvs);
+        }
+        write_entropy(&mut w, scratch.mbs.iter(), intra_picture);
+    } else {
+        let bands = map_bands(mbs_y, &opts.parallel, |b| {
+            encode_band(b, frame, reference, &kernels, opts.search, &luma, &chroma, mbs_x, mbs_y)
+        });
+        stitch_bands(&bands, recon, mbs_y);
+        write_entropy(&mut w, bands.iter().flat_map(|b| b.mbs.iter()), intra_picture);
+    }
+    scratch.payload = w.into_bytes();
+}
+
+/// Serial entropy stage: Exp-Golomb coding plus the intra-DC prediction
+/// chain over precomputed macroblock levels, in raster order. Inherently
+/// sequential — every bit position depends on all previous symbols.
+fn write_entropy<'a>(w: &mut BitWriter, mbs: impl Iterator<Item = &'a MbOut>, intra_picture: bool) {
+    let mut dc = [0i16; 3];
+    for mb in mbs {
+        if intra_picture {
+            for blk in &mb.blocks[..4] {
+                dc[0] = encode_block(w, blk, dc[0]);
+            }
+            dc[1] = encode_block(w, &mb.blocks[4], dc[1]);
+            dc[2] = encode_block(w, &mb.blocks[5], dc[2]);
+        } else {
+            match mb.mode {
+                MbMode::Inter(mv) => {
+                    w.put_bit(true);
+                    w.put_se(i32::from(mv.dx2));
+                    w.put_se(i32::from(mv.dy2));
+                    for blk in &mb.blocks {
+                        encode_block(w, blk, 0);
                     }
-                    MbMode::Intra => {
-                        // Intra refresh macroblock (DC predictor reset to 0).
-                        w.put_bit(false);
-                        for blk in &mb.blocks {
-                            encode_block(&mut w, blk, 0);
-                        }
+                }
+                MbMode::Intra => {
+                    // Intra refresh macroblock (DC predictor reset to 0).
+                    w.put_bit(false);
+                    for blk in &mb.blocks {
+                        encode_block(w, blk, 0);
                     }
                 }
             }
         }
     }
-    let mut bytes = vec![qscale.value()];
-    bytes.extend(w.into_bytes());
-    CodedPicture { bytes, reconstruction: recon }
 }
 
 /// Compute stage for one band of an I or P picture.
@@ -470,145 +570,188 @@ fn encode_band(
         v: vec![0u8; n_rows * 8 * chroma.w],
     };
     // Band-local motion predictors: `up_mvs` holds the previous row's
-    // vectors (within this band only), `left` the previous macroblock's.
+    // vectors (within this band only).
     let mut up_mvs: Vec<Option<MotionVector>> = vec![None; mbs_x];
-    for (local, mby) in rows.enumerate() {
-        let mut left: Option<MotionVector> = None;
-        let mut cur_mvs: Vec<Option<MotionVector>> = vec![None; mbs_x];
-        for mbx in 0..mbs_x {
-            let mode = match reference {
-                None => MbMode::Intra,
-                Some(r) => {
-                    let mut seeds = [MotionVector::default(); 2];
-                    let mut n = 0;
-                    if let Some(mv) = left {
-                        seeds[n] = mv;
-                        n += 1;
-                    }
-                    if let Some(mv) = up_mvs[mbx] {
-                        seeds[n] = mv;
-                        n += 1;
-                    }
-                    let (mv, mc_sad) = motion::estimate_halfpel_seeded(
-                        frame.y_plane(),
-                        r.y_plane(),
-                        luma.w,
-                        luma.h,
-                        mbx,
-                        mby,
-                        &seeds[..n],
-                        search,
-                    );
-                    // Intra/inter decision: compare the MC residual energy
-                    // with the deviation from the block mean (a cheap
-                    // intra-cost proxy). The fast path computes the exact
-                    // same value with SAD row kernels; the reference path
-                    // keeps the retained per-pixel loop.
-                    let intra_cost = if kernels.reference {
-                        mean_deviation(frame.y_plane(), luma.w, mbx * 16, mby * 16, 16)
-                    } else {
-                        motion::mean_deviation16(frame.y_plane(), luma.w, mbx * 16, mby * 16)
-                    };
-                    if mc_sad < intra_cost { MbMode::Inter(mv) } else { MbMode::Intra }
-                }
-            };
-            let mut blocks = [[0i16; 64]; 6];
-            match mode {
-                MbMode::Intra => {
-                    for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
-                        .into_iter()
-                        .enumerate()
-                    {
-                        let src = extract_shifted(
-                            frame.y_plane(),
-                            luma.w,
-                            mbx * 16 + bx * 8,
-                            mby * 16 + by * 8,
-                        );
-                        blocks[k] = kernels.intra_levels(&src);
-                        let rec = kernels.intra_recon(&blocks[k]);
-                        blit8(&mut out.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
-                    }
-                    for (k, (plane, strip)) in [
-                        (frame.u_plane(), &mut out.u),
-                        (frame.v_plane(), &mut out.v),
-                    ]
-                    .into_iter()
-                    .enumerate()
-                    {
-                        let src = extract_shifted(plane, chroma.w, mbx * 8, mby * 8);
-                        blocks[4 + k] = kernels.intra_levels(&src);
-                        let rec = kernels.intra_recon(&blocks[4 + k]);
-                        blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
-                    }
-                    left = None;
-                    cur_mvs[mbx] = None;
-                }
-                MbMode::Inter(mv) => {
-                    let r = reference.expect("inter mode implies a reference");
-                    let mut pred = [0u8; 256];
-                    predict_mc(
-                        kernels.reference,
-                        r.y_plane(),
-                        luma.w,
-                        luma.h,
-                        mbx * 16,
-                        mby * 16,
-                        mv.dx2.into(),
-                        mv.dy2.into(),
-                        16,
-                        &mut pred,
-                    );
-                    for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
-                        .into_iter()
-                        .enumerate()
-                    {
-                        let res = extract_residual(
-                            frame.y_plane(),
-                            luma.w,
-                            mbx * 16 + bx * 8,
-                            mby * 16 + by * 8,
-                            &pred,
-                            16,
-                            bx * 8,
-                            by * 8,
-                        );
-                        blocks[k] = kernels.residual_levels(&res);
-                        let rec = kernels.residual_recon(&blocks[k], &pred, 16, bx * 8, by * 8);
-                        blit8(&mut out.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
-                    }
-                    // Chroma: halved vector (luma half-pels → chroma half-pels).
-                    let (cdx2, cdy2) = (i32::from(mv.dx2) / 2, i32::from(mv.dy2) / 2);
-                    let mut cpred = [0u8; 64];
-                    for (k, (plane, strip)) in [
-                        (frame.u_plane(), &mut out.u),
-                        (frame.v_plane(), &mut out.v),
-                    ]
-                    .into_iter()
-                    .enumerate()
-                    {
-                        let r_plane = if k == 0 { r.u_plane() } else { r.v_plane() };
-                        predict_mc(
-                            kernels.reference, r_plane, chroma.w, chroma.h, mbx * 8, mby * 8,
-                            cdx2, cdy2, 8, &mut cpred,
-                        );
-                        let res = extract_residual(
-                            plane, chroma.w, mbx * 8, mby * 8, &cpred, 8, 0, 0,
-                        );
-                        blocks[4 + k] = kernels.residual_levels(&res);
-                        let rec = kernels.residual_recon(&blocks[4 + k], &cpred, 8, 0, 0);
-                        blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
-                    }
-                    let fp = MotionVector { dx: (mv.dx2 / 2) as i8, dy: (mv.dy2 / 2) as i8 };
-                    left = Some(fp);
-                    cur_mvs[mbx] = Some(fp);
-                }
-            }
-            out.mbs.push(MbOut { mode, blocks });
-        }
-        up_mvs = cur_mvs;
+    let mut cur_mvs: Vec<Option<MotionVector>> = vec![None; mbs_x];
+    let mb_row0 = rows.start;
+    for mby in rows {
+        cur_mvs.fill(None);
+        let mut sink = RowSink { y: &mut out.y, u: &mut out.u, v: &mut out.v, mb_row0 };
+        encode_mb_row(
+            mby,
+            frame,
+            reference,
+            kernels,
+            search,
+            luma,
+            chroma,
+            mbs_x,
+            &up_mvs,
+            &mut cur_mvs,
+            &mut sink,
+            &mut out.mbs,
+        );
+        std::mem::swap(&mut up_mvs, &mut cur_mvs);
     }
     out
+}
+
+/// Encodes one macroblock row: mode decisions, transforms and
+/// reconstruction writes into `sink`; quantised levels appended to `mbs`.
+///
+/// `up_mvs` carries the predictor row above (all-`None` at a band
+/// boundary), `cur_mvs` receives this row's vectors, and `left` is
+/// row-local. Shared verbatim by the banded parallel path and the serial
+/// direct-write path, which is what makes their bitstreams identical by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+fn encode_mb_row(
+    mby: usize,
+    frame: &Yuv420Frame,
+    reference: Option<&Yuv420Frame>,
+    kernels: &Kernels,
+    search: SearchMode,
+    luma: &PlaneDims,
+    chroma: &PlaneDims,
+    mbs_x: usize,
+    up_mvs: &[Option<MotionVector>],
+    cur_mvs: &mut [Option<MotionVector>],
+    sink: &mut RowSink<'_>,
+    mbs: &mut Vec<MbOut>,
+) {
+    let local = mby - sink.mb_row0;
+    let mut left: Option<MotionVector> = None;
+    for mbx in 0..mbs_x {
+        let mode = match reference {
+            None => MbMode::Intra,
+            Some(r) => {
+                let mut seeds = [MotionVector::default(); 2];
+                let mut n = 0;
+                if let Some(mv) = left {
+                    seeds[n] = mv;
+                    n += 1;
+                }
+                if let Some(mv) = up_mvs[mbx] {
+                    seeds[n] = mv;
+                    n += 1;
+                }
+                let (mv, mc_sad) = motion::estimate_halfpel_seeded(
+                    frame.y_plane(),
+                    r.y_plane(),
+                    luma.w,
+                    luma.h,
+                    mbx,
+                    mby,
+                    &seeds[..n],
+                    search,
+                );
+                // Intra/inter decision: compare the MC residual energy
+                // with the deviation from the block mean (a cheap
+                // intra-cost proxy). The fast path computes the exact
+                // same value with SAD row kernels; the reference path
+                // keeps the retained per-pixel loop.
+                let intra_cost = if kernels.reference {
+                    mean_deviation(frame.y_plane(), luma.w, mbx * 16, mby * 16, 16)
+                } else {
+                    motion::mean_deviation16(frame.y_plane(), luma.w, mbx * 16, mby * 16)
+                };
+                if mc_sad < intra_cost { MbMode::Inter(mv) } else { MbMode::Intra }
+            }
+        };
+        let mut blocks = [[0i16; 64]; 6];
+        match mode {
+            MbMode::Intra => {
+                for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let src = extract_shifted(
+                        frame.y_plane(),
+                        luma.w,
+                        mbx * 16 + bx * 8,
+                        mby * 16 + by * 8,
+                    );
+                    blocks[k] = kernels.intra_levels(&src);
+                    let rec = kernels.intra_recon(&blocks[k]);
+                    blit8(sink.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
+                }
+                for (k, (plane, strip)) in [
+                    (frame.u_plane(), &mut *sink.u),
+                    (frame.v_plane(), &mut *sink.v),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let src = extract_shifted(plane, chroma.w, mbx * 8, mby * 8);
+                    blocks[4 + k] = kernels.intra_levels(&src);
+                    let rec = kernels.intra_recon(&blocks[4 + k]);
+                    blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
+                }
+                left = None;
+                cur_mvs[mbx] = None;
+            }
+            MbMode::Inter(mv) => {
+                let r = reference.expect("inter mode implies a reference");
+                let mut pred = [0u8; 256];
+                predict_mc(
+                    kernels.reference,
+                    r.y_plane(),
+                    luma.w,
+                    luma.h,
+                    mbx * 16,
+                    mby * 16,
+                    mv.dx2.into(),
+                    mv.dy2.into(),
+                    16,
+                    &mut pred,
+                );
+                for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let res = extract_residual(
+                        frame.y_plane(),
+                        luma.w,
+                        mbx * 16 + bx * 8,
+                        mby * 16 + by * 8,
+                        &pred,
+                        16,
+                        bx * 8,
+                        by * 8,
+                    );
+                    blocks[k] = kernels.residual_levels(&res);
+                    let rec = kernels.residual_recon(&blocks[k], &pred, 16, bx * 8, by * 8);
+                    blit8(sink.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
+                }
+                // Chroma: halved vector (luma half-pels → chroma half-pels).
+                let (cdx2, cdy2) = (i32::from(mv.dx2) / 2, i32::from(mv.dy2) / 2);
+                let mut cpred = [0u8; 64];
+                for (k, (plane, strip)) in [
+                    (frame.u_plane(), &mut *sink.u),
+                    (frame.v_plane(), &mut *sink.v),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let r_plane = if k == 0 { r.u_plane() } else { r.v_plane() };
+                    predict_mc(
+                        kernels.reference, r_plane, chroma.w, chroma.h, mbx * 8, mby * 8,
+                        cdx2, cdy2, 8, &mut cpred,
+                    );
+                    let res = extract_residual(
+                        plane, chroma.w, mbx * 8, mby * 8, &cpred, 8, 0, 0,
+                    );
+                    blocks[4 + k] = kernels.residual_levels(&res);
+                    let rec = kernels.residual_recon(&blocks[4 + k], &cpred, 8, 0, 0);
+                    blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
+                }
+                let fp = MotionVector { dx: (mv.dx2 / 2) as i8, dy: (mv.dy2 / 2) as i8 };
+                left = Some(fp);
+                cur_mvs[mbx] = Some(fp);
+            }
+        }
+        mbs.push(MbOut { mode, blocks });
+    }
 }
 
 fn mean_deviation(plane: &[u8], stride: usize, px: usize, py: usize, size: usize) -> u32 {
@@ -690,29 +833,73 @@ fn decode_picture(
     frame: &mut Yuv420Frame,
     opts: &CodecOptions,
 ) -> Result<(), CodecError> {
+    let mut scratch = CodecScratch::default();
+    decode_picture_into(bytes, reference, frame, opts, &mut scratch)
+}
+
+/// Decodes one picture into `frame`, reusing `scratch`'s parsed-level
+/// storage across calls. Byte-identical to [`decode_intra_opts`] /
+/// [`decode_inter_opts`] for every configuration; serial configurations
+/// (`workers <= 1`) reconstruct straight into `frame`'s planes with no
+/// band strips.
+pub(crate) fn decode_picture_into(
+    bytes: &[u8],
+    reference: Option<&Yuv420Frame>,
+    frame: &mut Yuv420Frame,
+    opts: &CodecOptions,
+    scratch: &mut CodecScratch,
+) -> Result<(), CodecError> {
     let (qscale, mut r) = split_payload(bytes, opts.reference_kernels)?;
     let (luma, chroma) = plane_dims(frame);
     let mbs_x = luma.w / 16;
     let mbs_y = luma.h / 16;
     let kernels = Kernels::new(qscale, opts.reference_kernels);
-
-    // Serial parse stage: entropy decode every macroblock (bit positions
-    // are only known sequentially; the intra-DC chain resolves here).
     let intra_picture = reference.is_none();
-    let mut mbs = Vec::with_capacity(mbs_x * mbs_y);
+    parse_picture(&mut r, intra_picture, mbs_x * mbs_y, &mut scratch.mbs)?;
+
+    if opts.parallel.workers <= 1 {
+        // Direct-write serial path: reconstruction has no cross-row
+        // state, so rows write straight into the frame's planes.
+        let (py, pu, pv) = frame.planes_mut();
+        let mut sink = RowSink { y: py, u: pu, v: pv, mb_row0: 0 };
+        for mby in 0..mbs_y {
+            decode_mb_row(mby, &scratch.mbs, reference, &kernels, &luma, &chroma, mbs_x, &mut sink);
+        }
+    } else {
+        // Parallel reconstruction stage: dequant + iDCT + MC per band.
+        let mbs = &scratch.mbs;
+        let bands = map_bands(mbs_y, &opts.parallel, |b| {
+            decode_band(b, mbs, reference, &kernels, &luma, &chroma, mbs_x, mbs_y)
+        });
+        stitch_bands(&bands, frame, mbs_y);
+    }
+    Ok(())
+}
+
+/// Serial parse stage: entropy-decodes every macroblock of a payload into
+/// `mbs` (cleared first). Bit positions are only known sequentially; the
+/// intra-DC prediction chain resolves here.
+fn parse_picture(
+    r: &mut BitReader<'_>,
+    intra_picture: bool,
+    mb_count: usize,
+    mbs: &mut Vec<MbOut>,
+) -> Result<(), CodecError> {
+    mbs.clear();
+    mbs.reserve(mb_count);
     let mut dc = [0i16; 3];
-    for _ in 0..mbs_x * mbs_y {
+    for _ in 0..mb_count {
         let mut blocks = [[0i16; 64]; 6];
         let mode = if intra_picture {
             for blk in blocks.iter_mut().take(4) {
-                let (levels, d) = decode_block(&mut r, dc[0])?;
+                let (levels, d) = decode_block(r, dc[0])?;
                 *blk = levels;
                 dc[0] = d;
             }
-            let (lu, du) = decode_block(&mut r, dc[1])?;
+            let (lu, du) = decode_block(r, dc[1])?;
             blocks[4] = lu;
             dc[1] = du;
-            let (lv, dv) = decode_block(&mut r, dc[2])?;
+            let (lv, dv) = decode_block(r, dc[2])?;
             blocks[5] = lv;
             dc[2] = dv;
             MbMode::Intra
@@ -731,19 +918,13 @@ fn decode_picture(
                 MbMode::Intra
             };
             for blk in &mut blocks {
-                let (levels, _) = decode_block(&mut r, 0)?;
+                let (levels, _) = decode_block(r, 0)?;
                 *blk = levels;
             }
             mode
         };
         mbs.push(MbOut { mode, blocks });
     }
-
-    // Parallel reconstruction stage: dequant + iDCT + MC per band.
-    let bands = map_bands(mbs_y, &opts.parallel, |b| {
-        decode_band(b, &mbs, reference, &kernels, &luma, &chroma, mbs_x, mbs_y)
-    });
-    stitch_bands(&bands, frame, mbs_y);
     Ok(())
 }
 
@@ -767,62 +948,81 @@ fn decode_band(
         u: vec![0u8; n_rows * 8 * chroma.w],
         v: vec![0u8; n_rows * 8 * chroma.w],
     };
-    for (local, mby) in rows.enumerate() {
-        for mbx in 0..mbs_x {
-            let mb = &mbs[mby * mbs_x + mbx];
-            match mb.mode {
-                MbMode::Intra => {
-                    for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
-                        .into_iter()
-                        .enumerate()
-                    {
-                        let rec = kernels.intra_recon(&mb.blocks[k]);
-                        blit8(&mut out.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
-                    }
-                    let rec_u = kernels.intra_recon(&mb.blocks[4]);
-                    blit8(&mut out.u, chroma.w, mbx * 8, local * 8, &rec_u);
-                    let rec_v = kernels.intra_recon(&mb.blocks[5]);
-                    blit8(&mut out.v, chroma.w, mbx * 8, local * 8, &rec_v);
+    let mb_row0 = rows.start;
+    for mby in rows {
+        let mut sink = RowSink { y: &mut out.y, u: &mut out.u, v: &mut out.v, mb_row0 };
+        decode_mb_row(mby, mbs, reference, kernels, luma, chroma, mbs_x, &mut sink);
+    }
+    out
+}
+
+/// Reconstruction for one macroblock row of a parsed picture: dequant,
+/// inverse transform and motion compensation written into `sink`. Shared
+/// by the banded parallel path and the serial direct-write path.
+#[allow(clippy::too_many_arguments)]
+fn decode_mb_row(
+    mby: usize,
+    mbs: &[MbOut],
+    reference: Option<&Yuv420Frame>,
+    kernels: &Kernels,
+    luma: &PlaneDims,
+    chroma: &PlaneDims,
+    mbs_x: usize,
+    sink: &mut RowSink<'_>,
+) {
+    let local = mby - sink.mb_row0;
+    for mbx in 0..mbs_x {
+        let mb = &mbs[mby * mbs_x + mbx];
+        match mb.mode {
+            MbMode::Intra => {
+                for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let rec = kernels.intra_recon(&mb.blocks[k]);
+                    blit8(sink.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
                 }
-                MbMode::Inter(mv) => {
-                    let r = reference.expect("parse stage rejects P pictures without reference");
-                    let mut pred = [0u8; 256];
+                let rec_u = kernels.intra_recon(&mb.blocks[4]);
+                blit8(sink.u, chroma.w, mbx * 8, local * 8, &rec_u);
+                let rec_v = kernels.intra_recon(&mb.blocks[5]);
+                blit8(sink.v, chroma.w, mbx * 8, local * 8, &rec_v);
+            }
+            MbMode::Inter(mv) => {
+                let r = reference.expect("parse stage rejects P pictures without reference");
+                let mut pred = [0u8; 256];
+                predict_mc(
+                    kernels.reference,
+                    r.y_plane(),
+                    luma.w,
+                    luma.h,
+                    mbx * 16,
+                    mby * 16,
+                    mv.dx2.into(),
+                    mv.dy2.into(),
+                    16,
+                    &mut pred,
+                );
+                for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let rec = kernels.residual_recon(&mb.blocks[k], &pred, 16, bx * 8, by * 8);
+                    blit8(sink.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
+                }
+                let (cdx2, cdy2) = (i32::from(mv.dx2) / 2, i32::from(mv.dy2) / 2);
+                let mut cpred = [0u8; 64];
+                for (k, strip) in [&mut *sink.u, &mut *sink.v].into_iter().enumerate() {
+                    let r_plane = if k == 0 { r.u_plane() } else { r.v_plane() };
                     predict_mc(
-                        kernels.reference,
-                        r.y_plane(),
-                        luma.w,
-                        luma.h,
-                        mbx * 16,
-                        mby * 16,
-                        mv.dx2.into(),
-                        mv.dy2.into(),
-                        16,
-                        &mut pred,
+                        kernels.reference, r_plane, chroma.w, chroma.h, mbx * 8, mby * 8,
+                        cdx2, cdy2, 8, &mut cpred,
                     );
-                    for (k, (by, bx)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
-                        .into_iter()
-                        .enumerate()
-                    {
-                        let rec =
-                            kernels.residual_recon(&mb.blocks[k], &pred, 16, bx * 8, by * 8);
-                        blit8(&mut out.y, luma.w, mbx * 16 + bx * 8, local * 16 + by * 8, &rec);
-                    }
-                    let (cdx2, cdy2) = (i32::from(mv.dx2) / 2, i32::from(mv.dy2) / 2);
-                    let mut cpred = [0u8; 64];
-                    for (k, strip) in [&mut out.u, &mut out.v].into_iter().enumerate() {
-                        let r_plane = if k == 0 { r.u_plane() } else { r.v_plane() };
-                        predict_mc(
-                            kernels.reference, r_plane, chroma.w, chroma.h, mbx * 8, mby * 8,
-                            cdx2, cdy2, 8, &mut cpred,
-                        );
-                        let rec = kernels.residual_recon(&mb.blocks[4 + k], &cpred, 8, 0, 0);
-                        blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
-                    }
+                    let rec = kernels.residual_recon(&mb.blocks[4 + k], &cpred, 8, 0, 0);
+                    blit8(strip, chroma.w, mbx * 8, local * 8, &rec);
                 }
             }
         }
     }
-    out
 }
 
 fn split_payload(bytes: &[u8], reference_io: bool) -> Result<(QScale, BitReader<'_>), CodecError> {

@@ -212,6 +212,13 @@ pub struct Encoder {
     frame_count: u32,
     reference: Option<Yuv420Frame>,
     rate: Option<crate::rate::RateController>,
+    /// Reusable per-picture working memory (levels, predictor rows,
+    /// entropy buffer) — see [`picture::CodecScratch`].
+    scratch: picture::CodecScratch,
+    /// The previous reference frame, recycled as the next picture's
+    /// reconstruction buffer (recon ↔ reference ping-pong): a warm
+    /// serial encode loop allocates nothing per frame.
+    spare: Option<Yuv420Frame>,
 }
 
 impl Encoder {
@@ -253,6 +260,8 @@ impl Encoder {
             frame_count: 0,
             reference: None,
             rate,
+            scratch: picture::CodecScratch::default(),
+            spare: None,
         })
     }
 
@@ -306,6 +315,13 @@ impl Encoder {
         self.put_packet(PacketKind::UserData, data);
     }
 
+    /// Pre-reserves `additional` bytes of packet-body capacity. A caller
+    /// that can bound its total coded size (e.g. from a previous pass or
+    /// a rate budget) keeps the body append loop allocation-free.
+    pub fn reserve_body(&mut self, additional: usize) {
+        self.body.reserve(additional);
+    }
+
     /// Encodes and appends one frame.
     ///
     /// # Errors
@@ -344,18 +360,23 @@ impl Encoder {
         }
         let is_intra = self.next_is_intra();
         let qscale = self.rate.as_ref().map_or(self.config.qscale, |r| r.qscale());
-        let coded = if is_intra {
-            picture::encode_intra_opts(yuv, qscale, &self.opts)
-        } else {
-            let reference = self.reference.as_ref().expect("checked above");
-            picture::encode_inter_opts(yuv, reference, qscale, &self.opts)
+        // Reconstruction buffer: recycle the retired reference frame
+        // (ping-ponged below) instead of allocating one per picture.
+        let mut recon = match self.spare.take() {
+            Some(f) if (f.width(), f.height()) == (yuv.width(), yuv.height()) => f,
+            _ => Yuv420Frame::new(yuv.width(), yuv.height())
+                .map_err(|e| CodecError::Malformed { reason: e.to_string() })?,
         };
+        let reference = if is_intra { None } else { self.reference.as_ref() };
+        picture::encode_picture_into(yuv, reference, qscale, &self.opts, &mut self.scratch, &mut recon);
         if let Some(rate) = &mut self.rate {
-            rate.update(coded.bytes.len());
+            rate.update(self.scratch.payload.len());
         }
         let kind = if is_intra { PacketKind::IntraPicture } else { PacketKind::PredictedPicture };
-        self.put_packet(kind, &coded.bytes);
-        self.reference = Some(coded.reconstruction);
+        let payload = std::mem::take(&mut self.scratch.payload);
+        self.put_packet(kind, &payload);
+        self.scratch.payload = payload;
+        self.spare = self.reference.replace(recon);
         self.frame_count += 1;
         Ok(())
     }
@@ -560,6 +581,8 @@ pub struct Decoder {
     next: usize,
     reference: Option<Yuv420Frame>,
     opts: CodecOptions,
+    /// Reusable parsed-level storage — see [`picture::CodecScratch`].
+    scratch: picture::CodecScratch,
 }
 
 impl Decoder {
@@ -631,6 +654,7 @@ impl Decoder {
             next: 0,
             reference: None,
             opts: CodecOptions::default(),
+            scratch: picture::CodecScratch::default(),
         })
     }
 
@@ -704,24 +728,55 @@ impl Decoder {
     /// Returns [`CodecError::Malformed`] for corrupt picture payloads or a
     /// P picture with no preceding I picture.
     pub fn decode_next_yuv(&mut self) -> Result<Option<Yuv420Frame>, CodecError> {
-        let Some(packet) = self.pictures.get(self.next) else {
+        if self.next >= self.pictures.len() {
             return Ok(None);
+        }
+        let mut out = Yuv420Frame::new(self.width, self.height)
+            .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
+        self.decode_next_yuv_into(&mut out)?;
+        Ok(Some(out))
+    }
+
+    /// Decodes the next picture into `out` (reallocating it only when its
+    /// geometry differs), returning `false` at end of stream. This is the
+    /// allocation-free form of [`Decoder::decode_next_yuv`]: `out`, the
+    /// decoder's internal reference frame and its parsed-level scratch
+    /// are all reused, so a warm playback loop performs no per-frame
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] for corrupt picture payloads or
+    /// a P picture with no preceding I picture; `out` contents are
+    /// unspecified (but valid) after an error.
+    pub fn decode_next_yuv_into(&mut self, out: &mut Yuv420Frame) -> Result<bool, CodecError> {
+        let Some(packet) = self.pictures.get(self.next) else {
+            return Ok(false);
         };
-        let yuv = match packet.kind {
+        if (out.width(), out.height()) != (self.width, self.height) {
+            *out = Yuv420Frame::new(self.width, self.height)
+                .map_err(|e| CodecError::Malformed { reason: e.to_string() })?;
+        }
+        match packet.kind {
             PacketKind::IntraPicture => {
-                picture::decode_intra_opts(&packet.payload, self.width, self.height, &self.opts)?
+                picture::decode_picture_into(&packet.payload, None, out, &self.opts, &mut self.scratch)?;
             }
             PacketKind::PredictedPicture => {
                 let reference = self.reference.as_ref().ok_or_else(|| CodecError::Malformed {
                     reason: "P picture before any I picture".into(),
                 })?;
-                picture::decode_inter_opts(&packet.payload, reference, &self.opts)?
+                picture::decode_picture_into(&packet.payload, Some(reference), out, &self.opts, &mut self.scratch)?;
             }
             PacketKind::UserData => unreachable!("user data filtered at parse time"),
-        };
+        }
         self.next += 1;
-        self.reference = Some(yuv.clone());
-        Ok(Some(yuv))
+        // clone_from semantics: the reference planes are reused in place
+        // once their sizes have converged (first picture clones).
+        match &mut self.reference {
+            Some(r) => r.copy_from(out),
+            None => self.reference = Some(out.clone()),
+        }
+        Ok(true)
     }
 
     /// Decodes every remaining picture, fanning **closed GOPs** out across
@@ -839,6 +894,178 @@ fn decode_gop<T>(
     }
     let last = reference.expect("decode_gop called with at least one packet");
     Ok((frames, last))
+}
+
+/// Encodes `clips[i]` through `encoders[i]` for every job, fanning the
+/// **closed GOPs of all jobs** out over one shared worker pool.
+///
+/// Byte-identical to calling [`Encoder::push_yuv_frames`] per encoder:
+/// each job's open-GOP prefix is encoded serially off its live reference
+/// first, then every closed GOP — across *all* jobs — becomes one unit
+/// of a single [`chunked_map`] dispatch. A fleet of short sessions
+/// therefore saturates the pool even when no single clip carries enough
+/// GOPs to, and short straggler clips overlap with long ones instead of
+/// serialising behind per-clip dispatches.
+///
+/// Rate-controlled jobs fall back to their serial per-frame chain (the
+/// controller's qscale feedback makes GOPs dependent), and a serial
+/// `parallel` falls back entirely.
+///
+/// # Panics
+///
+/// Panics if `encoders` and `clips` have different lengths.
+///
+/// # Errors
+///
+/// Returns [`CodecError::FrameSizeMismatch`] if any job's frames don't
+/// match its encoder (validated for every job up front — no frame is
+/// consumed on error).
+pub fn encode_yuv_batched(
+    encoders: &mut [Encoder],
+    clips: &[&[Yuv420Frame]],
+    parallel: &ParallelConfig,
+) -> Result<(), CodecError> {
+    assert_eq!(encoders.len(), clips.len(), "one clip per encoder");
+    for (enc, clip) in encoders.iter().zip(clips) {
+        for yuv in *clip {
+            if (yuv.width(), yuv.height()) != (enc.config.width, enc.config.height) {
+                return Err(CodecError::FrameSizeMismatch {
+                    expected: (enc.config.width, enc.config.height),
+                    actual: (yuv.width(), yuv.height()),
+                });
+            }
+        }
+    }
+    if parallel.workers <= 1 {
+        for (enc, clip) in encoders.iter_mut().zip(clips) {
+            enc.push_yuv_frames(clip)?;
+        }
+        return Ok(());
+    }
+    // Serial prefixes: frames extending each job's open GOP chain, plus
+    // the whole-job fallback for rate-controlled encoders.
+    let mut tails: Vec<&[Yuv420Frame]> = Vec::with_capacity(encoders.len());
+    for (enc, clip) in encoders.iter_mut().zip(clips) {
+        if enc.rate.is_some() {
+            enc.push_yuv_frames(clip)?;
+            tails.push(&[]);
+            continue;
+        }
+        let mut idx = 0;
+        while idx < clip.len() && !enc.next_is_intra() {
+            enc.push_yuv_frame(&clip[idx])?;
+            idx += 1;
+        }
+        tails.push(&clip[idx..]);
+    }
+    // Flatten every job's closed GOPs into one shared unit list.
+    let mut units: Vec<(usize, &[Yuv420Frame])> = Vec::new();
+    for (job, tail) in tails.iter().enumerate() {
+        let gop = usize::from(encoders[job].config.gop_size);
+        units.extend(tail.chunks(gop).map(|frames| (job, frames)));
+    }
+    if units.is_empty() {
+        return Ok(());
+    }
+    let params: Vec<(QScale, CodecOptions)> = encoders
+        .iter()
+        .map(|e| (e.config.qscale, CodecOptions { parallel: ParallelConfig::serial(), ..e.opts }))
+        .collect();
+    let schedule = parallel.with_chunk_frames(1);
+    let encode_unit = |range: std::ops::Range<usize>| -> Vec<GopOut> {
+        range
+            .map(|u| {
+                let (job, frames) = units[u];
+                let (qscale, opts) = params[job];
+                encode_gop(frames, qscale, &opts)
+            })
+            .collect()
+    };
+    let results = chunked_map(units.len(), &schedule, encode_unit);
+    for (&(job, _), out) in units.iter().zip(results.into_iter().flatten()) {
+        let enc = &mut encoders[job];
+        for (kind, payload) in &out.packets {
+            enc.put_packet(*kind, payload);
+        }
+        enc.frame_count += out.packets.len() as u32;
+        enc.reference = Some(out.last_reconstruction);
+    }
+    Ok(())
+}
+
+/// Decodes every remaining picture of every decoder, fanning the closed
+/// GOPs of **all streams** out over one shared worker pool.
+///
+/// The streaming dual of [`encode_yuv_batched`], byte-identical to
+/// calling [`Decoder::decode_all_yuv`] per decoder: open-GOP prefixes
+/// decode serially off each stream's live reference, then every closed
+/// GOP across all streams is one unit of a single [`chunked_map`]
+/// dispatch. `frames[i]` holds stream `i`'s pictures in display order.
+///
+/// # Errors
+///
+/// Returns the first decode error in unit order; decoders whose units
+/// completed before the failing one retain their advanced state.
+pub fn decode_all_yuv_batched(
+    decoders: &mut [Decoder],
+    parallel: &ParallelConfig,
+) -> Result<Vec<Vec<Yuv420Frame>>, CodecError> {
+    if parallel.workers <= 1 {
+        return decoders.iter_mut().map(Decoder::decode_all_yuv).collect();
+    }
+    let mut outs: Vec<Vec<Yuv420Frame>> = decoders
+        .iter()
+        .map(|d| Vec::with_capacity(d.pictures.len() - d.next))
+        .collect();
+    // Serial prefixes: pictures continuing each stream's open GOP.
+    for (d, out) in decoders.iter_mut().zip(&mut outs) {
+        while d
+            .pictures
+            .get(d.next)
+            .is_some_and(|p| p.kind != PacketKind::IntraPicture)
+        {
+            match d.decode_next_yuv()? {
+                Some(yuv) => out.push(yuv),
+                None => break,
+            }
+        }
+    }
+    // Flatten every stream's closed GOPs into one shared unit list.
+    let mut units: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for (job, d) in decoders.iter().enumerate() {
+        if d.next >= d.pictures.len() {
+            continue;
+        }
+        let mut bounds: Vec<usize> = (d.next..d.pictures.len())
+            .filter(|&i| d.pictures[i].kind == PacketKind::IntraPicture)
+            .collect();
+        bounds.push(d.pictures.len());
+        units.extend(bounds.windows(2).map(|w| (job, w[0]..w[1])));
+    }
+    if units.is_empty() {
+        return Ok(outs);
+    }
+    let dref: &[Decoder] = decoders;
+    let schedule = parallel.with_chunk_frames(1);
+    let decode_unit = |range: std::ops::Range<usize>| {
+        range
+            .map(|u| {
+                let (job, ref pics) = units[u];
+                let d = &dref[job];
+                let inner = CodecOptions { parallel: ParallelConfig::serial(), ..d.opts };
+                decode_gop(&d.pictures[pics.clone()], d.width, d.height, &inner, Yuv420Frame::clone)
+            })
+            .collect::<Vec<_>>()
+    };
+    let results = chunked_map(units.len(), &schedule, decode_unit);
+    for ((job, pics), result) in units.iter().cloned().zip(results.into_iter().flatten()) {
+        let (frames, last) = result?;
+        let d = &mut decoders[job];
+        outs[job].extend(frames);
+        d.reference = Some(last);
+        d.next = pics.end;
+    }
+    Ok(outs)
 }
 
 #[cfg(test)]
@@ -1149,6 +1376,87 @@ mod tests {
             Err(CodecError::FrameSizeMismatch { .. })
         ));
         assert_eq!(enc.frame_count(), 0);
+    }
+
+    #[test]
+    fn decode_next_yuv_into_matches_decode_next_yuv() {
+        let fs = frames(9, 48, 32);
+        let stream = encode(&fs, cfg(48, 32), &[]);
+        let mut a = Decoder::new(&stream).unwrap();
+        let mut b = Decoder::new(&stream).unwrap();
+        // Deliberately wrong geometry: the first call must fix it up.
+        let mut buf = Yuv420Frame::new(16, 16).unwrap();
+        while let Some(expect) = a.decode_next_yuv().unwrap() {
+            assert!(b.decode_next_yuv_into(&mut buf).unwrap());
+            assert_eq!(buf, expect);
+        }
+        assert!(!b.decode_next_yuv_into(&mut buf).unwrap());
+    }
+
+    #[test]
+    fn batched_encode_matches_per_stream_serial() {
+        // Jobs of different lengths and geometries, one mid-GOP (open
+        // prefix), one rate-controlled (serial fallback): the batch must
+        // be byte-identical to per-stream encoding for every pool size.
+        let jobs: Vec<(EncoderConfig, Vec<Yuv420Frame>)> = vec![
+            (cfg(32, 32), frames(11, 32, 32).iter().map(|f| f.to_yuv420().unwrap()).collect()),
+            (cfg(48, 32), frames(5, 48, 32).iter().map(|f| f.to_yuv420().unwrap()).collect()),
+            (
+                EncoderConfig { target_bitrate_bps: Some(150_000.0), ..cfg(32, 32) },
+                frames(9, 32, 32).iter().map(|f| f.to_yuv420().unwrap()).collect(),
+            ),
+        ];
+        let mut reference = Vec::new();
+        for (c, clip) in &jobs {
+            let mut enc = Encoder::new(*c).unwrap();
+            enc.push_yuv_frame(&clip[0]).unwrap(); // leave GOP 0 open
+            enc.push_yuv_frames(&clip[1..]).unwrap();
+            reference.push(enc.finish());
+        }
+        for workers in [0, 2, 7] {
+            let mut encs: Vec<Encoder> =
+                jobs.iter().map(|(c, _)| Encoder::new(*c).unwrap()).collect();
+            for (enc, (_, clip)) in encs.iter_mut().zip(&jobs) {
+                enc.push_yuv_frame(&clip[0]).unwrap();
+            }
+            let clips: Vec<&[Yuv420Frame]> = jobs.iter().map(|(_, c)| &c[1..]).collect();
+            encode_yuv_batched(&mut encs, &clips, &ParallelConfig::with_workers(workers))
+                .unwrap();
+            for ((enc, expect), (c, _)) in encs.into_iter().zip(&reference).zip(&jobs) {
+                assert_eq!(
+                    enc.finish().as_bytes(),
+                    expect.as_bytes(),
+                    "workers {workers}, config {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_decode_matches_per_stream_serial() {
+        let streams: Vec<EncodedStream> = vec![
+            encode(&frames(11, 32, 32), cfg(32, 32), &[b"a"]),
+            encode(&frames(5, 48, 32), cfg(48, 32), &[]),
+            encode(&frames(8, 32, 32), EncoderConfig { gop_size: 3, ..cfg(32, 32) }, &[]),
+        ];
+        let reference: Vec<Vec<Yuv420Frame>> = streams
+            .iter()
+            .map(|s| Decoder::new(s).unwrap().decode_all_yuv().unwrap())
+            .collect();
+        for workers in [0, 2, 7] {
+            let mut decs: Vec<Decoder> =
+                streams.iter().map(|s| Decoder::new(s).unwrap()).collect();
+            // Leave the first stream mid-GOP to exercise the prefix path.
+            decs[0].decode_next_yuv().unwrap().unwrap();
+            let mut got =
+                decode_all_yuv_batched(&mut decs, &ParallelConfig::with_workers(workers))
+                    .unwrap();
+            got[0].insert(0, reference[0][0].clone());
+            assert_eq!(got, reference, "workers {workers}");
+            for mut d in decs {
+                assert!(d.decode_next_yuv().unwrap().is_none(), "decoders fully drained");
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub use governor::{
     GovernorFeedback, KnobSearch, QualityGovernor, ThermalModel, ThermalState,
 };
 pub use online::OnlineAnnotator;
-pub use parallel::{chunk_ranges, chunked_map, ParallelConfig};
+pub use parallel::{
+    chunk_ranges, chunked_map, compensate_frames_batched, profile_frames_batched, ParallelConfig,
+};
 pub use plan::{plan_levels_ambient, BacklightPlan, ScenePlan};
 pub use policy::{
     hebs_levels, AnnotationPolicy, HebsRemapSet, PolicyKind, ResolutionCost, ResolutionDecision,

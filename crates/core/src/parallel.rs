@@ -201,6 +201,143 @@ pub fn profile_frames(
     LuminanceProfile::from_stats(fps, chunks.into_iter().flatten().collect())
 }
 
+/// Profiles several decoded clips in **one** chunked dispatch.
+///
+/// Each job is `(fps, frames)`; the result holds one profile per job,
+/// byte-identical to calling [`profile_frames`] per job. The frames of
+/// all jobs are flattened into a single global index space so one
+/// worker pool load-balances across every clip at once — short clips no
+/// longer leave workers idle while a long clip finishes, which is the
+/// point of batched GOP scheduling in the transcode proxy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyClip`] if any job has no frames (checked
+/// up front, before any work is dispatched).
+pub fn profile_frames_batched(
+    jobs: &[(f64, &[Frame])],
+    cfg: &ParallelConfig,
+) -> Result<Vec<LuminanceProfile>, CoreError> {
+    let mut offsets = Vec::with_capacity(jobs.len());
+    let mut total = 0usize;
+    for (_, frames) in jobs {
+        if frames.is_empty() {
+            return Err(CoreError::EmptyClip);
+        }
+        offsets.push(total);
+        total += frames.len();
+    }
+    let chunks = chunked_map(total, cfg, |range| {
+        range
+            .map(|g| {
+                // Map the global frame index back to (job, local index);
+                // stats carry the *job-local* index so the per-job
+                // profile matches the serial reference exactly.
+                let j = offsets.partition_point(|&o| o <= g) - 1;
+                let local = g - offsets[j];
+                FrameStats::of_frame(local as u32, &jobs[j].1[local])
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut flat = chunks.into_iter().flatten();
+    jobs.iter()
+        .map(|(fps, frames)| {
+            LuminanceProfile::from_stats(*fps, flat.by_ref().take(frames.len()).collect())
+        })
+        .collect()
+}
+
+/// Compensates several clips (each against its own track) in **one**
+/// chunked dispatch, in place, returning per-job clipping statistics in
+/// frame order.
+///
+/// Byte-identical (frames *and* stats) to calling
+/// [`compensate_frames`] per job, for every chunk size and worker
+/// count; like [`profile_frames_batched`], all jobs share one worker
+/// pool so mixed-length batches load-balance.
+///
+/// # Errors
+///
+/// Returns [`CoreError::FrameOutOfRange`] if any job's slice is longer
+/// than its annotated range (checked up front, before any frame of any
+/// job is modified).
+pub fn compensate_frames_batched(
+    jobs: &mut [(&mut [Frame], &AnnotationTrack)],
+    cfg: &ParallelConfig,
+) -> Result<Vec<Vec<ClipStats>>, CoreError> {
+    // Validate every job before touching any pixels so a failure in one
+    // clip can't leave another half-compensated.
+    for (frames, track) in jobs.iter() {
+        if !frames.is_empty() {
+            track.entry_at((frames.len() - 1) as u32)?;
+        }
+    }
+    let chunk = cfg.chunk_frames.max(1);
+    let chunk_counts: Vec<usize> =
+        jobs.iter().map(|(frames, _)| frames.len().div_ceil(chunk)).collect();
+    let n_chunks: usize = chunk_counts.iter().sum();
+    let threads = if cfg.workers == 0 { 0 } else { cfg.workers.min(n_chunks) };
+    if threads <= 1 {
+        return jobs
+            .iter_mut()
+            .map(|(frames, track)| {
+                frames
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, frame)| compensate_frame(frame, track, i as u32))
+                    .collect()
+            })
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, usize, &AnnotationTrack, &mut [Frame])>> = {
+        let mut q = VecDeque::with_capacity(n_chunks);
+        let mut slot = 0usize;
+        for (frames, track) in jobs.iter_mut() {
+            for (ci, slice) in frames.chunks_mut(chunk).enumerate() {
+                q.push_back((slot, ci * chunk, *track, slice));
+                slot += 1;
+            }
+        }
+        Mutex::new(q)
+    };
+    let mut slots: Vec<Option<Vec<ClipStats>>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    std::thread::scope(|s| {
+        let (tx, rx) = channel::unbounded::<(usize, Vec<ClipStats>)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
+                let item = queue.lock().pop_front();
+                let Some((slot, base, track, slice)) = item else { break };
+                let stats: Vec<ClipStats> = slice
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(j, frame)| {
+                        let entry = track
+                            .entry_at((base + j) as u32)
+                            .expect("range validated before dispatch");
+                        CompensationLut::new(entry.compensation).apply(frame)
+                    })
+                    .collect();
+                if tx.send((slot, stats)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for _ in 0..n_chunks {
+            let (slot, stats) = rx.recv().expect("every chunk produces one result");
+            slots[slot] = Some(stats);
+        }
+    });
+    let mut flat = slots.into_iter().map(|v| v.expect("chunk index delivered exactly once"));
+    Ok(chunk_counts
+        .iter()
+        .map(|&c| flat.by_ref().take(c).flatten().collect())
+        .collect())
+}
+
 /// Compensates `frames[i]` against `track` entry `i` for every frame,
 /// in place, returning the per-frame clipping statistics in frame
 /// order. Frame `i`'s compensation factor builds one 256-entry
@@ -371,6 +508,120 @@ mod tests {
                 assert_eq!(stats, ref_stats, "workers={workers} chunk={chunk}");
             }
         }
+    }
+
+    fn small_clip(seed: u64, w: u32, h: u32, secs: f64) -> Clip {
+        Clip::new(ClipSpec {
+            name: format!("b{seed}"),
+            width: w,
+            height: h,
+            fps: 8.0,
+            seed,
+            scenes: vec![
+                SceneSpec::new(ContentKind::Bright { base: 170, spread: 30 }, secs / 2.0),
+                SceneSpec::new(
+                    ContentKind::Dark {
+                        base: 60,
+                        spread: 25,
+                        highlight_fraction: 0.02,
+                        highlight: 235,
+                    },
+                    secs / 2.0,
+                ),
+            ],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_frames_batched_matches_per_job_serial() {
+        // Mixed lengths and geometries: batched output must equal the
+        // per-job serial reference profile for every pool shape.
+        let clips =
+            [small_clip(3, 32, 32, 2.0), small_clip(9, 48, 32, 0.5), small_clip(5, 16, 16, 1.5)];
+        let frames: Vec<Vec<Frame>> = clips.iter().map(|c| c.frames().collect()).collect();
+        let jobs: Vec<(f64, &[Frame])> =
+            clips.iter().zip(&frames).map(|(c, f)| (c.fps(), f.as_slice())).collect();
+        let reference: Vec<LuminanceProfile> = jobs
+            .iter()
+            .map(|(fps, f)| profile_frames(*fps, f, &ParallelConfig::serial()).unwrap())
+            .collect();
+        for workers in [0usize, 1, 2, 4, 7] {
+            for chunk in [1usize, 5, 16] {
+                let cfg = ParallelConfig::with_workers(workers).with_chunk_frames(chunk);
+                let got = profile_frames_batched(&jobs, &cfg).unwrap();
+                assert_eq!(got, reference, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_frames_batched_rejects_empty_job() {
+        let clip = small_clip(1, 16, 16, 1.0);
+        let frames: Vec<Frame> = clip.frames().collect();
+        let jobs: Vec<(f64, &[Frame])> = vec![(clip.fps(), &frames), (clip.fps(), &[])];
+        assert_eq!(
+            profile_frames_batched(&jobs, &ParallelConfig::with_workers(2)).unwrap_err(),
+            CoreError::EmptyClip
+        );
+    }
+
+    #[test]
+    fn compensate_frames_batched_matches_per_job_serial() {
+        let clips =
+            [small_clip(3, 32, 32, 2.0), small_clip(9, 48, 32, 0.5), small_clip(5, 16, 16, 1.5)];
+        let annotated: Vec<_> = clips
+            .iter()
+            .map(|c| {
+                Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q10)
+                    .annotate_clip(c)
+                    .unwrap()
+            })
+            .collect();
+        let original: Vec<Vec<Frame>> = clips.iter().map(|c| c.frames().collect()).collect();
+
+        let mut reference = original.clone();
+        let mut ref_stats = Vec::new();
+        for (frames, ann) in reference.iter_mut().zip(&annotated) {
+            ref_stats
+                .push(compensate_frames(frames, ann.track(), &ParallelConfig::serial()).unwrap());
+        }
+        for workers in [0usize, 1, 2, 4, 7] {
+            for chunk in [1usize, 5, 16] {
+                let cfg = ParallelConfig::with_workers(workers).with_chunk_frames(chunk);
+                let mut frames = original.clone();
+                let mut jobs: Vec<(&mut [Frame], &AnnotationTrack)> = frames
+                    .iter_mut()
+                    .zip(&annotated)
+                    .map(|(f, a)| (f.as_mut_slice(), a.track()))
+                    .collect();
+                let stats = compensate_frames_batched(&mut jobs, &cfg).unwrap();
+                assert_eq!(frames, reference, "workers={workers} chunk={chunk}");
+                assert_eq!(stats, ref_stats, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn compensate_frames_batched_validates_every_job_before_mutating() {
+        let clip = small_clip(2, 16, 16, 1.0);
+        let annotated = Annotator::new(DeviceProfile::ipaq_5555(), QualityLevel::Q5)
+            .annotate_clip(&clip)
+            .unwrap();
+        let mut good: Vec<Frame> = clip.frames().collect();
+        // One frame more than the track covers in the *second* job.
+        let mut bad: Vec<Frame> = clip.frames().collect();
+        bad.push(clip.frame(0));
+        let (good_before, bad_before) = (good.clone(), bad.clone());
+        let mut jobs: Vec<(&mut [Frame], &AnnotationTrack)> = vec![
+            (good.as_mut_slice(), annotated.track()),
+            (bad.as_mut_slice(), annotated.track()),
+        ];
+        let err = compensate_frames_batched(&mut jobs, &ParallelConfig::with_workers(2))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::FrameOutOfRange { .. }));
+        assert_eq!(good, good_before, "no job's frames may be modified on failure");
+        assert_eq!(bad, bad_before);
     }
 
     #[test]

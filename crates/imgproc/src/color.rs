@@ -145,10 +145,12 @@ impl Yuv8 {
     }
 }
 
-// Fixed-point luminance weights, scaled by 2^16 and rounded.
-const WR: u32 = (LUMA_R * 65536.0) as u32; // 19595
-const WG: u32 = (LUMA_G * 65536.0) as u32; // 38469
-const WB: u32 = 65536 - WR - WG; // ensures white maps to exactly 255
+// Fixed-point luminance weights, scaled by 2^16 and rounded. The SIMD
+// luma kernels (`crate::simd`) use the same weights, so they are
+// crate-visible.
+pub(crate) const WR: u32 = (LUMA_R * 65536.0) as u32; // 19595
+pub(crate) const WG: u32 = (LUMA_G * 65536.0) as u32; // 38469
+pub(crate) const WB: u32 = 65536 - WR - WG; // ensures white maps to exactly 255
 
 /// BT.601 luminance of an `(r, g, b)` triple, rounded to `u8`.
 ///

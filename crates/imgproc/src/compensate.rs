@@ -89,10 +89,10 @@ pub fn scale_channel_fixed(c: u8, k_fixed: u64) -> (u8, bool, f32) {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompensationLut {
-    k_fixed: u64,
-    values: [u8; 256],
-    clipped: [bool; 256],
-    overshoot: [f32; 256],
+    pub(crate) k_fixed: u64,
+    pub(crate) values: [u8; 256],
+    pub(crate) clipped: [bool; 256],
+    pub(crate) overshoot: [f32; 256],
 }
 
 impl CompensationLut {
@@ -143,7 +143,25 @@ impl CompensationLut {
 
     /// Applies the table to every channel of every pixel, in place,
     /// reporting clipping statistics.
+    ///
+    /// Dispatches to the widest SIMD kernel the host supports (see
+    /// [`crate::simd::kernel_tier`]); every tier is byte-identical to
+    /// [`Self::apply_scalar`], stats included.
     pub fn apply(&self, frame: &mut Frame) -> ClipStats {
+        crate::simd::compensation_apply(self, frame, crate::simd::kernel_tier())
+    }
+
+    /// [`Self::apply`] at an explicit [`KernelTier`](crate::simd::KernelTier)
+    /// (clamped to host capability) — the hook the differential
+    /// conformance tier sweeps.
+    pub fn apply_with(&self, frame: &mut Frame, tier: crate::simd::KernelTier) -> ClipStats {
+        crate::simd::compensation_apply(self, frame, tier)
+    }
+
+    /// The retained scalar reference kernel (pure table look-ups, no
+    /// vector code) — the 0-ULP oracle every SIMD tier is tested
+    /// against.
+    pub fn apply_scalar(&self, frame: &mut Frame) -> ClipStats {
         let mut stats =
             ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
         for c in frame.as_bytes_mut().chunks_exact_mut(3) {

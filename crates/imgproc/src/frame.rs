@@ -173,17 +173,50 @@ impl Frame {
         LumaFrame { width: self.width, height: self.height, data }
     }
 
+    /// Recomputes the luminance plane into an existing [`LumaFrame`],
+    /// reusing its buffer — the allocation-free form of [`Self::to_luma`]
+    /// for pooled steady-state loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BufferSizeMismatch`] when `out`'s plane size
+    /// differs from this frame's pixel count.
+    pub fn to_luma_into(&self, out: &mut LumaFrame) -> Result<(), ImageError> {
+        let expected = self.pixel_count();
+        if out.data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch { expected, actual: out.data.len() });
+        }
+        out.width = self.width;
+        out.height = self.height;
+        for (c, l) in self.data.chunks_exact(3).zip(out.data.iter_mut()) {
+            *l = luma_u8(c[0], c[1], c[2]);
+        }
+        Ok(())
+    }
+
     /// Builds the 256-bin luminance histogram of the frame.
     ///
-    /// Uses the compile-time per-channel weight tables
-    /// ([`crate::color::luma_u8_lut`], exactly equal to [`luma_u8`]) —
-    /// this is the profiling stage's inner kernel.
+    /// Dispatches to the widest SIMD accumulator the host supports (see
+    /// [`crate::simd::kernel_tier`]); every tier computes the identical
+    /// integer arithmetic as [`crate::color::luma_u8_lut`] per pixel
+    /// (exactly equal to [`luma_u8`]) — this is the profiling stage's
+    /// inner kernel.
     pub fn luma_histogram(&self) -> Histogram {
-        let mut h = Histogram::new();
-        for c in self.data.chunks_exact(3) {
-            h.add(crate::color::luma_u8_lut(c[0], c[1], c[2]));
-        }
-        h
+        crate::simd::luma_histogram(self, crate::simd::kernel_tier())
+    }
+
+    /// [`Self::luma_histogram`] at an explicit
+    /// [`KernelTier`](crate::simd::KernelTier) (clamped to host
+    /// capability) — the hook the differential conformance tier sweeps.
+    pub fn luma_histogram_with(&self, tier: crate::simd::KernelTier) -> Histogram {
+        crate::simd::luma_histogram(self, tier)
+    }
+
+    /// Resets `out` and accumulates this frame's luma histogram into it —
+    /// the allocation-free form of [`Self::luma_histogram`] (histogram
+    /// bins are inline storage; the kernel's partials live on the stack).
+    pub fn luma_histogram_into(&self, out: &mut Histogram) {
+        crate::simd::luma_histogram_into(self, out, crate::simd::kernel_tier());
     }
 
     /// Maximum pixel luminance in the frame.
@@ -212,6 +245,19 @@ impl Frame {
     /// Returns [`ImageError::OddDimensions`] when either dimension is odd.
     pub fn to_yuv420(&self) -> Result<Yuv420Frame, ImageError> {
         Yuv420Frame::from_rgb(self)
+    }
+
+    /// Converts to 4:2:0 YUV into an existing frame, reusing its planes —
+    /// the allocation-free form of [`Self::to_yuv420`] for pooled
+    /// steady-state loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OddDimensions`] when either dimension is odd
+    /// and [`ImageError::BufferSizeMismatch`] when `out`'s plane sizes
+    /// don't match this frame's geometry.
+    pub fn to_yuv420_into(&self, out: &mut Yuv420Frame) -> Result<(), ImageError> {
+        Yuv420Frame::from_rgb_into(self, out)
     }
 }
 
@@ -339,8 +385,33 @@ impl Yuv420Frame {
     ///
     /// Returns [`ImageError::OddDimensions`] when either dimension is odd.
     pub fn from_rgb(frame: &Frame) -> Result<Self, ImageError> {
+        let mut out = Self::new(frame.width(), frame.height())?;
+        Self::from_rgb_into(frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Converts an RGB frame into an existing 4:2:0 frame, reusing its
+    /// planes — the allocation-free form of [`Self::from_rgb`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::OddDimensions`] when either RGB dimension is
+    /// odd and [`ImageError::BufferSizeMismatch`] when `out`'s plane
+    /// sizes don't match the RGB frame's geometry.
+    pub fn from_rgb_into(frame: &Frame, out: &mut Self) -> Result<(), ImageError> {
         let (w, h) = (frame.width(), frame.height());
-        let mut out = Self::new(w, h)?;
+        if !w.is_multiple_of(2) || !h.is_multiple_of(2) {
+            return Err(ImageError::OddDimensions { width: w, height: h });
+        }
+        let luma = w as usize * h as usize;
+        if out.y.len() != luma {
+            return Err(ImageError::BufferSizeMismatch { expected: luma, actual: out.y.len() });
+        }
+        if out.u.len() != luma / 4 || out.v.len() != luma / 4 {
+            return Err(ImageError::BufferSizeMismatch { expected: luma / 4, actual: out.u.len() });
+        }
+        out.width = w;
+        out.height = h;
         for y in 0..h {
             for x in 0..w {
                 out.y[y as usize * w as usize + x as usize] = frame.pixel(x, y).to_yuv().y;
@@ -363,7 +434,7 @@ impl Yuv420Frame {
                 out.v[o] = ((sv + 2) / 4) as u8;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Converts back to interleaved RGB (chroma upsampled by replication).
@@ -375,6 +446,48 @@ impl Yuv420Frame {
             let co = (y / 2) as usize * cw + (x / 2) as usize;
             crate::color::Yuv8::new(yy, self.u[co], self.v[co]).to_rgb().to_array()
         })
+    }
+
+    /// Converts back to interleaved RGB into an existing frame, reusing
+    /// its buffer — the allocation-free form of [`Self::to_rgb`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BufferSizeMismatch`] when `out`'s buffer
+    /// size doesn't match this frame's geometry.
+    pub fn to_rgb_into(&self, out: &mut Frame) -> Result<(), ImageError> {
+        let expected = self.width as usize * self.height as usize * 3;
+        if out.data.len() != expected {
+            return Err(ImageError::BufferSizeMismatch { expected, actual: out.data.len() });
+        }
+        out.width = self.width;
+        out.height = self.height;
+        let w = self.width as usize;
+        let cw = w / 2;
+        for y in 0..self.height as usize {
+            let row = &mut out.data[y * w * 3..(y + 1) * w * 3];
+            let yrow = &self.y[y * w..(y + 1) * w];
+            let crow = (y / 2) * cw;
+            for (x, px) in row.chunks_exact_mut(3).enumerate() {
+                let co = crow + x / 2;
+                let p = crate::color::Yuv8::new(yrow[x], self.u[co], self.v[co]).to_rgb();
+                px[0] = p.r;
+                px[1] = p.g;
+                px[2] = p.b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies another frame's planes into this one, reusing existing
+    /// allocations when the geometries match (`Vec::clone_from`
+    /// semantics — no allocation in the steady state).
+    pub fn copy_from(&mut self, other: &Yuv420Frame) {
+        self.width = other.width;
+        self.height = other.height;
+        self.y.clone_from(&other.y);
+        self.u.clone_from(&other.u);
+        self.v.clone_from(&other.v);
     }
 
     /// Frame width in pixels.
@@ -415,6 +528,12 @@ impl Yuv420Frame {
     /// Mutable V chroma plane.
     pub fn v_plane_mut(&mut self) -> &mut [u8] {
         &mut self.v
+    }
+
+    /// All three mutable planes at once (Y, U, V), for writers that fill
+    /// the whole frame in a single pass.
+    pub fn planes_mut(&mut self) -> (&mut [u8], &mut [u8], &mut [u8]) {
+        (&mut self.y, &mut self.u, &mut self.v)
     }
 }
 

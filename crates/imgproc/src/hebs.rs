@@ -121,8 +121,8 @@ pub fn hebs_remap_scalar(hist: &Histogram, effective_max: u8, v: u8) -> u8 {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HebsLut {
-    effective_max: u8,
-    remap: [u8; 256],
+    pub(crate) effective_max: u8,
+    pub(crate) remap: [u8; 256],
 }
 
 impl HebsLut {
@@ -194,7 +194,24 @@ impl HebsLut {
     /// reporting clipping statistics (a pixel counts as clipped when any
     /// channel sat strictly above the effective maximum — the same
     /// budget the quality level bounds).
+    ///
+    /// Dispatches to the widest SIMD kernel the host supports (see
+    /// [`crate::simd::kernel_tier`]); every tier is byte-identical to
+    /// [`Self::apply_scalar`], stats included.
     pub fn apply(&self, frame: &mut Frame) -> ClipStats {
+        crate::simd::hebs_apply(self, frame, crate::simd::kernel_tier())
+    }
+
+    /// [`Self::apply`] at an explicit [`KernelTier`](crate::simd::KernelTier)
+    /// (clamped to host capability) — the hook the differential
+    /// conformance tier sweeps.
+    pub fn apply_with(&self, frame: &mut Frame, tier: crate::simd::KernelTier) -> ClipStats {
+        crate::simd::hebs_apply(self, frame, tier)
+    }
+
+    /// The retained scalar reference kernel — the 0-ULP oracle every
+    /// SIMD tier is tested against.
+    pub fn apply_scalar(&self, frame: &mut Frame) -> ClipStats {
         let mut stats =
             ClipStats { total_pixels: frame.pixel_count() as u64, ..Default::default() };
         for px in frame.as_bytes_mut().chunks_exact_mut(3) {

@@ -30,7 +30,7 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    bins: Vec<u64>, // always length 256
+    bins: [u64; 256],
     total: u64,
 }
 
@@ -43,18 +43,40 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty histogram. The bins live inline (no heap
+    /// allocation), so a histogram can be built on the stack and reused
+    /// via [`Histogram::reset`] on allocation-free hot paths.
     pub fn new() -> Self {
-        Self { bins: vec![0; 256], total: 0 }
+        Self { bins: [0; 256], total: 0 }
     }
 
     /// Builds a histogram from an iterator of luminance samples.
+    /// Allocation-free: the bins are inline storage.
     pub fn from_samples<I: IntoIterator<Item = u8>>(samples: I) -> Self {
         let mut h = Self::new();
         for s in samples {
             h.add(s);
         }
         h
+    }
+
+    /// Clears every bin and the total, reusing the histogram in place
+    /// (the steady-state profiling loop resets one histogram per frame
+    /// instead of constructing a new one).
+    pub fn reset(&mut self) {
+        self.bins = [0; 256];
+        self.total = 0;
+    }
+
+    /// Adds a full 256-bin block of counts at once (the reduction step
+    /// of the SIMD histogram kernels, which accumulate per-lane partial
+    /// counts on the stack). Equivalent to 256 [`Histogram::add_count`]
+    /// calls; the sum is order-independent.
+    pub fn add_bin_counts(&mut self, counts: &[u32; 256]) {
+        for (bin, &c) in self.bins.iter_mut().zip(counts.iter()) {
+            *bin += u64::from(c);
+            self.total += u64::from(c);
+        }
     }
 
     /// Adds one sample.

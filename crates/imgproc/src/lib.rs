@@ -14,6 +14,9 @@
 //! * [`compensate`] — the two image-compensation operators of §4.1:
 //!   *contrast enhancement* (`C' = min(1, C·k)`) and *brightness
 //!   compensation* (`C' = min(1, C + δC)`), with clipping statistics.
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 kernels for the per-pixel
+//!   hot paths (histogram accumulation, LUT application), byte-identical
+//!   to the retained scalar references on every input.
 //!
 //! # Example
 //!
@@ -30,7 +33,11 @@
 //! assert!(hist.clip_level(0.05) < hist.max_nonzero().unwrap());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the SIMD kernels in `simd` can carve out
+// narrowly-scoped `#[allow(unsafe_code)]` intrinsics blocks, the same
+// discipline as `annolight_codec::motion`. Everything else stays
+// safe-only.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod color;
@@ -41,6 +48,7 @@ pub mod hebs;
 pub mod histogram;
 pub mod quality;
 pub mod scale;
+pub mod simd;
 
 pub use color::{luma_u8, luma_u8_lut, Rgb8, Yuv8};
 pub use compensate::{
@@ -53,3 +61,4 @@ pub use hebs::{hebs_remap_scalar, hebs_stretch_value, HebsLut};
 pub use histogram::Histogram;
 pub use quality::ssim_luma;
 pub use scale::{crop, downscale_2x, letterbox};
+pub use simd::{kernel_tier, KernelTier};

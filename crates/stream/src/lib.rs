@@ -61,7 +61,7 @@ pub use machine::{
 };
 pub use message::{grant_quality, ClientHello, PacketKind, ServerOffer, StreamPacket};
 pub use network::WirelessChannel;
-pub use proxy::Proxy;
+pub use proxy::{Proxy, TranscodeRequest};
 pub use server::{MediaServer, ServeError, ServeRequest, ServedStream};
 pub use session::{
     run_session, run_session_faulty, run_session_with_server, run_shared_sessions,

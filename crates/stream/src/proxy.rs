@@ -20,12 +20,15 @@
 //! with [`Proxy::with_service`] can share that cache with a
 //! [`crate::server::MediaServer`].
 
-use annolight_codec::{CodecError, Decoder, EncodedStream, Encoder, EncoderConfig};
+use annolight_codec::{
+    decode_all_yuv_batched, encode_yuv_batched, CodecError, Decoder, EncodedStream, Encoder,
+    EncoderConfig,
+};
 use annolight_core::digest::Digester;
 use annolight_core::track::{AnnotationMode, AnnotationTrack};
 use annolight_core::parallel::{self, ParallelConfig};
 use annolight_core::{CoreError, HebsRemapSet, LuminanceProfile, PolicyKind, QualityLevel};
-use annolight_imgproc::Frame;
+use annolight_imgproc::{Frame, Yuv420Frame};
 use annolight_display::DeviceProfile;
 use annolight_serve::{AnnotationService, ServiceConfig};
 use std::error::Error;
@@ -66,6 +69,21 @@ impl From<CoreError> for ProxyError {
     fn from(e: CoreError) -> Self {
         ProxyError::Core(e)
     }
+}
+
+/// One clip's worth of work for [`Proxy::transcode_batch`]: an
+/// unannotated input stream plus the device/quality/mode it is being
+/// prepared for.
+#[derive(Debug, Clone, Copy)]
+pub struct TranscodeRequest<'a> {
+    /// The unannotated input stream.
+    pub input: &'a EncodedStream,
+    /// The client device the output is negotiated for.
+    pub device: &'a DeviceProfile,
+    /// The negotiated quality level.
+    pub quality: QualityLevel,
+    /// Per-scene or per-frame annotation granularity.
+    pub mode: AnnotationMode,
 }
 
 /// The transcoding proxy.
@@ -214,6 +232,125 @@ impl Proxy {
         self.compensate(&mut frames, &track, &profile, quality, mode)?;
         enc.push_frames(&frames)?;
         Ok(enc.finish())
+    }
+
+    /// Transcodes a whole batch of streams, scheduling the work of all
+    /// of them onto **one** worker pool per stage.
+    ///
+    /// [`Proxy::transcode`] fans each clip out on its own: a short clip
+    /// leaves most of the pool idle while a long clip's last GOP
+    /// finishes. This entry point instead batches across clips — one
+    /// [`decode_all_yuv_batched`] dispatch decodes every closed GOP of
+    /// every stream, one [`parallel::profile_frames_batched`] dispatch
+    /// profiles every frame, one
+    /// [`parallel::compensate_frames_batched`] dispatch compensates
+    /// them, and one [`encode_yuv_batched`] dispatch re-encodes — so
+    /// mixed-length batches load-balance across the whole pool.
+    ///
+    /// Every output stream is byte-identical to what
+    /// [`Proxy::transcode`] produces for the same request, for every
+    /// worker count (`workers <= 1` literally runs the per-clip serial
+    /// reference). Annotation still goes through the shared service
+    /// cache per clip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProxyError`] encountered, in request order.
+    pub fn transcode_batch(
+        &self,
+        requests: &[TranscodeRequest<'_>],
+    ) -> Result<Vec<EncodedStream>, ProxyError> {
+        if self.parallel.workers <= 1 {
+            return requests
+                .iter()
+                .map(|r| self.transcode(r.input, r.device, r.quality, r.mode))
+                .collect();
+        }
+        // Stage 1: one batched decode across every stream's closed GOPs,
+        // then the same per-frame RGB mapping `decode_all` applies.
+        let mut decoders = requests
+            .iter()
+            .map(|r| Decoder::new(r.input))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut frames: Vec<Vec<Frame>> = decode_all_yuv_batched(&mut decoders, &self.parallel)?
+            .into_iter()
+            .map(|clip| clip.iter().map(Yuv420Frame::to_rgb).collect())
+            .collect();
+        drop(decoders);
+
+        // Stage 2: one batched profiling dispatch over every frame of
+        // every clip (job-local indices keep each profile identical to
+        // its serial reference).
+        let profile_jobs: Vec<(f64, &[Frame])> = requests
+            .iter()
+            .zip(&frames)
+            .map(|(r, f)| (r.input.fps(), f.as_slice()))
+            .collect();
+        let profiles = parallel::profile_frames_batched(&profile_jobs, &self.parallel)
+            .map_err(ProxyError::Core)?;
+
+        // Stage 3: per-clip annotation through the shared service cache
+        // (cache look-ups are cheap and keep hit/miss accounting exact).
+        let tracks = requests
+            .iter()
+            .zip(&profiles)
+            .map(|(r, p)| {
+                self.annotate(Self::stream_digest(r.input, 0), p, r.device, r.quality, r.mode)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Stage 4: compensation. HEBS reshapes per clip (its remap is a
+        // serial per-scene table); every other policy batches all clips
+        // into one dispatch.
+        if self.policy == PolicyKind::Hebs {
+            for ((clip, profile), r) in frames.iter_mut().zip(&profiles).zip(requests) {
+                let set = HebsRemapSet::new(profile, r.mode, r.quality);
+                for (i, f) in clip.iter_mut().enumerate() {
+                    set.apply_frame(f, i as u32);
+                }
+            }
+        } else {
+            let mut jobs: Vec<(&mut [Frame], &AnnotationTrack)> = frames
+                .iter_mut()
+                .zip(&tracks)
+                .map(|(f, t)| (f.as_mut_slice(), t.as_ref()))
+                .collect();
+            parallel::compensate_frames_batched(&mut jobs, &self.parallel)
+                .map_err(ProxyError::Core)?;
+        }
+
+        // Stage 5: one batched re-encode across every stream's GOPs,
+        // after the same RGB→YUV mapping `push_frames` applies.
+        let mut encoders = requests
+            .iter()
+            .map(|r| {
+                Encoder::new(EncoderConfig {
+                    width: r.input.width(),
+                    height: r.input.height(),
+                    fps: r.input.fps(),
+                    ..self.encoder_template
+                })
+                .map(|e| e.with_parallelism(self.parallel))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        for (enc, track) in encoders.iter_mut().zip(&tracks) {
+            enc.push_user_data(&track.to_rle_bytes());
+        }
+        let yuv_clips: Vec<Vec<Yuv420Frame>> = frames
+            .iter()
+            .map(|clip| {
+                clip.iter()
+                    .map(|f| {
+                        f.to_yuv420()
+                            .map_err(|e| CodecError::Malformed { reason: e.to_string() })
+                    })
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()
+            .map_err(ProxyError::Codec)?;
+        let clip_refs: Vec<&[Yuv420Frame]> = yuv_clips.iter().map(Vec::as_slice).collect();
+        encode_yuv_batched(&mut encoders, &clip_refs, &self.parallel)?;
+        Ok(encoders.into_iter().map(Encoder::finish).collect())
     }
 
     /// Transcodes *and downscales* by 2× in each dimension — the
@@ -367,6 +504,80 @@ mod tests {
         }
         // Distinct policies are distinct cache entries on the shared service.
         assert_eq!(service.report().misses, 2);
+    }
+
+    #[test]
+    fn transcode_batch_matches_per_clip_transcode() {
+        // Mixed devices, qualities and clip lengths; batched output must
+        // be byte-identical to per-clip transcode for every pool shape.
+        let long = raw_stream();
+        let clip = ClipLibrary::paper_clip("themovie").unwrap().preview(1.0);
+        let (w, h) = clip.dimensions();
+        let mut enc = Encoder::new(EncoderConfig {
+            width: w,
+            height: h,
+            fps: clip.fps(),
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        for f in clip.frames() {
+            enc.push_frame(&f).unwrap();
+        }
+        let short = enc.finish();
+        let requests = [
+            TranscodeRequest {
+                input: &long,
+                device: &DeviceProfile::ipaq_5555(),
+                quality: QualityLevel::Q10,
+                mode: AnnotationMode::PerScene,
+            },
+            TranscodeRequest {
+                input: &short,
+                device: &DeviceProfile::zaurus_sl5600(),
+                quality: QualityLevel::Q5,
+                mode: AnnotationMode::PerFrame,
+            },
+            TranscodeRequest {
+                input: &long,
+                device: &DeviceProfile::ipaq_5555(),
+                quality: QualityLevel::Q15,
+                mode: AnnotationMode::PerScene,
+            },
+        ];
+        let serial = Proxy::new(EncoderConfig::default());
+        let reference: Vec<EncodedStream> = requests
+            .iter()
+            .map(|r| serial.transcode(r.input, r.device, r.quality, r.mode).unwrap())
+            .collect();
+        for workers in [0usize, 2, 7] {
+            let proxy = Proxy::new(EncoderConfig::default())
+                .with_parallelism(ParallelConfig::with_workers(workers).with_chunk_frames(4));
+            let got = proxy.transcode_batch(&requests).unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.as_bytes(), r.as_bytes(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn transcode_batch_hebs_matches_per_clip_transcode() {
+        let input = raw_stream();
+        let requests = [TranscodeRequest {
+            input: &input,
+            device: &DeviceProfile::ipaq_5555(),
+            quality: QualityLevel::Q10,
+            mode: AnnotationMode::PerScene,
+        }];
+        let serial = Proxy::new(EncoderConfig::default()).with_policy(PolicyKind::Hebs);
+        let reference = serial
+            .transcode(&input, &DeviceProfile::ipaq_5555(), QualityLevel::Q10, AnnotationMode::PerScene)
+            .unwrap();
+        let proxy = Proxy::new(EncoderConfig::default())
+            .with_policy(PolicyKind::Hebs)
+            .with_parallelism(ParallelConfig::with_workers(3));
+        let got = proxy.transcode_batch(&requests).unwrap();
+        assert_eq!(got[0].as_bytes(), reference.as_bytes());
     }
 
     #[test]

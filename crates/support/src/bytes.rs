@@ -169,6 +169,13 @@ impl ByteBuf {
         self.data.extend_from_slice(slice);
     }
 
+    /// Reserves capacity for at least `additional` more bytes, so a
+    /// caller that knows its output size up front can pre-size the
+    /// buffer and keep the append loop allocation-free.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Number of bytes written.
     #[must_use]
     pub fn len(&self) -> usize {

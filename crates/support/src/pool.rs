@@ -1,0 +1,275 @@
+//! A small free-list buffer pool for allocation-free steady states.
+//!
+//! The transcode hot path touches several per-frame buffers (RGB
+//! frames, YUV planes, packet bodies). Allocating them per frame is
+//! cheap individually but shows up as steady allocator traffic at fleet
+//! scale — and makes per-frame latency depend on allocator state. This
+//! module provides the reuse primitive the pipeline threads through its
+//! `*_into` APIs: a [`BytePool`] hands out [`PooledBuf`] guards that
+//! return their `Vec<u8>` to the pool on drop, so a warm loop recycles
+//! the same handful of allocations forever.
+//!
+//! The pool is deliberately minimal:
+//!
+//! * **Unbounded free list, bounded by use** — the pool never holds more
+//!   buffers than the peak number simultaneously checked out.
+//! * **No clearing on return** — callers that need zeroed memory clear
+//!   explicitly; the typical user overwrites every byte anyway.
+//! * **Stats, not policy** — [`PoolStats`] counts hits/misses so the
+//!   allocation-regression tests can assert a warm loop never misses;
+//!   eviction policy is left to the owner (drop the pool).
+//!
+//! # Example
+//!
+//! ```
+//! use annolight_support::pool::BytePool;
+//! let pool = BytePool::new();
+//! {
+//!     let mut buf = pool.take(1024);
+//!     buf.extend_from_slice(&[1, 2, 3]);
+//! } // buffer returns to the pool here
+//! let again = pool.take(512); // reuses the 1024-byte allocation
+//! assert_eq!(pool.stats().hits, 1);
+//! assert!(again.capacity() >= 1024);
+//! ```
+
+use crate::sync::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Counters describing a pool's reuse behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Checkouts satisfied from the free list without allocating.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer (or grow a free one
+    /// whose capacity fell short).
+    pub misses: u64,
+    /// Buffers currently in the free list.
+    pub idle: usize,
+    /// Buffers currently checked out.
+    pub in_use: usize,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+    in_use: usize,
+}
+
+/// A shared free-list pool of `Vec<u8>` buffers.
+///
+/// Cloning the pool clones the *handle*; all clones share one free list
+/// (the guards hold the same handle, so buffers can be returned from a
+/// different thread than they were taken on).
+#[derive(Clone, Default)]
+pub struct BytePool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl BytePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a buffer with `len == 0` and capacity at least
+    /// `capacity`, reusing the largest free buffer when one exists.
+    ///
+    /// A reused buffer whose capacity falls short is grown in place,
+    /// which counts as a miss (the steady state never hits this: the
+    /// free list converges to the peak sizes of the loop).
+    #[must_use]
+    pub fn take(&self, capacity: usize) -> PooledBuf {
+        let mut inner = self.inner.lock();
+        inner.in_use += 1;
+        let mut buf = match inner.free.pop() {
+            Some(b) => {
+                if b.capacity() >= capacity {
+                    inner.hits += 1;
+                } else {
+                    inner.misses += 1;
+                }
+                b
+            }
+            None => {
+                inner.misses += 1;
+                Vec::new()
+            }
+        };
+        drop(inner);
+        buf.clear();
+        buf.reserve(capacity);
+        PooledBuf { buf, pool: self.clone() }
+    }
+
+    /// Checks out a buffer of exactly `len` bytes, zero-filled only where
+    /// the reused buffer was shorter (contents are otherwise arbitrary —
+    /// callers overwrite them).
+    #[must_use]
+    pub fn take_len(&self, len: usize) -> PooledBuf {
+        let mut b = self.take(len);
+        b.resize(len, 0);
+        b
+    }
+
+    /// Returns a buffer to the free list (used by the guard's `Drop`).
+    fn put_back(&self, buf: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(1);
+        inner.free.push(buf);
+    }
+
+    /// Current reuse counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            idle: inner.free.len(),
+            in_use: inner.in_use,
+        }
+    }
+
+    /// Drops every idle buffer (checked-out guards are unaffected and
+    /// still return to the pool).
+    pub fn shrink(&self) {
+        self.inner.lock().free.clear();
+    }
+}
+
+impl std::fmt::Debug for BytePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BytePool")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("idle", &s.idle)
+            .field("in_use", &s.in_use)
+            .finish()
+    }
+}
+
+/// An RAII guard around a pooled `Vec<u8>`: derefs to the vector and
+/// returns it to its pool on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: BytePool,
+}
+
+impl PooledBuf {
+    /// Detaches the buffer from the pool (it will not be returned).
+    #[must_use]
+    pub fn into_vec(mut self) -> Vec<u8> {
+        // Swap out so Drop returns an empty vec's worth of nothing —
+        // an empty Vec never allocated, so pushing it back is harmless,
+        // but skip it entirely for clean stats.
+        let buf = std::mem::take(&mut self.buf);
+        let mut inner = self.pool.inner.lock();
+        inner.in_use = inner.in_use.saturating_sub(1);
+        drop(inner);
+        std::mem::forget(self);
+        buf
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.put_back(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_take_misses_then_hits() {
+        let pool = BytePool::new();
+        {
+            let mut a = pool.take(100);
+            a.extend_from_slice(&[7; 50]);
+        }
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().idle, 1);
+        let b = pool.take(80);
+        assert_eq!(pool.stats().hits, 1);
+        assert!(b.is_empty(), "reused buffers come back cleared");
+        assert!(b.capacity() >= 100);
+    }
+
+    #[test]
+    fn warm_loop_never_misses() {
+        let pool = BytePool::new();
+        // Warm-up: one miss.
+        drop(pool.take_len(4096));
+        let before = pool.stats();
+        for _ in 0..1000 {
+            let mut b = pool.take_len(4096);
+            b[0] = 1;
+        }
+        let after = pool.stats();
+        assert_eq!(after.misses, before.misses, "warm loop allocated");
+        assert_eq!(after.hits, before.hits + 1000);
+        assert_eq!(after.idle, 1);
+        assert_eq!(after.in_use, 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let pool = BytePool::new();
+        let mut a = pool.take_len(16);
+        let mut b = pool.take_len(16);
+        a[0] = 1;
+        b[0] = 2;
+        assert_eq!((a[0], b[0]), (1, 2));
+        assert_eq!(pool.stats().in_use, 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().idle, 2);
+    }
+
+    #[test]
+    fn into_vec_detaches() {
+        let pool = BytePool::new();
+        let v = pool.take_len(8).into_vec();
+        assert_eq!(v.len(), 8);
+        assert_eq!(pool.stats().idle, 0);
+        assert_eq!(pool.stats().in_use, 0);
+    }
+
+    #[test]
+    fn shrink_empties_free_list() {
+        let pool = BytePool::new();
+        drop(pool.take(64));
+        assert_eq!(pool.stats().idle, 1);
+        pool.shrink();
+        assert_eq!(pool.stats().idle, 0);
+    }
+
+    #[test]
+    fn cross_thread_return() {
+        let pool = BytePool::new();
+        let buf = pool.take_len(32);
+        let p2 = pool.clone();
+        std::thread::spawn(move || drop(buf)).join().unwrap();
+        assert_eq!(p2.stats().idle, 1);
+    }
+}

@@ -35,7 +35,9 @@ GOVERNOR_LOG_A="$(mktemp)"
 GOVERNOR_LOG_B="$(mktemp)"
 POLICY_LOG_A="$(mktemp)"
 POLICY_LOG_B="$(mktemp)"
-trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B" "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B" "$POLICY_LOG_A" "$POLICY_LOG_B"' EXIT
+PIPELINE_LOG_A="$(mktemp)"
+PIPELINE_LOG_B="$(mktemp)"
+trap 'rm -f "$FAULT_LOG_A" "$FAULT_LOG_B" "$IDENT_LOG_A" "$IDENT_LOG_B" "$CODEC_LOG_A" "$CODEC_LOG_B" "$SLO_LOG_A" "$SLO_LOG_B" "$REACTOR_LOG_A" "$REACTOR_LOG_B" "$GOVERNOR_LOG_A" "$GOVERNOR_LOG_B" "$POLICY_LOG_A" "$POLICY_LOG_B" "$PIPELINE_LOG_A" "$PIPELINE_LOG_B"' EXIT
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_A" \
   cargo test -q --release --offline --test fault_injection
 ANNOLIGHT_CHECK_SEED=0xA110 ANNOLIGHT_FAULT_LOG="$FAULT_LOG_B" \
@@ -102,6 +104,21 @@ test -s "$POLICY_LOG_A" || { echo "policy plan-digest log was not written"; exit
 cmp "$POLICY_LOG_A" "$POLICY_LOG_B" \
   || { echo "policy plan digests diverged between identical runs"; exit 1; }
 
+echo "== pipeline-identity conformance guard (SIMD tiers + batched scheduling, same seed twice, diff digest logs) =="
+# Single test thread so the digest log's line order is stable; the
+# digests cover every kernel tier, the batched proxy scheduler, and the
+# randomized ragged-geometry properties.
+ANNOLIGHT_CHECK_SEED=0x51BD ANNOLIGHT_PIPELINE_LOG="$PIPELINE_LOG_A" \
+  cargo test -q --release --offline --test pipeline_identity -- --test-threads=1
+ANNOLIGHT_CHECK_SEED=0x51BD ANNOLIGHT_PIPELINE_LOG="$PIPELINE_LOG_B" \
+  cargo test -q --release --offline --test pipeline_identity -- --test-threads=1
+test -s "$PIPELINE_LOG_A" || { echo "pipeline digest log was not written"; exit 1; }
+cmp "$PIPELINE_LOG_A" "$PIPELINE_LOG_B" \
+  || { echo "pipeline digest logs diverged between identical runs"; exit 1; }
+
+echo "== allocation-regression guard (0 allocations/frame warm steady state) =="
+cargo test -q --release --offline --test alloc_steady
+
 echo "== policy tournament smoke (--test mode, 27 cells, double-run deterministic) =="
 cargo run -q --release --offline -p annolight-bench --bin tab_policies -- --test
 
@@ -114,7 +131,7 @@ cargo run -q --release --offline -p annolight-bench --bin reactor_scale -- --tes
 echo "== fleet SLO smoke (--test mode, double-run deterministic) =="
 cargo run -q --release --offline -p annolight-bench --bin serve_slo -- --test
 
-echo "== pipeline throughput smoke (--test mode) =="
+echo "== pipeline throughput smoke (--test mode, >=2x best-SIMD-row floor vs scalar LUT) =="
 cargo run -q --release --offline -p annolight-bench --bin pipeline_throughput -- --test
 
 echo "== codec throughput smoke (--test mode, >=3x inline encode floor) =="

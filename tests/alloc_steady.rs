@@ -1,0 +1,134 @@
+//! Allocation-count regression tier for the frame hot path (issue 10).
+//!
+//! A counting global allocator wraps `System`; a warm steady-state
+//! transcode + compensate loop — decode into a reused frame, RGB
+//! conversion in place, histogram accumulation into a reused
+//! [`Histogram`], LUT compensation in place, YUV conversion in place,
+//! re-encode through the encoder's recycled scratch — must perform
+//! **zero** heap allocations per frame once the session is warm.
+//!
+//! The test lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide: a single `#[test]` keeps the
+//! counters unpolluted by concurrent harness work.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use annolight_codec::{Decoder, Encoder, EncoderConfig};
+use annolight_imgproc::{CompensationLut, Frame, Histogram, Yuv420Frame};
+
+/// Counts every allocation routed through the global allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+const W: u32 = 64;
+const H: u32 = 48;
+const WARMUP_FRAMES: usize = 24;
+const MEASURED_FRAMES: usize = 64;
+
+fn source_frame(i: usize) -> Frame {
+    Frame::from_fn(W, H, |x, y| {
+        let v = x.wrapping_mul(5).wrapping_add(y.wrapping_mul(11)).wrapping_add(i as u32 * 7);
+        [(v % 240) as u8, ((v * 3) % 230) as u8, ((v * 5) % 250) as u8]
+    })
+}
+
+#[test]
+fn warm_transcode_and_compensate_allocates_zero_bytes_per_frame() {
+    let total = WARMUP_FRAMES + MEASURED_FRAMES;
+
+    // Pre-encode the input stream (allocations here are setup, not
+    // steady state).
+    let config = EncoderConfig { width: W, height: H, fps: 12.0, ..EncoderConfig::default() };
+    let mut src = Encoder::new(config).expect("valid encoder geometry");
+    for i in 0..total {
+        src.push_frame(&source_frame(i)).expect("frames match geometry");
+    }
+    let input = src.finish();
+
+    // The warm session: every stage writes into a pre-sized, reused
+    // buffer. `reserve_body` pre-sizes the output container so packet
+    // appends never grow it mid-loop.
+    let mut dec = Decoder::new(&input).expect("input stream parses");
+    let mut enc = Encoder::new(config).expect("valid encoder geometry");
+    enc.reserve_body(total * (W as usize * H as usize * 3 + 64));
+    let lut = CompensationLut::new(1.31);
+    let mut hist = Histogram::new();
+    let mut yuv = Yuv420Frame::new(W, H).expect("even dimensions");
+    let mut rgb = source_frame(0);
+    let mut recoded = Yuv420Frame::new(W, H).expect("even dimensions");
+
+    let step = |yuv: &mut Yuv420Frame,
+                    rgb: &mut Frame,
+                    recoded: &mut Yuv420Frame,
+                    hist: &mut Histogram,
+                    dec: &mut Decoder,
+                    enc: &mut Encoder| {
+        assert!(dec.decode_next_yuv_into(yuv).expect("decode succeeds"), "stream has frames");
+        yuv.to_rgb_into(rgb).expect("geometry matches");
+        rgb.luma_histogram_into(hist);
+        lut.apply(rgb);
+        rgb.to_yuv420_into(recoded).expect("geometry matches");
+        enc.push_yuv_frame(recoded).expect("frames match geometry");
+    };
+
+    for _ in 0..WARMUP_FRAMES {
+        step(&mut yuv, &mut rgb, &mut recoded, &mut hist, &mut dec, &mut enc);
+    }
+
+    let calls_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes_before = ALLOC_BYTES.load(Ordering::Relaxed);
+    for _ in 0..MEASURED_FRAMES {
+        step(&mut yuv, &mut rgb, &mut recoded, &mut hist, &mut dec, &mut enc);
+    }
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls_before;
+    let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes_before;
+
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "warm steady-state transcode+compensate must not allocate: \
+         {calls} allocation calls / {bytes} bytes over {MEASURED_FRAMES} frames \
+         ({} bytes/frame)",
+        bytes / MEASURED_FRAMES as u64
+    );
+
+    // The session still produces a valid stream after the measured
+    // window (sanity: the zero-allocation loop did real work).
+    let out = enc.finish();
+    assert_eq!(out.frame_count(), total as u32);
+    let decoded = Decoder::new(&out)
+        .expect("output stream parses")
+        .decode_all()
+        .expect("output stream decodes");
+    assert_eq!(decoded.len(), total);
+}
